@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Section VI-F.3 reproduction: model accuracy. Trains the HELR
+ * pipeline on the full-scale synthetic MNIST-3v8 dataset (11,982
+ * train / 1,984 test, 196 features, 30 iterations) and reports the
+ * accuracy the paper attributes to the approximation-free
+ * scheme-switching bootstrap (~97% for LR), plus an encrypted
+ * spot-check that the homomorphic pipeline tracks the plaintext one.
+ */
+
+#include <cmath>
+
+#include "apps/logreg.h"
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace heap;
+    using namespace heap::apps;
+
+    bench::banner(
+        "Model accuracy (Section VI-F.3)",
+        "HELR pipeline, synthetic MNIST 3-vs-8 (see DESIGN.md), 30 "
+        "iterations, batch 1024. The paper reports ~97% for LR; the "
+        "scheme-switching bootstrap adds no polynomial-approximation "
+        "error, so plaintext-pipeline accuracy carries over.");
+
+    Rng rng(7);
+    const auto full = makeSyntheticMnist38(11982 + 1984, 196, rng);
+    auto [train, test] = splitDataset(
+        full, 11982.0 / static_cast<double>(full.size()), rng);
+
+    PlainLogisticRegression lr(196);
+    LrConfig cfg;
+    cfg.iterations = 30;
+    cfg.learningRate = 4.0;
+    cfg.decay = 0.1;
+    cfg.featureScale = 0.125;
+    cfg.batch = 1024;
+    lr.train(train, cfg, rng);
+
+    Table t({"Metric", "This repro", "Paper"});
+    t.addRow({"LR test accuracy",
+              Table::num(100.0 * lr.accuracy(test), 2) + "%", "~97%"});
+    t.addRow({"LR train accuracy",
+              Table::num(100.0 * lr.accuracy(train), 2) + "%", "-"});
+    t.print();
+
+    // Encrypted spot-check: one full-precision iteration under CKKS
+    // must reproduce the plaintext pipeline's weights.
+    ckks::CkksParams p;
+    p.n = 256;
+    p.limbBits = 30;
+    p.levels = 7;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    p.secretHamming = 16;
+    ckks::Context ctx(p, 11);
+
+    const size_t features = 16, batch = 8;
+    Rng rng2(8);
+    const auto small = makeSyntheticMnist38(batch, features, rng2);
+    EncryptedLogisticRegression enc(ctx, features, batch);
+    enc.train(enc.encryptBatch(small, 0), 1, 1.0);
+    const auto wEnc = enc.decryptWeights();
+
+    PlainLogisticRegression plain(features);
+    LrConfig c2;
+    c2.iterations = 1;
+    plain.train(small, c2, rng2);
+    double worst = 0;
+    for (size_t f = 0; f < features; ++f) {
+        worst = std::max(worst,
+                         std::abs(wEnc[f] - plain.weights()[f]));
+    }
+    std::printf("\nEncrypted-vs-plaintext weight deviation after one "
+                "homomorphic GD iteration: %.2e (CKKS noise floor).\n",
+                worst);
+    return 0;
+}

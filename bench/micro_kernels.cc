@@ -1,0 +1,205 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of this library's functional
+ * kernels: scalar modular multiplication (naive / Barrett / Shoup —
+ * the paper's Section IV-A design space), negacyclic NTT across
+ * sizes, gadget external products, blind rotation, and repacking.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "math/modarith.h"
+#include "math/ntt.h"
+#include "math/primes.h"
+#include "rlwe/gadget.h"
+#include "tfhe/blind_rotate.h"
+#include "tfhe/repack.h"
+
+namespace {
+
+using namespace heap;
+
+uint64_t
+pickPrime(size_t n, int bits)
+{
+    return math::generateNttPrimes(bits, n, 1)[0];
+}
+
+void
+BM_MulModNaive(benchmark::State& state)
+{
+    Rng rng(1);
+    const uint64_t q = pickPrime(1024, 36);
+    uint64_t a = rng.uniform(q), b = rng.uniform(q);
+    for (auto _ : state) {
+        a = math::mulModNaive(a | 1, b | 1, q);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_MulModNaive);
+
+void
+BM_MulModBarrett(benchmark::State& state)
+{
+    Rng rng(2);
+    const uint64_t q = pickPrime(1024, 36);
+    const math::BarrettReducer red(q);
+    uint64_t a = rng.uniform(q), b = rng.uniform(q);
+    for (auto _ : state) {
+        a = red.mulMod(a | 1, b | 1);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_MulModBarrett);
+
+void
+BM_MulModShoup(benchmark::State& state)
+{
+    Rng rng(3);
+    const uint64_t q = pickPrime(1024, 36);
+    const uint64_t w = rng.uniform(q);
+    const uint64_t ws = math::shoupPrecompute(w, q);
+    uint64_t a = rng.uniform(q);
+    for (auto _ : state) {
+        a = math::mulModShoup(a | 1, w, ws, q);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_MulModShoup);
+
+void
+BM_NttForward(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    const uint64_t q = pickPrime(n, 36);
+    const math::NttTables ntt(n, q);
+    Rng rng(4);
+    std::vector<uint64_t> poly(n);
+    for (auto& v : poly) {
+        v = rng.uniform(q);
+    }
+    for (auto _ : state) {
+        ntt.forward(poly);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_NttForward)->Arg(256)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void
+BM_NttForwardOnTheFly(benchmark::State& state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    const uint64_t q = pickPrime(n, 36);
+    const math::NttTables ntt(n, q);
+    Rng rng(4);
+    std::vector<uint64_t> poly(n);
+    for (auto& v : poly) {
+        v = rng.uniform(q);
+    }
+    for (auto _ : state) {
+        ntt.forwardOnTheFly(poly);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_NttForwardOnTheFly)->Arg(1024)->Arg(8192);
+
+struct CryptoBench {
+    size_t n = 256;
+    std::shared_ptr<const math::RnsBasis> basis;
+    Rng rng{7};
+    std::unique_ptr<rlwe::SecretKey> sk;
+    rlwe::GadgetParams gadget{.baseBits = 10, .digitsPerLimb = 3};
+
+    CryptoBench()
+    {
+        basis = std::make_shared<math::RnsBasis>(
+            n, math::generateNttPrimes(30, n, 2));
+        sk = std::make_unique<rlwe::SecretKey>(
+            rlwe::SecretKey::sampleTernary(basis, rng));
+    }
+};
+
+void
+BM_ExternalProduct(benchmark::State& state)
+{
+    CryptoBench cb;
+    const auto C = rlwe::rgswEncryptConstant(*cb.sk, 1, cb.gadget, cb.rng);
+    std::vector<int64_t> m(cb.n, 0);
+    m[0] = 1 << 20;
+    auto ct = rlwe::encrypt(*cb.sk,
+                            math::rnsFromSigned(cb.basis, 2, m), cb.rng);
+    ct.toCoeff();
+    for (auto _ : state) {
+        auto out = rlwe::externalProduct(ct, C);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_ExternalProduct);
+
+void
+BM_KeySwitch(benchmark::State& state)
+{
+    CryptoBench cb;
+    auto sk2 = rlwe::SecretKey::sampleTernary(cb.basis, cb.rng);
+    const auto ksk = rlwe::makeKeySwitchKey(
+        *cb.sk, math::rnsFromSigned(cb.basis, cb.basis->size(),
+                                    sk2.coeffs()),
+        cb.gadget, cb.rng);
+    std::vector<int64_t> m(cb.n, 1 << 18);
+    const auto ct = rlwe::encrypt(
+        sk2, math::rnsFromSigned(cb.basis, 2, m), cb.rng);
+    for (auto _ : state) {
+        auto out = rlwe::switchKey(ct, ksk);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_KeySwitch);
+
+void
+BM_BlindRotate(benchmark::State& state)
+{
+    CryptoBench cb;
+    const size_t dim = static_cast<size_t>(state.range(0));
+    const auto lweKey = lwe::LweSecretKey::sampleTernary(dim, cb.rng);
+    const auto brk =
+        tfhe::makeBlindRotateKey(*cb.sk, lweKey.coeffs, cb.gadget,
+                                 cb.rng);
+    const auto f = tfhe::buildIdentityTestPoly(cb.basis, 2, 1 << 16);
+    const auto lwe = lwe::lweEncrypt(17, lweKey, 2 * cb.n, cb.rng, 0.5);
+    for (auto _ : state) {
+        auto acc = tfhe::blindRotate(lwe, f, brk);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetLabel("n_t=" + std::to_string(dim));
+}
+BENCHMARK(BM_BlindRotate)->Arg(8)->Arg(32)->Arg(64);
+
+void
+BM_PackRlwes(benchmark::State& state)
+{
+    CryptoBench cb;
+    const size_t count = static_cast<size_t>(state.range(0));
+    const auto keys =
+        tfhe::makePackingKeys(*cb.sk, count, cb.gadget, cb.rng);
+    std::vector<rlwe::Ciphertext> cts;
+    for (size_t i = 0; i < count; ++i) {
+        std::vector<int64_t> m(cb.n, 0);
+        m[0] = static_cast<int64_t>(i) << 12;
+        auto ct = rlwe::encrypt(
+            *cb.sk, math::rnsFromSigned(cb.basis, 2, m), cb.rng);
+        ct.toCoeff();
+        cts.push_back(std::move(ct));
+    }
+    for (auto _ : state) {
+        auto packed = tfhe::packRlwes(cts, keys);
+        benchmark::DoNotOptimize(packed);
+    }
+}
+BENCHMARK(BM_PackRlwes)->Arg(4)->Arg(16)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

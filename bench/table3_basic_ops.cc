@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table III reproduction: execution time of basic FHE operations on a
+ * single FPGA (HEAP model vs published FAB / GPU / GME / TFHE-library
+ * numbers) and the speedups the paper reports.
+ */
+
+#include "bench_util.h"
+#include "hw/op_model.h"
+#include "hw/reference.h"
+
+int
+main()
+{
+    using namespace heap;
+    using namespace heap::hw;
+
+    bench::banner(
+        "Table III: basic FHE operation time (ms), single FPGA",
+        "HEAP column: cycle model at N=2^13, logQ=216. Baselines are "
+        "the published numbers the paper compares against "
+        "(FAB/GME at N=2^16 logQ=1728; GPU at N=2^16 logQ=1693).");
+
+    const FpgaConfig cfg;
+    const HeapParams params;
+    const OpCostModel ops(cfg, params);
+
+    const double model[] = {ops.addMs(), ops.multMs(), ops.rescaleMs(),
+                            ops.rotateMs(), ops.blindRotateMs()};
+
+    Table t({"Operation", "Scheme", "HEAP model", "HEAP paper", "FAB",
+             "GPU", "GME", "TFHE", "vs FAB", "vs GPU", "vs GME",
+             "vs TFHE"});
+    const auto& rows = ref::table3();
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        auto cell = [&](double v) {
+            return v < 0 ? std::string("-") : Table::num(v, 3);
+        };
+        auto speed = [&](double base) {
+            return base < 0 ? std::string("-")
+                            : Table::speedup(base / model[i]);
+        };
+        t.addRow({r.op, r.scheme, Table::num(model[i], 3),
+                  Table::num(r.heapMs, 3), cell(r.fabMs), cell(r.gpuMs),
+                  cell(r.gmeMs), cell(r.tfheMs), speed(r.fabMs),
+                  speed(r.gpuMs), speed(r.gmeMs), speed(r.tfheMs)});
+    }
+    t.print();
+    return 0;
+}

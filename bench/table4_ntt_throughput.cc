@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table IV reproduction: NTT throughput (full-ciphertext transforms
+ * per second) for HEAP vs FAB and HEAX at N=2^13, plus a functional
+ * software measurement of this library's NTT kernel for context.
+ */
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "hw/op_model.h"
+#include "hw/reference.h"
+#include "math/ntt.h"
+#include "math/primes.h"
+
+int
+main()
+{
+    using namespace heap;
+    using namespace heap::hw;
+
+    bench::banner("Table IV: NTT throughput (ops/s), N=2^13",
+                  "One op = a full RLWE ciphertext (2 polys x 6 limbs). "
+                  "HEAP row from the cycle model; FAB/HEAX published.");
+
+    const FpgaConfig cfg;
+    const HeapParams params;
+    const OpCostModel ops(cfg, params);
+    const double model = ops.nttThroughputOpsPerSec();
+
+    Table t({"Work", "Throughput (ops/s)", "HEAP speedup"});
+    for (const auto& r : ref::table4()) {
+        const bool isHeap = r.work == "HEAP";
+        t.addRow({r.work + (isHeap ? " (paper)" : ""),
+                  Table::num(r.opsPerSec / 1e3, 1) + "K",
+                  isHeap ? "-" : Table::speedup(model / r.opsPerSec)});
+    }
+    t.addRow({"HEAP (model)", Table::num(model / 1e3, 1) + "K", "-"});
+    t.print();
+
+    // Functional software kernel measurement (this library's NTT).
+    const size_t n = 8192;
+    const uint64_t q = math::generateNttPrimes(36, n, 1)[0];
+    const math::NttTables ntt(n, q);
+    std::vector<uint64_t> poly(n);
+    heap::Rng rng(1);
+    for (auto& v : poly) {
+        v = rng.uniform(q);
+    }
+    Timer timer;
+    const int reps = 200;
+    for (int i = 0; i < reps; ++i) {
+        ntt.forward(poly);
+    }
+    const double perLimb = timer.seconds() / reps;
+    std::printf("\nFunctional single-limb NTT (this library, CPU): "
+                "%.1f us -> %.1f full-ciphertext ops/s softwre-only.\n",
+                perLimb * 1e6, 1.0 / (perLimb * 12.0));
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table V reproduction: bootstrapping performance as amortized
+ * per-slot multiplication time T_mult,a/slot (Eq. 3), HEAP on eight
+ * FPGAs vs nine published systems, plus the Section VI-E stage split
+ * of a single scheme-switching bootstrap.
+ */
+
+#include "bench_util.h"
+#include "hw/bootstrap_model.h"
+#include "hw/fab_model.h"
+#include "hw/reference.h"
+
+int
+main()
+{
+    using namespace heap;
+    using namespace heap::hw;
+
+    bench::banner(
+        "Table V: bootstrapping T_mult,a/slot (us)",
+        "HEAP: scheme-switching bootstrap on 8 FPGAs, fully packed. "
+        "Speedups follow the paper's methodology (published numbers; "
+        "cycle speedups scale by clock ratio).");
+
+    const FpgaConfig cfg;
+    const HeapParams params;
+    const BootstrapModel bm(cfg, params, 8);
+    const double heapT = bm.tMultPerSlotUs(4096);
+    const double heapFreq = cfg.kernelClockHz / 1e9;
+
+    Table t({"Work", "Freq (GHz)", "Slots", "T_mult (us)",
+             "Speedup (time)", "Paper", "Speedup (cycles)", "Paper"});
+    for (const auto& r : ref::table5()) {
+        if (r.work == "HEAP") {
+            t.addRow({"HEAP (paper)", Table::num(r.freqGHz, 1), r.slots,
+                      Table::num(r.timeUs, 3), "-", "-", "-", "-"});
+            continue;
+        }
+        const double sTime = r.timeUs / heapT;
+        const double sCycles = sTime * (r.freqGHz / heapFreq);
+        t.addRow({r.work, Table::num(r.freqGHz, 1), r.slots,
+                  Table::num(r.timeUs, 3), Table::speedup(sTime),
+                  Table::speedup(r.speedupTime),
+                  Table::speedup(sCycles),
+                  Table::speedup(r.speedupCycles)});
+    }
+    t.addRow({"HEAP (model)", Table::num(heapFreq, 1), "2^12",
+              Table::num(heapT, 3), "-", "-", "-", "-"});
+    const FabModel fab(cfg);
+    t.addRow({"FAB (struct. model)", Table::num(heapFreq, 1), "2^15",
+              Table::num(fab.tMultPerSlotUs(), 3),
+              Table::speedup(fab.tMultPerSlotUs() / heapT), "-", "-",
+              "-"});
+    t.print();
+
+    const auto b = bm.bootstrap(4096);
+    const auto anchors = ref::bootstrapStages();
+    std::printf(
+        "\nSingle fully-packed bootstrap, 8 FPGAs (Section VI-E):\n"
+        "  steps 1-2 (ModulusSwitch) : %s ms\n"
+        "  step 3 (BlindRotate)      : %s ms\n"
+        "  comm (non-overlapped)     : %.4f ms\n"
+        "  steps 4-5 (repack+finish) : %s ms\n"
+        "  total                     : %s ms\n",
+        bench::withPaper(b.modSwitchMs, anchors.modSwitchMs, 4).c_str(),
+        bench::withPaper(b.blindRotateMs, anchors.blindRotateMs, 4)
+            .c_str(),
+        b.commMs,
+        bench::withPaper(b.finishMs, anchors.finishMs, 4).c_str(),
+        bench::withPaper(b.totalMs, anchors.totalMs, 2).c_str());
+
+    std::printf(
+        "\nScaling: 1 FPGA total = %.2f ms; sparse packing 1024 slots "
+        "= %.2f ms, 256 slots = %.2f ms (8 FPGAs).\n",
+        BootstrapModel(cfg, params, 1).bootstrap(4096).totalMs,
+        bm.bootstrap(1024).totalMs, bm.bootstrap(256).totalMs);
+    return 0;
+}

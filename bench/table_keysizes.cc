@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Section III-C key-size accounting: scheme-switching bootstrap keys
+ * vs conventional CKKS bootstrapping key traffic (the paper's ~18x
+ * claim), plus this library's measured functional key footprint.
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "boot/scheme_switch.h"
+#include "hw/config.h"
+
+int
+main()
+{
+    using namespace heap;
+    using namespace heap::hw;
+
+    bench::banner(
+        "Key sizes (Section III-C)",
+        "brk = n_t GGSW ciphertexts of (h+1)d x (h+1) degree-(N-1) "
+        "polynomials; conventional bootstrapping reads ~25 keys of "
+        "~126 MB with re-reads (~32 GB of traffic).");
+
+    const HeapParams p;
+    Table t({"Quantity", "Model", "Paper"});
+    t.addRow({"RLWE ciphertext (MB)",
+              Table::num(p.rlweBytes() / 1e6, 3), "~0.44"});
+    t.addRow({"LWE ciphertext (KB)", Table::num(p.lweBytes() / 1e3, 2),
+              "~2.3"});
+    t.addRow({"BlindRotate key (MB)", Table::num(p.brkBytes() / 1e6, 2),
+              "~3.52"});
+    t.addRow({"Total brk, n_t=500 (GB)",
+              Table::num(p.brkTotalBytes() / 1e9, 2), "1.76"});
+    t.addRow({"Conventional key traffic (GB)",
+              Table::num(HeapParams::conventionalKeyBytes() / 1e9, 1),
+              "~32"});
+    t.addRow({"Traffic reduction",
+              Table::speedup(HeapParams::conventionalKeyBytes()
+                             / p.brkTotalBytes()),
+              "~18x"});
+    t.print();
+
+    // Functional cross-check: the library's own bootstrapping keys at
+    // a reduced ring, compared with the same formula.
+    ckks::CkksParams cp;
+    cp.n = 64;
+    cp.limbBits = 30;
+    cp.levels = 2;
+    cp.auxLimbs = 1;
+    cp.scale = std::pow(2.0, 30);
+    cp.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    cp.secretHamming = 16;
+    ckks::Context ctx(cp, 5);
+    const boot::SchemeSwitchBootstrapper boot(
+        ctx, rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6});
+    std::printf("\nFunctional key footprint at N=64 (this library): "
+                "%.2f MB across %zu blind-rotate + packing keys.\n",
+                static_cast<double>(boot.keyBytes()) / 1e6,
+                2 * cp.n + 6);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Private table lookup with a CMux tree — the standalone-TFHE
+ * operation set of Section VII-A in action: RGSW-encrypted selector
+ * bits steer RLWE-encrypted values through multiplexers without the
+ * server learning the index.
+ *
+ * Build & run:  ./build/examples/cmux_lookup
+ */
+
+#include <cstdio>
+
+#include "math/primes.h"
+#include "tfhe/blind_rotate.h"
+
+int
+main()
+{
+    using namespace heap;
+
+    const size_t n = 128;
+    Rng rng(99);
+    const auto basis = std::make_shared<math::RnsBasis>(
+        n, math::generateNttPrimes(30, n, 2));
+    const auto sk = rlwe::SecretKey::sampleTernary(basis, rng);
+    const rlwe::GadgetParams gadget{.baseBits = 5, .digitsPerLimb = 6};
+
+    // A table of four encrypted values.
+    const int64_t table[4] = {1111111, -2222222, 3333333, -4444444};
+    std::vector<rlwe::Ciphertext> values;
+    for (const int64_t v : table) {
+        std::vector<int64_t> m(n, 0);
+        m[0] = v;
+        values.push_back(
+            rlwe::encrypt(sk, math::rnsFromSigned(basis, 2, m), rng));
+    }
+
+    std::printf("table: {%lld, %lld, %lld, %lld}\n\n",
+                static_cast<long long>(table[0]),
+                static_cast<long long>(table[1]),
+                static_cast<long long>(table[2]),
+                static_cast<long long>(table[3]));
+
+    for (int index = 0; index < 4; ++index) {
+        // The client encrypts the selector bits as RGSW ciphertexts.
+        const int b0 = index & 1, b1 = (index >> 1) & 1;
+        const auto selLo = rlwe::rgswEncryptConstant(sk, b0, gadget, rng);
+        const auto selHi = rlwe::rgswEncryptConstant(sk, b1, gadget, rng);
+
+        // The server evaluates the CMux tree obliviously.
+        const auto r01 = tfhe::cmux(selLo, values[0], values[1]);
+        const auto r23 = tfhe::cmux(selLo, values[2], values[3]);
+        const auto out = tfhe::cmux(selHi, r01, r23);
+
+        const auto dec = rlwe::decryptSigned(out, sk);
+        std::printf("index %d -> %9lld (expected %9lld, error %lld)\n",
+                    index, static_cast<long long>(dec[0]),
+                    static_cast<long long>(table[index]),
+                    static_cast<long long>(dec[0] - table[index]));
+    }
+    std::printf("\nEach lookup is two levels of CMux (one external "
+                "product each) — the same primitive BlindRotate "
+                "iterates n_t times (Algorithm 1).\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The Section V system, functionally: one primary and seven secondary
+ * nodes bootstrap a CKKS ciphertext by exchanging *serialized*
+ * ciphertext batches over byte-counting links — the same protocol the
+ * paper runs over 100G Ethernet between eight FPGAs.
+ *
+ * Build & run:  ./build/examples/distributed_bootstrap
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "boot/distributed.h"
+#include "ckks/evaluator.h"
+#include "common/timer.h"
+
+int
+main()
+{
+    using namespace heap;
+    using namespace heap::ckks;
+
+    CkksParams p;
+    p.n = 64;
+    p.limbBits = 30;
+    p.levels = 2;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    p.secretHamming = 16;
+    Context ctx(p, 7);
+    Evaluator ev(ctx);
+
+    std::printf("deploying 1 primary + 7 secondary nodes "
+                "(shared keys, serialized links)...\n");
+    boot::DistributedBootstrapper cluster(
+        ctx, 7, rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6});
+
+    std::vector<Complex> z;
+    for (size_t i = 0; i < p.n / 2; ++i) {
+        z.emplace_back(0.6 * std::cos(0.25 * static_cast<double>(i)),
+                       0.4 * std::sin(0.15 * static_cast<double>(i)));
+    }
+    auto ct = ctx.encrypt(std::span<const Complex>(z));
+    ev.dropToLevel(ct, 1);
+
+    Timer t;
+    const auto fresh = cluster.bootstrap(ct);
+    const double ms = t.millis();
+
+    const auto back = ctx.decrypt(fresh);
+    double worst = 0;
+    for (size_t i = 0; i < z.size(); ++i) {
+        worst = std::max(worst, std::abs(back[i] - z[i]));
+    }
+    const auto& traffic = cluster.lastTraffic();
+    std::printf("\nbootstrap complete in %.0f ms "
+                "(level %zu restored, max slot error %.1e)\n",
+                ms, fresh.level(), worst);
+    std::printf("per-node share: each secondary blind-rotated %zu LWE "
+                "ciphertexts\n",
+                cluster.node(0).processed());
+    std::printf("link traffic: %.1f KB of LWE batches out, %.1f KB of "
+                "accumulators back (%zu batches)\n",
+                static_cast<double>(traffic.lweBytesOut) / 1e3,
+                static_cast<double>(traffic.accBytesIn) / 1e3,
+                traffic.batches);
+    std::printf("\nAt paper scale the same protocol moves 4096 LWE "
+                "ciphertexts (~2.3 KB each packed) across 100G links, "
+                "fully overlapped with compute — see "
+                "examples/multi_fpga_sim for the timing model.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Encrypted CNN inference — the functional, demo-sized face of the
+ * paper's ResNet-20 workload (Section VI-F.2): a convolution (as a
+ * homomorphic BSGS linear transform, the same machinery Lee et al.'s
+ * multiplexed convolutions use), a polynomial activation, and a dense
+ * classifier head, all on ciphertext.
+ *
+ * Build & run:  ./build/examples/encrypted_cnn
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/cnn.h"
+#include "common/timer.h"
+
+int
+main()
+{
+    using namespace heap;
+    using namespace heap::apps;
+
+    ckks::CkksParams p;
+    p.n = 128; // 64 slots = one 8x8 image
+    p.limbBits = 30;
+    p.levels = 4;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    ckks::Context ctx(p, 2024);
+
+    Rng rng(5);
+    const auto calib = makeSyntheticMnist38(128, 64, rng);
+    SmallCnn cnn(8, 2);
+    cnn.calibrate(calib);
+
+    std::printf("building homomorphic conv + dense transforms "
+                "(BSGS rotations)...\n");
+    EncryptedCnn enc(ctx, cnn);
+
+    const auto test = makeSyntheticMnist38(16, 64, rng);
+    size_t encCorrect = 0, plainCorrect = 0, agree = 0;
+    double totalMs = 0;
+    std::printf("\n img   plain logits          encrypted logits      "
+                "label\n");
+    for (size_t i = 0; i < test.size(); ++i) {
+        Timer t;
+        const auto out = enc.infer(enc.encryptImage(test.x[i]));
+        totalMs += t.millis();
+        const auto logits = enc.decryptLogits(out);
+        const auto want = cnn.infer(test.x[i]);
+        const int encCls = logits[0] > logits[1] ? 1 : -1;
+        const int plainCls = cnn.classify(test.x[i]);
+        encCorrect += encCls == test.y[i];
+        plainCorrect += plainCls == test.y[i];
+        agree += encCls == plainCls;
+        if (i < 6) {
+            std::printf(" %2zu   (%+.4f, %+.4f)   (%+.4f, %+.4f)    "
+                        "%+d\n",
+                        i, want[0], want[1], logits[0], logits[1],
+                        test.y[i]);
+        }
+    }
+    std::printf("\nencrypted accuracy %zu/%zu, plaintext %zu/%zu, "
+                "agreement %zu/%zu\n",
+                encCorrect, test.size(), plainCorrect, test.size(),
+                agree, test.size());
+    std::printf("avg encrypted inference: %.1f ms (conv + square + "
+                "dense, %zu levels)\n",
+                totalMs / static_cast<double>(test.size()),
+                enc.levelsPerInference());
+    std::printf("\nAt ResNet-20 scale this pipeline repeats ~20 conv "
+                "layers deep and bootstraps between blocks — the "
+                "workload of Table VII (run bench/table7_resnet).\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Encrypted logistic-regression training (the paper's Section VI-F.1
+ * workload, demo-sized): the HELR pipeline runs under CKKS, exhausts
+ * its levels, is refreshed by the scheme-switching bootstrapper, and
+ * keeps training — with the plaintext pipeline as the oracle.
+ *
+ * Build & run:  ./build/examples/lr_training
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/logreg.h"
+#include "common/timer.h"
+
+int
+main()
+{
+    using namespace heap;
+    using namespace heap::apps;
+
+    // Demo geometry: 8 features x 4 samples fills the 32-slot ring.
+    const size_t features = 8, batch = 4;
+    ckks::CkksParams p;
+    p.n = 64;
+    p.limbBits = 30;
+    p.levels = 5;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    p.secretHamming = 16;
+    ckks::Context ctx(p, 99);
+
+    std::printf("generating scheme-switching bootstrap keys...\n");
+    boot::SchemeSwitchBootstrapper boot(
+        ctx, rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6});
+
+    Rng rng(3);
+    const auto data = makeSyntheticMnist38(batch, features, rng);
+    EncryptedLogisticRegression enc(ctx, features, batch, &boot,
+                                    /*sigmoidDegree=*/1);
+    const auto batchCt = enc.encryptBatch(data, 0);
+
+    std::printf("training 3 encrypted GD iterations (levels force a "
+                "bootstrap mid-training)...\n");
+    Timer t;
+    enc.train(batchCt, 3, 1.0);
+    std::printf("done in %.1f s with %zu scheme-switching "
+                "bootstrap(s)\n\n",
+                t.seconds(), enc.bootstrapCount());
+
+    // Plaintext oracle with the identical pipeline.
+    std::vector<double> w(features, 0.0);
+    for (int it = 0; it < 3; ++it) {
+        std::vector<double> grad(features, 0.0);
+        for (size_t b = 0; b < batch; ++b) {
+            double u = 0;
+            for (size_t f = 0; f < features; ++f) {
+                u += w[f] * data.x[b][f] * data.y[b];
+            }
+            const double g = 0.5 - 0.25 * u;
+            for (size_t f = 0; f < features; ++f) {
+                grad[f] += g * data.y[b] * data.x[b][f];
+            }
+        }
+        for (size_t f = 0; f < features; ++f) {
+            w[f] += grad[f] / static_cast<double>(batch);
+        }
+    }
+
+    const auto wEnc = enc.decryptWeights();
+    std::printf("feature   plaintext w   encrypted w   |diff|\n");
+    double worst = 0;
+    for (size_t f = 0; f < features; ++f) {
+        worst = std::max(worst, std::abs(wEnc[f] - w[f]));
+        std::printf("  %2zu      %9.5f     %9.5f     %.4f\n", f, w[f],
+                    wEnc[f], std::abs(wEnc[f] - w[f]));
+    }
+    std::printf("\nmax deviation %.4f — encrypted training tracks the "
+                "plaintext pipeline across the bootstrap.\n"
+                "At full scale this pipeline reaches ~97%%+ accuracy "
+                "(run bench/accuracy_lr).\n",
+                worst);
+    return 0;
+}

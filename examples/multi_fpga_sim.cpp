@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Walkthrough of the multi-FPGA system model (Section V): how the
+ * scheme-switching bootstrap scales with the number of FPGAs and the
+ * n_br packing knob, and where the time goes (compute vs 100G
+ * communication vs repacking).
+ *
+ * Build & run:  ./build/examples/multi_fpga_sim
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "hw/bootstrap_model.h"
+#include "hw/timeline.h"
+
+int
+main()
+{
+    using namespace heap;
+    using namespace heap::hw;
+
+    const FpgaConfig cfg;
+    const HeapParams params;
+
+    std::printf("HEAP system model: N=2^13, logQ=216, n_t=500, "
+                "100G inter-FPGA links, %zu-wide FU array @ %.0f MHz\n\n",
+                cfg.modFUs, cfg.kernelClockHz / 1e6);
+
+    // FPGA scaling at full packing.
+    Table scale({"FPGAs", "BlindRotate (ms)", "Comm (ms)",
+                 "Finish (ms)", "Total (ms)", "Speedup vs 1"});
+    const double base = BootstrapModel(cfg, params, 1)
+                            .bootstrap(4096)
+                            .totalMs;
+    for (const size_t f : {1u, 2u, 4u, 8u, 16u}) {
+        const BootstrapModel bm(cfg, params, f);
+        const auto b = bm.bootstrap(4096);
+        scale.addRow({std::to_string(f), Table::num(b.blindRotateMs, 3),
+                      Table::num(b.commMs, 3), Table::num(b.finishMs, 3),
+                      Table::num(b.totalMs, 3),
+                      Table::speedup(base / b.totalMs)});
+    }
+    std::printf("Fully packed bootstrap (4096 slots) vs FPGA count —\n"
+                "the paper's FAB baseline gained only ~20%% from 8 "
+                "FPGAs; HEAP's independent blind rotations scale "
+                "almost linearly:\n");
+    scale.print();
+
+    // The n_br knob (sparse packing).
+    Table knob({"Packed slots (n_br)", "LWE cts/FPGA", "Total (ms)"});
+    const BootstrapModel bm(cfg, params, 8);
+    for (const size_t s : {4096u, 2048u, 1024u, 512u, 256u}) {
+        knob.addRow({std::to_string(s), std::to_string((s + 7) / 8),
+                     Table::num(bm.bootstrap(s).totalMs, 3)});
+    }
+    std::printf("\nSparse packing (Section V's n_br state-machine "
+                "parameter; LR uses 256, ResNet-20 uses 1024):\n");
+    knob.print();
+
+    std::printf("\nKey traffic per bootstrap: %.2f GB of blind-rotate "
+                "keys vs ~%.0f GB conventional (%.0fx less).\n",
+                bm.keyReadBytes() / 1e9,
+                bm.conventionalKeyReadBytes() / 1e9,
+                bm.conventionalKeyReadBytes() / bm.keyReadBytes());
+
+    // Section V schedule as a Gantt chart: M=ModSwitch, D=distribute,
+    // #=BlindRotate, R=repack, >/<=100G link traffic.
+    std::printf("\nFully packed bootstrap schedule (8 FPGAs):\n");
+    const auto tl = buildBootstrapTimeline(bm, 4096);
+    std::fputs(tl.render().c_str(), stdout);
+    std::printf("No FPGA sits idle during the BlindRotate window and "
+                "the links stay far from saturation — the paper's "
+                "\"communication is not the bottleneck\" claim.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: encrypt a vector under CKKS, compute on it (add,
+ * multiply, rotate), and decrypt. Mirrors the first steps any HEAP
+ * user takes before touching bootstrapping.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "ckks/evaluator.h"
+
+int
+main()
+{
+    using namespace heap;
+    using namespace heap::ckks;
+
+    // Small, fast parameters (demo-sized; see DESIGN.md's parameter
+    // policy — correctness is parameter-generic).
+    CkksParams params;
+    params.n = 1 << 10;           // ring dimension
+    params.levels = 4;            // multiplicative budget
+    params.limbBits = 30;
+    params.scale = std::pow(2.0, 30);
+    params.gadget = rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6};
+
+    Context ctx(params, /*seed=*/2024);
+    Evaluator ev(ctx);
+    ctx.makeRotationKeys(std::array<int64_t, 2>{1, -1});
+
+    // Encrypt two vectors of 512 slots.
+    std::vector<double> a(512), b(512);
+    for (size_t i = 0; i < a.size(); ++i) {
+        a[i] = std::sin(0.01 * static_cast<double>(i));
+        b[i] = 0.5 + 0.001 * static_cast<double>(i);
+    }
+    const Ciphertext ctA = ctx.encrypt(std::span<const double>(a));
+    const Ciphertext ctB = ctx.encrypt(std::span<const double>(b));
+    std::printf("encrypted %zu slots at level %zu, scale 2^%.0f\n",
+                ctA.slots, ctA.level(), std::log2(ctA.scale));
+
+    // a + b, a * b (with relinearize + rescale), rotate(a, 1).
+    const auto sum = ctx.decrypt(ev.add(ctA, ctB));
+    const auto prod = ctx.decrypt(ev.multiplyRescale(ctA, ctB));
+    const auto rot = ctx.decrypt(ev.rotate(ctA, 1));
+
+    double worstAdd = 0, worstMul = 0, worstRot = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        worstAdd = std::max(worstAdd,
+                            std::abs(sum[i].real() - (a[i] + b[i])));
+        worstMul = std::max(worstMul,
+                            std::abs(prod[i].real() - a[i] * b[i]));
+        worstRot = std::max(
+            worstRot,
+            std::abs(rot[i].real() - a[(i + 1) % a.size()]));
+    }
+    std::printf("max error: add %.2e, mult %.2e, rotate %.2e\n",
+                worstAdd, worstMul, worstRot);
+
+    // Exhaust the level budget: this is where bootstrapping (see
+    // examples/scheme_switch_bootstrap.cpp) becomes necessary.
+    Ciphertext c = ctA;
+    while (c.level() > 1) {
+        c = ev.multiplyRescale(c, c);
+        std::printf("squared: level %zu remaining\n", c.level());
+    }
+    std::printf("level budget exhausted -> bootstrap required\n");
+    return 0;
+}

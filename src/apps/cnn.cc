@@ -1,0 +1,205 @@
+#include "apps/cnn.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace heap::apps {
+
+SmallCnn::SmallCnn(size_t side, size_t classes)
+    : side_(side), classes_(classes)
+{
+    HEAP_CHECK(side >= 3, "image side too small");
+    HEAP_CHECK(classes >= 1 && classes <= pixels(),
+               "bad class count");
+    // A mild center-surround stencil: smooths noise while keeping
+    // local structure (the dataset's class loops).
+    const double k[3][3] = {{0.05, 0.10, 0.05},
+                            {0.10, 0.40, 0.10},
+                            {0.05, 0.10, 0.05}};
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            kernel_[r][c] = k[r][c];
+        }
+    }
+    dense_.assign(classes_, std::vector<double>(pixels(), 0.0));
+}
+
+std::vector<double>
+SmallCnn::convolve(std::span<const double> image) const
+{
+    HEAP_CHECK(image.size() == pixels(), "image size mismatch");
+    std::vector<double> out(pixels(), 0.0);
+    const auto s = static_cast<int64_t>(side_);
+    for (int64_t r = 0; r < s; ++r) {
+        for (int64_t c = 0; c < s; ++c) {
+            double acc = 0;
+            for (int64_t dr = -1; dr <= 1; ++dr) {
+                for (int64_t dc = -1; dc <= 1; ++dc) {
+                    const int64_t rr = r + dr, cc = c + dc;
+                    if (rr < 0 || rr >= s || cc < 0 || cc >= s) {
+                        continue; // zero padding
+                    }
+                    acc += kernel_[dr + 1][dc + 1]
+                           * image[static_cast<size_t>(rr * s + cc)];
+                }
+            }
+            out[static_cast<size_t>(r * s + c)] = acc;
+        }
+    }
+    return out;
+}
+
+void
+SmallCnn::calibrate(const Dataset& data)
+{
+    HEAP_CHECK(data.features == pixels(), "calibration size mismatch");
+    HEAP_CHECK(classes_ == 2, "calibration implemented for 2 classes");
+    // Fisher-style head on the post-activation features: w = mean
+    // difference of conv(x)^2 between the classes, deflated against
+    // the class-independent feature mean so finite-sample calibration
+    // noise cannot introduce a constant logit bias.
+    std::vector<double> diff(pixels(), 0.0), mean(pixels(), 0.0);
+    for (size_t i = 0; i < data.size(); ++i) {
+        const auto a = convolve(data.x[i]);
+        for (size_t p = 0; p < pixels(); ++p) {
+            diff[p] += data.y[i] * a[p] * a[p];
+            mean[p] += a[p] * a[p];
+        }
+    }
+    double dot = 0, norm2 = 0;
+    for (size_t p = 0; p < pixels(); ++p) {
+        diff[p] /= static_cast<double>(data.size());
+        mean[p] /= static_cast<double>(data.size());
+        dot += diff[p] * mean[p];
+        norm2 += mean[p] * mean[p];
+    }
+    for (size_t p = 0; p < pixels(); ++p) {
+        const double w = diff[p] - dot / norm2 * mean[p];
+        dense_[0][p] = w;
+        dense_[1][p] = -w;
+    }
+}
+
+std::vector<double>
+SmallCnn::infer(std::span<const double> image) const
+{
+    const auto a = convolve(image);
+    std::vector<double> logits(classes_, 0.0);
+    for (size_t k = 0; k < classes_; ++k) {
+        for (size_t p = 0; p < pixels(); ++p) {
+            logits[k] += dense_[k][p] * a[p] * a[p];
+        }
+    }
+    return logits;
+}
+
+int
+SmallCnn::classify(std::span<const double> image) const
+{
+    const auto logits = infer(image);
+    size_t best = 0;
+    for (size_t k = 1; k < classes_; ++k) {
+        if (logits[k] > logits[best]) {
+            best = k;
+        }
+    }
+    return classes_ == 2 ? (best == 0 ? 1 : -1)
+                         : static_cast<int>(best);
+}
+
+std::vector<std::vector<double>>
+SmallCnn::convMatrix() const
+{
+    std::vector<std::vector<double>> m(
+        pixels(), std::vector<double>(pixels(), 0.0));
+    const auto s = static_cast<int64_t>(side_);
+    for (int64_t r = 0; r < s; ++r) {
+        for (int64_t c = 0; c < s; ++c) {
+            for (int64_t dr = -1; dr <= 1; ++dr) {
+                for (int64_t dc = -1; dc <= 1; ++dc) {
+                    const int64_t rr = r + dr, cc = c + dc;
+                    if (rr < 0 || rr >= s || cc < 0 || cc >= s) {
+                        continue;
+                    }
+                    m[static_cast<size_t>(r * s + c)]
+                     [static_cast<size_t>(rr * s + cc)] =
+                         kernel_[dr + 1][dc + 1];
+                }
+            }
+        }
+    }
+    return m;
+}
+
+std::vector<std::vector<double>>
+SmallCnn::denseMatrix() const
+{
+    std::vector<std::vector<double>> m(
+        pixels(), std::vector<double>(pixels(), 0.0));
+    for (size_t k = 0; k < classes_; ++k) {
+        m[k] = dense_[k];
+    }
+    return m;
+}
+
+namespace {
+
+ckks::SlotMatrix
+toComplex(const std::vector<std::vector<double>>& m)
+{
+    ckks::SlotMatrix out(m.size());
+    for (size_t r = 0; r < m.size(); ++r) {
+        out[r].reserve(m[r].size());
+        for (const double v : m[r]) {
+            out[r].emplace_back(v, 0.0);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+EncryptedCnn::EncryptedCnn(ckks::Context& ctx, const SmallCnn& cnn)
+    : ctx_(&ctx), ev_(ctx), cnn_(&cnn)
+{
+    HEAP_CHECK(ctx.params().n / 2 == cnn.pixels(),
+               "context slots must equal the pixel count");
+    HEAP_CHECK(ctx.maxLevel() >= levelsPerInference() + 1,
+               "need at least " << levelsPerInference() + 1
+                                << " levels");
+    conv_ = std::make_unique<ckks::LinearTransform>(
+        ctx, toComplex(cnn.convMatrix()), /*useBsgs=*/true);
+    dense_ = std::make_unique<ckks::LinearTransform>(
+        ctx, toComplex(cnn.denseMatrix()), /*useBsgs=*/true);
+    ctx.makeRotationKeys(conv_->requiredRotations());
+    ctx.makeRotationKeys(dense_->requiredRotations());
+}
+
+ckks::Ciphertext
+EncryptedCnn::encryptImage(std::span<const double> image) const
+{
+    HEAP_CHECK(image.size() == cnn_->pixels(), "image size mismatch");
+    return ctx_->encrypt(image);
+}
+
+ckks::Ciphertext
+EncryptedCnn::infer(const ckks::Ciphertext& image) const
+{
+    ckks::Ciphertext a = conv_->apply(ev_, image);
+    ckks::Ciphertext act = ev_.multiplyRescale(a, a);
+    return dense_->apply(ev_, act);
+}
+
+std::vector<double>
+EncryptedCnn::decryptLogits(const ckks::Ciphertext& out) const
+{
+    const auto slots = ctx_->decrypt(out);
+    std::vector<double> logits(cnn_->classes());
+    for (size_t k = 0; k < logits.size(); ++k) {
+        logits[k] = slots[k].real();
+    }
+    return logits;
+}
+
+} // namespace heap::apps

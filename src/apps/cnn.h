@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A small convolutional network evaluated under CKKS — the functional
+ * face of the paper's ResNet-20 workload (Section VI-F.2): encrypted
+ * image in, encrypted class logits out. Structure: one 3x3 same-size
+ * convolution (a homomorphic linear transform), a square activation
+ * (the standard polynomial ReLU stand-in), and a dense classifier
+ * head. Weights are in the clear; the data is encrypted.
+ */
+
+#ifndef HEAP_APPS_CNN_H
+#define HEAP_APPS_CNN_H
+
+#include <memory>
+
+#include "apps/dataset.h"
+#include "ckks/linear_transform.h"
+
+namespace heap::apps {
+
+/** Plaintext reference network. */
+class SmallCnn {
+  public:
+    /**
+     * Builds the network for side x side single-channel images and
+     * `classes` outputs. The conv kernel is a fixed smoothing/edge
+     * stencil; the dense head is fit to the synthetic dataset's class
+     * templates (least-squares on a calibration batch).
+     */
+    SmallCnn(size_t side, size_t classes);
+
+    /** Fits the dense head on labelled calibration data. */
+    void calibrate(const Dataset& data);
+
+    size_t side() const { return side_; }
+    size_t pixels() const { return side_ * side_; }
+    size_t classes() const { return classes_; }
+
+    /** Plain forward pass: conv -> square -> dense logits. */
+    std::vector<double> infer(std::span<const double> image) const;
+
+    /** argmax class of infer(); for 2 classes returns {-1, +1}. */
+    int classify(std::span<const double> image) const;
+
+    /** Conv layer as a pixels x pixels matrix (zero padding). */
+    std::vector<std::vector<double>> convMatrix() const;
+
+    /** Dense head as a pixels x pixels matrix (rows >= classes are 0). */
+    std::vector<std::vector<double>> denseMatrix() const;
+
+  private:
+    std::vector<double> convolve(std::span<const double> image) const;
+
+    size_t side_;
+    size_t classes_;
+    double kernel_[3][3];
+    std::vector<std::vector<double>> dense_; // classes x pixels
+};
+
+/** The same network evaluated homomorphically. */
+class EncryptedCnn {
+  public:
+    /**
+     * @pre ctx slots (N/2) == cnn.pixels(); needs >= 4 levels.
+     * Generates the rotation keys both transforms require.
+     */
+    EncryptedCnn(ckks::Context& ctx, const SmallCnn& cnn);
+
+    /** Encrypts an image into the slot layout infer() expects. */
+    ckks::Ciphertext encryptImage(std::span<const double> image) const;
+
+    /** conv -> square -> dense on ciphertext; logits in slots
+     *  [0, classes). */
+    ckks::Ciphertext infer(const ckks::Ciphertext& image) const;
+
+    /** Decrypts logits (testing/demo). */
+    std::vector<double> decryptLogits(const ckks::Ciphertext& out) const;
+
+    size_t levelsPerInference() const { return 3; }
+
+  private:
+    ckks::Context* ctx_;
+    ckks::Evaluator ev_;
+    const SmallCnn* cnn_;
+    std::unique_ptr<ckks::LinearTransform> conv_;
+    std::unique_ptr<ckks::LinearTransform> dense_;
+};
+
+} // namespace heap::apps
+
+#endif // HEAP_APPS_CNN_H

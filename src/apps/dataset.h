@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Synthetic datasets standing in for the paper's workloads (see
+ * DESIGN.md substitutions): an MNIST-3-vs-8-like two-class image
+ * dataset (11,982 x 196 for the HELR benchmark) and small synthetic
+ * digit images for the CNN inference demo.
+ */
+
+#ifndef HEAP_APPS_DATASET_H
+#define HEAP_APPS_DATASET_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace heap::apps {
+
+/** A dense two-class dataset with labels in {-1, +1}. */
+struct Dataset {
+    size_t features = 0;
+    std::vector<std::vector<double>> x; ///< samples x features, in [0,1]
+    std::vector<int> y;                 ///< -1 or +1
+
+    size_t size() const { return x.size(); }
+};
+
+/**
+ * Generates an MNIST-3v8-like dataset: two overlapping classes of
+ * "pen stroke" images over a features-pixel grid, normalized to
+ * [0, 1]. Class overlap is tuned so a logistic model converges to
+ * ~97% accuracy, matching the paper's Section VI-F.3 observation.
+ */
+Dataset makeSyntheticMnist38(size_t samples, size_t features, Rng& rng);
+
+/** Splits a dataset into train/test halves (by proportion). */
+std::pair<Dataset, Dataset> splitDataset(const Dataset& d,
+                                         double trainFraction, Rng& rng);
+
+} // namespace heap::apps
+
+#endif // HEAP_APPS_DATASET_H

@@ -1,0 +1,252 @@
+#include "apps/logreg.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace heap::apps {
+
+namespace {
+
+// HELR least-squares degree-3 sigmoid coefficients over [-8, 8].
+constexpr double kSig1 = 0.15012;
+constexpr double kSig3 = -0.001593;
+
+} // namespace
+
+double
+polySigmoid3(double x)
+{
+    return 0.5 + kSig1 * x + kSig3 * x * x * x;
+}
+
+void
+PlainLogisticRegression::train(const Dataset& data, const LrConfig& cfg,
+                               Rng& rng)
+{
+    HEAP_CHECK(data.features == w_.size(), "feature count mismatch");
+    const size_t batch = cfg.batch == 0 ? data.size() : cfg.batch;
+    const double sc = cfg.featureScale;
+    size_t cursor = 0;
+    for (size_t it = 0; it < cfg.iterations; ++it) {
+        const double lr = cfg.learningRate
+                          / (1.0 + cfg.decay * static_cast<double>(it));
+        std::vector<double> grad(w_.size(), 0.0);
+        for (size_t b = 0; b < batch; ++b) {
+            const size_t i = cfg.batch == 0
+                                 ? b
+                                 : (cursor++ % data.size());
+            double u = 0;
+            for (size_t f = 0; f < w_.size(); ++f) {
+                u += w_[f] * data.x[i][f] * sc * data.y[i];
+            }
+            // Gradient of the logistic loss with the polynomial
+            // sigmoid stand-in: sigma(-u) * y * x.
+            const double g = polySigmoid3(-u);
+            for (size_t f = 0; f < w_.size(); ++f) {
+                grad[f] += g * data.y[i] * data.x[i][f] * sc;
+            }
+        }
+        for (size_t f = 0; f < w_.size(); ++f) {
+            w_[f] += lr * grad[f] / static_cast<double>(batch);
+        }
+        (void)rng;
+    }
+}
+
+double
+PlainLogisticRegression::accuracy(const Dataset& data) const
+{
+    size_t correct = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+        double u = 0;
+        for (size_t f = 0; f < w_.size(); ++f) {
+            u += w_[f] * data.x[i][f];
+        }
+        correct += (u >= 0 ? 1 : -1) == data.y[i];
+    }
+    return static_cast<double>(correct)
+           / static_cast<double>(data.size());
+}
+
+EncryptedLogisticRegression::EncryptedLogisticRegression(
+    ckks::Context& ctx, size_t features, size_t batch,
+    const boot::SchemeSwitchBootstrapper* boot, int sigmoidDegree)
+    : ctx_(&ctx), ev_(ctx), boot_(boot), sigmoidDegree_(sigmoidDegree),
+      features_(features), batch_(batch)
+{
+    HEAP_CHECK(std::has_single_bit(features) && std::has_single_bit(batch),
+               "features and batch must be powers of two");
+    HEAP_CHECK(sigmoidDegree == 1 || sigmoidDegree == 3,
+               "sigmoidDegree must be 1 or 3");
+    HEAP_CHECK(features * batch == ctx.params().n / 2,
+               "batch layout must fill all slots (B*F = N/2)");
+    ctx.makeRotationKeys(requiredRotations());
+    // Weights start at zero, fully packed.
+    std::vector<double> zeros(ctx.params().n / 2, 0.0);
+    w_ = ctx.encrypt(std::span<const double>(zeros));
+}
+
+std::vector<int64_t>
+EncryptedLogisticRegression::requiredRotations() const
+{
+    std::vector<int64_t> rots;
+    for (size_t s = 1; s < features_; s <<= 1) {
+        rots.push_back(static_cast<int64_t>(s));   // feature fold
+        rots.push_back(-static_cast<int64_t>(s));  // broadcast
+    }
+    for (size_t s = features_; s < features_ * batch_; s <<= 1) {
+        rots.push_back(static_cast<int64_t>(s));   // block fold
+    }
+    return rots;
+}
+
+ckks::Ciphertext
+EncryptedLogisticRegression::encryptBatch(const Dataset& data,
+                                          size_t offset) const
+{
+    HEAP_CHECK(data.features == features_, "feature count mismatch");
+    HEAP_CHECK(offset + batch_ <= data.size(), "batch out of range");
+    std::vector<double> slots(ctx_->params().n / 2, 0.0);
+    for (size_t b = 0; b < batch_; ++b) {
+        for (size_t f = 0; f < features_; ++f) {
+            slots[b * features_ + f] =
+                data.y[offset + b] * data.x[offset + b][f];
+        }
+    }
+    return ctx_->encrypt(std::span<const double>(slots));
+}
+
+ckks::Ciphertext
+EncryptedLogisticRegression::innerProducts(const ckks::Ciphertext& z) const
+{
+    // u_b = <w, z_b>: elementwise product, fold over the feature
+    // stride, then mask the f=0 lanes and broadcast back across the
+    // block so every lane of sample b carries u_b.
+    ckks::Ciphertext zz = z;
+    ckks::Ciphertext ww = w_;
+    ev_.alignLevels(zz, ww);
+    ckks::Ciphertext t = ev_.multiplyRescale(ww, zz);
+    for (size_t s = features_ / 2; s >= 1; s >>= 1) {
+        t = ev_.add(t, ev_.rotate(t, static_cast<int64_t>(s)));
+        if (s == 1) {
+            break;
+        }
+    }
+    // Mask keeps only the clean f=0 lane of each sample block.
+    std::vector<double> mask(ctx_->params().n / 2, 0.0);
+    for (size_t b = 0; b < batch_; ++b) {
+        mask[b * features_] = 1.0;
+    }
+    const auto maskPt = ev_.makePlaintext(std::span<const double>(mask),
+                                          ctx_->params().scale,
+                                          t.level());
+    t = ev_.multiplyPlain(t, maskPt);
+    ev_.rescaleInPlace(t);
+    for (size_t s = 1; s < features_; s <<= 1) {
+        t = ev_.add(t, ev_.rotate(t, -static_cast<int64_t>(s)));
+    }
+    return t;
+}
+
+ckks::Ciphertext
+EncryptedLogisticRegression::applySigmoid(const ckks::Ciphertext& u,
+                                          double factor) const
+{
+    if (sigmoidDegree_ == 1) {
+        // factor * (0.5 - 0.25 u).
+        ckks::Ciphertext t = ev_.multiplyScalar(u, -0.25 * factor);
+        ev_.rescaleInPlace(t);
+        const auto half = ev_.makeConstant(0.5 * factor, t.scale,
+                                           t.slots, t.level());
+        return ev_.addPlain(t, half);
+    }
+    // factor * sigma(-u) = (-(factor c3) u^2 - factor c1) * u
+    //                      + 0.5 factor.
+    ckks::Ciphertext u2 = ev_.multiplyRescale(u, u);
+    ckks::Ciphertext t = ev_.multiplyScalar(u2, -kSig3 * factor);
+    ev_.rescaleInPlace(t);
+    const auto c1 = ev_.makeConstant(kSig1 * factor, t.scale, t.slots,
+                                     t.level());
+    t = ev_.subPlain(t, c1);
+    ckks::Ciphertext uu = u;
+    ev_.alignLevels(t, uu);
+    ckks::Ciphertext r = ev_.multiplyRescale(t, uu);
+    const auto half = ev_.makeConstant(0.5 * factor, r.scale, r.slots,
+                                       r.level());
+    return ev_.addPlain(r, half);
+}
+
+ckks::Ciphertext
+EncryptedLogisticRegression::gradient(const ckks::Ciphertext& sig,
+                                      const ckks::Ciphertext& z) const
+{
+    // g_f = sum_b [factor * sigma(-u_b)] z_{b,f}; the cyclic block
+    // fold replicates the sum into every block exactly.
+    ckks::Ciphertext zz = z;
+    ckks::Ciphertext ss = sig;
+    ev_.alignLevels(zz, ss);
+    ckks::Ciphertext g = ev_.multiplyRescale(ss, zz);
+    for (size_t s = features_; s < features_ * batch_; s <<= 1) {
+        g = ev_.add(g, ev_.rotate(g, static_cast<int64_t>(s)));
+    }
+    return g;
+}
+
+void
+EncryptedLogisticRegression::refreshIfNeeded()
+{
+    if (w_.level() > levelsPerIteration()) {
+        return;
+    }
+    HEAP_CHECK(boot_ != nullptr,
+               "out of levels: attach a bootstrapper or raise levels");
+    ev_.dropToLevel(w_, 1);
+    w_ = boot_->bootstrap(w_);
+    ++bootstraps_;
+}
+
+void
+EncryptedLogisticRegression::train(const ckks::Ciphertext& batchCt,
+                                   size_t iterations, double learningRate)
+{
+    for (size_t it = 0; it < iterations; ++it) {
+        refreshIfNeeded();
+        const ckks::Ciphertext u = innerProducts(batchCt);
+        const ckks::Ciphertext sig = applySigmoid(
+            u, learningRate / static_cast<double>(batch_));
+        const ckks::Ciphertext g = gradient(sig, batchCt);
+        ckks::Ciphertext ww = w_;
+        ckks::Ciphertext gg = g;
+        ev_.alignLevels(ww, gg);
+        gg.scale = ww.scale;
+        w_ = ev_.add(ww, gg);
+    }
+}
+
+void
+EncryptedLogisticRegression::trainEpochs(
+    std::span<const ckks::Ciphertext> batches, size_t epochs,
+    double learningRate)
+{
+    HEAP_CHECK(!batches.empty(), "no batches");
+    for (size_t e = 0; e < epochs; ++e) {
+        for (const auto& batch : batches) {
+            train(batch, 1, learningRate);
+        }
+    }
+}
+
+std::vector<double>
+EncryptedLogisticRegression::decryptWeights() const
+{
+    const auto slots = ctx_->decrypt(w_);
+    std::vector<double> w(features_);
+    for (size_t f = 0; f < features_; ++f) {
+        w[f] = slots[f].real();
+    }
+    return w;
+}
+
+} // namespace heap::apps

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * HELR-style logistic regression (Han et al. [29], the paper's
+ * Section VI-F.1 workload), in two variants:
+ *
+ *  - PlainLogisticRegression: the exact fixed-point pipeline
+ *    (mini-batch gradient descent with the degree-3 polynomial
+ *    sigmoid) evaluated in the clear, used for the ~97% accuracy
+ *    reproduction at full dataset scale;
+ *  - EncryptedLogisticRegression: the same pipeline evaluated
+ *    homomorphically under CKKS with batch-packed ciphertexts and
+ *    rotate-and-sum inner products, optionally refreshed by the
+ *    scheme-switching bootstrapper between iterations.
+ */
+
+#ifndef HEAP_APPS_LOGREG_H
+#define HEAP_APPS_LOGREG_H
+
+#include <optional>
+
+#include "apps/dataset.h"
+#include "boot/scheme_switch.h"
+#include "ckks/evaluator.h"
+
+namespace heap::apps {
+
+/** HELR's least-squares degree-3 sigmoid over [-8, 8]. */
+double polySigmoid3(double x);
+
+/** Gradient-descent hyperparameters. */
+struct LrConfig {
+    double learningRate = 1.0;
+    double decay = 0.0;        ///< lr_t = learningRate / (1 + decay*t)
+    double featureScale = 1.0; ///< x is scaled during training to keep
+                               ///< the sigmoid argument inside [-8, 8]
+    size_t iterations = 30;
+    size_t batch = 0;          ///< 0 = full batch
+};
+
+/** Plaintext HELR trainer (reference pipeline). */
+class PlainLogisticRegression {
+  public:
+    explicit PlainLogisticRegression(size_t features)
+        : w_(features, 0.0)
+    {
+    }
+
+    /** Runs mini-batch GD with the polynomial sigmoid. */
+    void train(const Dataset& data, const LrConfig& cfg, Rng& rng);
+
+    /** Classification accuracy on a dataset. */
+    double accuracy(const Dataset& data) const;
+
+    const std::vector<double>& weights() const { return w_; }
+
+  private:
+    std::vector<double> w_;
+};
+
+/**
+ * Encrypted HELR trainer. Packs a batch of B samples x F features
+ * into one fully packed ciphertext (B * F = N/2); weights are held
+ * encrypted and updated in place. One iteration consumes 3 levels
+ * (inner product, sigmoid, gradient); when the ciphertext runs out of
+ * levels the scheme-switching bootstrapper refreshes it, exactly the
+ * paper's usage pattern.
+ */
+class EncryptedLogisticRegression {
+  public:
+    /**
+     * @param boot optional bootstrapper; when absent, training must
+     *        fit in the context's level budget.
+     */
+    EncryptedLogisticRegression(
+        ckks::Context& ctx, size_t features, size_t batch,
+        const boot::SchemeSwitchBootstrapper* boot = nullptr,
+        int sigmoidDegree = 3);
+
+    /** Levels one gradient-descent iteration consumes. */
+    size_t levelsPerIteration() const
+    {
+        return sigmoidDegree_ == 3 ? 6 : 4;
+    }
+
+    /** Encrypts the (y_i * x_i) batch layout used every iteration. */
+    ckks::Ciphertext encryptBatch(const Dataset& data, size_t offset) const;
+
+    /** Runs `iterations` encrypted GD steps on one encrypted batch. */
+    void train(const ckks::Ciphertext& batchCt, size_t iterations,
+               double learningRate);
+
+    /**
+     * Mini-batch training over several encrypted batches: one GD step
+     * per batch per epoch, cycling in order (the HELR schedule with
+     * its per-iteration refresh).
+     */
+    void trainEpochs(std::span<const ckks::Ciphertext> batches,
+                     size_t epochs, double learningRate);
+
+    /** Decrypts the current weight vector (testing/debug only). */
+    std::vector<double> decryptWeights() const;
+
+    /** Rotation steps the pipeline needs (for key generation). */
+    std::vector<int64_t> requiredRotations() const;
+
+    /** Bootstraps performed so far. */
+    size_t bootstrapCount() const { return bootstraps_; }
+
+  private:
+    ckks::Ciphertext innerProducts(const ckks::Ciphertext& z) const;
+    /** Evaluates factor * sigma(-u) (the learning-rate/batch factor
+     *  is folded into the polynomial's coefficients). */
+    ckks::Ciphertext applySigmoid(const ckks::Ciphertext& u,
+                                  double factor) const;
+    ckks::Ciphertext gradient(const ckks::Ciphertext& sig,
+                              const ckks::Ciphertext& z) const;
+    void refreshIfNeeded();
+
+    ckks::Context* ctx_;
+    ckks::Evaluator ev_;
+    const boot::SchemeSwitchBootstrapper* boot_;
+    int sigmoidDegree_;
+    size_t features_;
+    size_t batch_;
+    ckks::Ciphertext w_; ///< weights replicated across sample blocks
+    size_t bootstraps_ = 0;
+};
+
+} // namespace heap::apps
+
+#endif // HEAP_APPS_LOGREG_H

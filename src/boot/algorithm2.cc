@@ -1,0 +1,81 @@
+#include "boot/algorithm2.h"
+
+#include "common/check.h"
+#include "math/modarith.h"
+#include "tfhe/blind_rotate.h"
+
+namespace heap::boot {
+
+ModSwitched
+modSwitchSplit(const rlwe::Ciphertext& in, const math::RnsBasis& basis)
+{
+    HEAP_CHECK(in.limbCount() == 1, "expected a level-1 ciphertext");
+    const size_t n = basis.n();
+    const uint64_t twoN = 2 * n;
+    const uint64_t q0 = basis.modulus(0);
+
+    ModSwitched ms;
+    rlwe::Ciphertext ct = in;
+    ct.toCoeff();
+    ms.ctPrime = ct;
+    ms.ctPrime.mulScalarInPlace(twoN % q0);
+
+    auto exactDiv = [&](std::span<const uint64_t> x,
+                        std::span<const uint64_t> xPrime,
+                        std::vector<uint64_t>& out) {
+        out.resize(n);
+        for (size_t j = 0; j < n; ++j) {
+            const auto prod = static_cast<math::uint128>(x[j]) * twoN;
+            out[j] = static_cast<uint64_t>((prod - xPrime[j]) / q0);
+        }
+    };
+    exactDiv(ct.a.limb(0), ms.ctPrime.a.limb(0), ms.aMs);
+    exactDiv(ct.b.limb(0), ms.ctPrime.b.limb(0), ms.bMs);
+    return ms;
+}
+
+math::RnsPoly
+makeBootstrapTestPoly(std::shared_ptr<const math::RnsBasis> basis)
+{
+    const size_t limbs = basis->size();
+    const size_t n = basis->n();
+    const uint64_t q0 = basis->modulus(0);
+    math::RnsPoly testPoly =
+        tfhe::buildIdentityTestPoly(basis, limbs, q0);
+    std::vector<uint64_t> invN(limbs);
+    for (size_t i = 0; i < limbs; ++i) {
+        invN[i] =
+            math::invMod(n % basis->modulus(i), basis->modulus(i));
+    }
+    testPoly.mulScalarRnsInPlace(invN);
+    return testPoly;
+}
+
+ckks::Ciphertext
+finishBootstrap(rlwe::Ciphertext ctKq, const ModSwitched& ms,
+                const math::RnsBasis& basis, double inScale,
+                size_t slots)
+{
+    const size_t bootLimbs = basis.size();
+    const uint64_t twoN = 2 * basis.n();
+    rlwe::Ciphertext lifted = rlwe::liftToLimbs(ms.ctPrime, bootLimbs);
+    ctKq.toCoeff();
+    ctKq.addInPlace(lifted);
+
+    const uint64_t p = basis.modulus(bootLimbs - 1);
+    const uint64_t c = (p + twoN / 2) / twoN;
+    ctKq.mulScalarInPlace(c);
+    ctKq.rescaleLastLimb();
+    HEAP_ASSERT(ctKq.limbCount() == bootLimbs - 1,
+                "limb accounting error");
+
+    ckks::Ciphertext out;
+    out.ct = std::move(ctKq);
+    out.scale = inScale
+                * (static_cast<double>(twoN) * static_cast<double>(c)
+                   / static_cast<double>(p));
+    out.slots = slots;
+    return out;
+}
+
+} // namespace heap::boot

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared pieces of Algorithm 2 used by both the single-process
+ * bootstrapper (scheme_switch.h) and the distributed multi-node
+ * protocol (distributed.h): the exact-division modulus switch
+ * (steps 1-2), the pre-scaled triangle test polynomial, and the
+ * finishing arithmetic (steps 4-5).
+ */
+
+#ifndef HEAP_BOOT_ALGORITHM2_H
+#define HEAP_BOOT_ALGORITHM2_H
+
+#include "ckks/context.h"
+#include "lwe/lwe.h"
+
+namespace heap::boot {
+
+/** Output of Algorithm 2's steps 1-2. */
+struct ModSwitched {
+    rlwe::Ciphertext ctPrime;   ///< 2N * ct (mod q), single limb
+    std::vector<uint64_t> aMs;  ///< (2N*a - a') / q, entries in [0, 2N)
+    std::vector<uint64_t> bMs;
+};
+
+/**
+ * Steps 1-2: ct' = 2N*ct (mod q) and the exact-division modulus
+ * switch to R_2N. @pre in is a level-1 Coeff-domain ciphertext.
+ */
+ModSwitched modSwitchSplit(const rlwe::Ciphertext& in,
+                           const math::RnsBasis& basis);
+
+/**
+ * The blind-rotation LUT of Algorithm 2: F(u) = q0 * u on the
+ * identity window, pre-divided by the repacking gain N, over the full
+ * bootstrapping basis Qp.
+ */
+math::RnsPoly makeBootstrapTestPoly(
+    std::shared_ptr<const math::RnsBasis> basis);
+
+/**
+ * Steps 4-5: ct'' = ct_kq + lift(ct'), multiply by round(p/2N),
+ * rescale by p. Returns the refreshed CKKS ciphertext.
+ *
+ * @param ctKq  repacked blind-rotation output (full basis)
+ * @param ms    the step 1-2 artifacts
+ * @param inScale/slots metadata of the original ciphertext
+ */
+ckks::Ciphertext finishBootstrap(rlwe::Ciphertext ctKq,
+                                 const ModSwitched& ms,
+                                 const math::RnsBasis& basis,
+                                 double inScale, size_t slots);
+
+} // namespace heap::boot
+
+#endif // HEAP_BOOT_ALGORITHM2_H

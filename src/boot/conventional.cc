@@ -1,0 +1,212 @@
+#include "boot/conventional.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace heap::boot {
+
+namespace {
+
+using ckks::Complex;
+using ckks::SlotMatrix;
+
+/**
+ * Splits an R-linear slot map L into C-linear matrices (A, B) with
+ * L(z) = A z + B conj(z), by probing L at e_j and i*e_j.
+ */
+std::pair<SlotMatrix, SlotMatrix>
+probeLinearMap(size_t slots,
+               const std::function<std::vector<Complex>(
+                   const std::vector<Complex>&)>& L)
+{
+    SlotMatrix A(slots, std::vector<Complex>(slots));
+    SlotMatrix B(slots, std::vector<Complex>(slots));
+    const Complex I(0, 1);
+    for (size_t j = 0; j < slots; ++j) {
+        std::vector<Complex> e(slots, Complex(0, 0));
+        e[j] = Complex(1, 0);
+        const auto w1 = L(e);
+        e[j] = I;
+        const auto w2 = L(e);
+        for (size_t k = 0; k < slots; ++k) {
+            A[k][j] = (w1[k] - I * w2[k]) * 0.5;
+            B[k][j] = (w1[k] + I * w2[k]) * 0.5;
+        }
+    }
+    return {std::move(A), std::move(B)};
+}
+
+bool
+isZeroMatrix(const SlotMatrix& m)
+{
+    for (const auto& row : m) {
+        for (const auto& e : row) {
+            if (std::abs(e) > 1e-9) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+/** Multiplies every slot by i via the exact monomial X^{N/2}. */
+ckks::Ciphertext
+mulByI(const ckks::Ciphertext& ct)
+{
+    ckks::Ciphertext r = ct;
+    r.ct.toCoeff();
+    r.ct = r.ct.monomialMul(r.ct.b.n() / 2);
+    return r;
+}
+
+} // namespace
+
+ConventionalBootstrapper::ConventionalBootstrapper(
+    ckks::Context& ctx, const ConventionalBootParams& params)
+    : ctx_(&ctx), params_(params), ev_(ctx)
+{
+    const size_t n = ctx.params().n;
+    const size_t half = n / 2;
+    const auto& enc = ctx.encoder();
+    const double q0 = static_cast<double>(ctx.basis()->modulus(0));
+    const double K = params_.rangeK;
+    HEAP_CHECK(K >= 1.0, "rangeK must be >= 1");
+    HEAP_CHECK(ctx.maxLevel() >= depth() + 1,
+               "conventional bootstrap needs " << depth() + 1
+                                               << " levels, context has "
+                                               << ctx.maxLevel());
+
+    // CoeffToSlot: z -> v with v_k = (P_k + i P_{k+half}) * Delta /
+    // (2 K q0), where P = encodeRaw(z) are the plaintext coefficients
+    // of z at scale Delta. The Delta factor keeps the matrix entries
+    // (and hence their fixed-point encodings) at moderate magnitude;
+    // the matching 1/Delta is folded into SlotToCoeff below.
+    const double delta = ctx.params().scale;
+    const double alpha = delta / (2.0 * K * q0);
+    auto c2s = [&](const std::vector<Complex>& z) {
+        const auto P = enc.encodeRaw(z);
+        std::vector<Complex> w(half);
+        for (size_t k = 0; k < half; ++k) {
+            w[k] = Complex(P[k], P[k + half]) * alpha;
+        }
+        return w;
+    };
+    auto [A, B] = probeLinearMap(half, c2s);
+    c2sA_ = std::make_unique<ckks::LinearTransform>(ctx, std::move(A),
+                                                    params_.useBsgs);
+    if (!isZeroMatrix(B)) {
+        c2sB_ = std::make_unique<ckks::LinearTransform>(
+            ctx, std::move(B), params_.useBsgs);
+    }
+
+    // SlotToCoeff: w -> decode(P', Delta) with P'_k = Re(w_k) * q0 and
+    // P'_{k+half} = Im(w_k) * q0 (entries ~ q0/Delta, moderate).
+    auto s2c = [&](const std::vector<Complex>& w) {
+        std::vector<long double> P(n);
+        for (size_t k = 0; k < half; ++k) {
+            P[k] = static_cast<long double>(w[k].real() * q0);
+            P[k + half] = static_cast<long double>(w[k].imag() * q0);
+        }
+        return enc.decode(P, delta, half);
+    };
+    auto [A2, B2] = probeLinearMap(half, s2c);
+    s2cA_ = std::make_unique<ckks::LinearTransform>(ctx, std::move(A2),
+                                                    params_.useBsgs);
+    if (!isZeroMatrix(B2)) {
+        s2cB_ = std::make_unique<ckks::LinearTransform>(
+            ctx, std::move(B2), params_.useBsgs);
+    }
+
+    // EvalMod: g(x) = sin(2 pi K x) / (2 pi), so that
+    // q0 * g(P/(K q0)) ~= [P]_q0 in the small-angle regime.
+    auto g = [K](double x) {
+        return std::sin(2.0 * std::numbers::pi * K * x)
+               / (2.0 * std::numbers::pi);
+    };
+    sineCoeffs_ = ckks::chebyshevFit(g, params_.sineDegree);
+    fitError_ = ckks::chebyshevMaxError(g, sineCoeffs_);
+
+    // Rotation keys for all four transforms.
+    for (const auto* lt : {c2sA_.get(), c2sB_.get(), s2cA_.get(),
+                           s2cB_.get()}) {
+        if (lt != nullptr) {
+            ctx.makeRotationKeys(lt->requiredRotations());
+        }
+    }
+}
+
+size_t
+ConventionalBootstrapper::depth() const
+{
+    return 2 + ckks::chebyshevDepth(params_.sineDegree);
+}
+
+size_t
+ConventionalBootstrapper::rotationCount() const
+{
+    size_t total = 0;
+    for (const auto* lt : {c2sA_.get(), c2sB_.get(), s2cA_.get(),
+                           s2cB_.get()}) {
+        if (lt != nullptr) {
+            total += lt->rotationCount();
+        }
+    }
+    return total;
+}
+
+ckks::Ciphertext
+ConventionalBootstrapper::bootstrap(const ckks::Ciphertext& in) const
+{
+    HEAP_CHECK(in.level() == 1,
+               "bootstrap expects a level-1 ciphertext");
+    const size_t half = ctx_->params().n / 2;
+    HEAP_CHECK(in.slots == half,
+               "conventional bootstrap requires full packing");
+    // The folded constants assume the ciphertext sits at the context
+    // scale (the usual steady state after rescaling).
+    HEAP_CHECK(std::abs(in.scale / ctx_->params().scale - 1.0) < 0.01,
+               "input scale must match the context scale");
+
+    // ModRaise: reinterpret the single-limb ciphertext at the top
+    // level; the phase gains a q0 * I(X) term to be removed.
+    rlwe::Ciphertext lifted = in.ct;
+    lifted.toCoeff();
+    ckks::Ciphertext raised;
+    raised.ct = rlwe::liftToLimbs(lifted, ctx_->maxLevel());
+    raised.scale = in.scale;
+    raised.slots = half;
+
+    // CoeffToSlot.
+    ckks::Ciphertext v = c2sA_->apply(ev_, raised);
+    if (c2sB_ != nullptr) {
+        v = ev_.add(v, c2sB_->apply(ev_, ev_.conjugate(raised)));
+    }
+
+    // Separate the real/imaginary coefficient streams.
+    ckks::Ciphertext vConj = ev_.conjugate(v);
+    ckks::Ciphertext xRe = ev_.add(v, vConj);
+    ckks::Ciphertext xIm = mulByI(ev_.sub(vConj, v));
+
+    // EvalMod on both streams.
+    ckks::Ciphertext yRe = ckks::evalChebyshev(ev_, xRe, sineCoeffs_);
+    ckks::Ciphertext yIm = ckks::evalChebyshev(ev_, xIm, sineCoeffs_);
+
+    // Recombine: w = yRe + i * yIm.
+    ckks::Ciphertext yImI = mulByI(yIm);
+    yImI.scale = yRe.scale;
+    ckks::Ciphertext w = ev_.add(yRe, yImI);
+
+    // SlotToCoeff.
+    // The tracked scale already accounts for the rescale drift along
+    // the multiplicative path; the semantic output is m at ~in.scale.
+    ckks::Ciphertext out = s2cA_->apply(ev_, w);
+    if (s2cB_ != nullptr) {
+        out = ev_.add(out, s2cB_->apply(ev_, ev_.conjugate(w)));
+    }
+    out.slots = in.slots;
+    return out;
+}
+
+} // namespace heap::boot

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Conventional CKKS bootstrapping baseline (Cheon et al. [12], the
+ * "state-of-the-art bootstrapping algorithm" of Figure 1a that HEAP's
+ * scheme switching replaces).
+ *
+ * Pipeline: ModRaise -> CoeffToSlot (homomorphic DFT, one linear
+ * transform each for the holomorphic and anti-holomorphic parts) ->
+ * EvalMod (scaled-sine Chebyshev approximation of the mod-q reduction)
+ * on the real and imaginary coefficient streams -> SlotToCoeff.
+ *
+ * This is the baseline whose serial, KeySwitch-heavy structure
+ * motivates the paper (Section I); it consumes many levels
+ * (Section III: 15-19 at production parameters) whereas Algorithm 2
+ * consumes one.
+ */
+
+#ifndef HEAP_BOOT_CONVENTIONAL_H
+#define HEAP_BOOT_CONVENTIONAL_H
+
+#include <memory>
+
+#include "ckks/chebyshev.h"
+#include "ckks/linear_transform.h"
+
+namespace heap::boot {
+
+/** Tuning for the conventional bootstrap. */
+struct ConventionalBootParams {
+    int sineDegree = 27;   ///< Chebyshev degree for sin(2 pi K x)
+    double rangeK = 3.0;   ///< |I| bound: phase in (-K q, K q)
+    bool useBsgs = true;   ///< BSGS scheduling in the DFT transforms
+};
+
+/**
+ * Conventional bootstrapper bound to a CKKS context. Generates the
+ * CoeffToSlot/SlotToCoeff matrices (by probing the context's encoder)
+ * and the rotation keys they need.
+ */
+class ConventionalBootstrapper {
+  public:
+    ConventionalBootstrapper(ckks::Context& ctx,
+                             const ConventionalBootParams& params = {});
+
+    /**
+     * Bootstraps a level-1 ciphertext. The output lands
+     * `depth()` levels below the top; messages must satisfy
+     * |m| << q_0 (the scaled-sine small-angle regime).
+     */
+    ckks::Ciphertext bootstrap(const ckks::Ciphertext& ct) const;
+
+    /** Levels consumed: 1 (C2S) + chebyshev + 1 (S2C). */
+    size_t depth() const;
+
+    /** Chebyshev fit error of the scaled-sine approximation. */
+    double sineFitError() const { return fitError_; }
+
+    /** Rotations performed per bootstrap (for the cost model). */
+    size_t rotationCount() const;
+
+  private:
+    const ckks::Context* ctx_;
+    ConventionalBootParams params_;
+    ckks::Evaluator ev_;
+    std::unique_ptr<ckks::LinearTransform> c2sA_, c2sB_;
+    std::unique_ptr<ckks::LinearTransform> s2cA_, s2cB_;
+    std::vector<double> sineCoeffs_;
+    double fitError_ = 0;
+};
+
+} // namespace heap::boot
+
+#endif // HEAP_BOOT_CONVENTIONAL_H

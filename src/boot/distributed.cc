@@ -1,0 +1,166 @@
+#include "boot/distributed.h"
+
+#include "ckks/serialize.h"
+#include "common/check.h"
+#include "lwe/serialize.h"
+
+namespace heap::boot {
+
+void
+SimulatedLink::send(std::vector<uint8_t> message)
+{
+    bytes_ += message.size();
+    ++messages_;
+    queue_.push_back(std::move(message));
+}
+
+std::vector<uint8_t>
+SimulatedLink::receive()
+{
+    HEAP_CHECK(!queue_.empty(), "receive on an empty link");
+    auto msg = std::move(queue_.front());
+    queue_.erase(queue_.begin());
+    return msg;
+}
+
+SecondaryNode::SecondaryNode(std::shared_ptr<const math::RnsBasis> basis,
+                             const tfhe::BlindRotateKey* brk,
+                             const math::RnsPoly* testPoly)
+    : basis_(std::move(basis)), brk_(brk), testPoly_(testPoly)
+{
+}
+
+std::vector<uint8_t>
+SecondaryNode::processBatch(std::span<const uint8_t> batch) const
+{
+    ByteReader r(batch);
+    const uint64_t count = r.u64();
+    HEAP_CHECK(count >= 1 && count <= basis_->n(),
+               "corrupt batch header");
+    std::vector<lwe::LweCiphertext> lwes;
+    lwes.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        lwes.push_back(lwe::loadLwe(r));
+    }
+    HEAP_CHECK(r.atEnd(), "trailing bytes in batch");
+
+    const auto accs = tfhe::blindRotateBatch(lwes, *testPoly_, *brk_);
+    processed_ += lwes.size();
+
+    ByteWriter w;
+    w.u64(accs.size());
+    for (const auto& acc : accs) {
+        ckks::saveRlwe(acc, w);
+    }
+    return w.bytes();
+}
+
+DistributedBootstrapper::DistributedBootstrapper(
+    const ckks::Context& ctx, size_t secondaries,
+    rlwe::GadgetParams brGadget)
+    : ctx_(&ctx)
+{
+    HEAP_CHECK(secondaries >= 1 && secondaries <= 63,
+               "bad secondary count");
+    HEAP_CHECK(ctx.params().auxLimbs >= 1,
+               "scheme-switching bootstrap needs an auxiliary prime p");
+    const rlwe::GadgetParams g = brGadget.digitsPerLimb > 0
+                                     ? brGadget
+                                     : ctx.params().gadget;
+    g.validateFor(*ctx.basis());
+    Rng& rng = ctx.rng();
+    brk_ = tfhe::makeBlindRotateKey(ctx.secretKey(),
+                                    ctx.secretKey().coeffs(), g, rng,
+                                    ctx.noiseParams());
+    packKeys_ = tfhe::makePackingKeys(ctx.secretKey(), ctx.params().n,
+                                      ctx.params().gadget, rng,
+                                      ctx.noiseParams());
+    testPoly_ = makeBootstrapTestPoly(ctx.basis());
+    for (size_t i = 0; i < secondaries; ++i) {
+        nodes_.push_back(std::make_unique<SecondaryNode>(
+            ctx.basis(), &brk_, &testPoly_));
+    }
+    out_.resize(secondaries);
+    in_.resize(secondaries);
+}
+
+ckks::Ciphertext
+DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
+{
+    HEAP_CHECK(in.level() == 1,
+               "bootstrap expects a level-1 (single limb) ciphertext");
+    const auto basis = ctx_->basis();
+    const size_t n = basis->n();
+    const uint64_t twoN = 2 * n;
+
+    // Steps 1-2 on the primary.
+    rlwe::Ciphertext ct = in.ct;
+    ct.toCoeff();
+    const ModSwitched ms = modSwitchSplit(ct, *basis);
+
+    // Partition the N extracted ciphertexts evenly over all nodes;
+    // the primary keeps the first share (Section V).
+    const size_t nodesTotal = nodes_.size() + 1;
+    const size_t share = (n + nodesTotal - 1) / nodesTotal;
+    traffic_ = DistributedTraffic{};
+
+    // Distribute: one secondary's whole batch before the next one.
+    for (size_t s = 0; s < nodes_.size(); ++s) {
+        const size_t begin = std::min(n, (s + 1) * share);
+        const size_t end = std::min(n, (s + 2) * share);
+        if (begin >= end) {
+            continue;
+        }
+        ByteWriter w;
+        w.u64(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+            lwe::saveLwe(lwe::extractLwe(ms.aMs, ms.bMs, i, twoN), w);
+        }
+        out_[s].send(w.bytes());
+        ++traffic_.batches;
+    }
+
+    // Primary's own share computes while the secondaries work.
+    std::vector<rlwe::Ciphertext> rotated(n);
+    {
+        std::vector<lwe::LweCiphertext> mine;
+        for (size_t i = 0; i < std::min(n, share); ++i) {
+            mine.push_back(lwe::extractLwe(ms.aMs, ms.bMs, i, twoN));
+        }
+        auto accs = tfhe::blindRotateBatch(mine, testPoly_, brk_);
+        for (size_t i = 0; i < accs.size(); ++i) {
+            rotated[i] = std::move(accs[i]);
+        }
+    }
+
+    // Secondaries process and stream results back.
+    for (size_t s = 0; s < nodes_.size(); ++s) {
+        if (out_[s].empty()) {
+            continue;
+        }
+        const auto batch = out_[s].receive();
+        traffic_.lweBytesOut += batch.size();
+        in_[s].send(nodes_[s]->processBatch(batch));
+    }
+    for (size_t s = 0; s < nodes_.size(); ++s) {
+        if (in_[s].empty()) {
+            continue;
+        }
+        const auto reply = in_[s].receive();
+        traffic_.accBytesIn += reply.size();
+        ByteReader r(reply);
+        const uint64_t count = r.u64();
+        const size_t begin = std::min(n, (s + 1) * share);
+        for (uint64_t i = 0; i < count; ++i) {
+            rotated[begin + i] = ckks::loadRlwe(r, basis);
+        }
+        HEAP_CHECK(r.atEnd(), "trailing bytes in reply");
+    }
+
+    // Repack + finish on the primary.
+    rlwe::Ciphertext ctKq = tfhe::packRlwes(rotated, packKeys_);
+    return finishBootstrap(std::move(ctKq), ms, *basis, in.scale,
+                           in.slots);
+}
+
+} // namespace heap::boot

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The Section V multi-node bootstrap protocol, functionally: a
+ * primary node modulus-switches and extracts, streams *serialized*
+ * LWE batches to secondary nodes over byte-counting links, each
+ * secondary blind-rotates its share, the serialized accumulators
+ * stream back, and the primary repacks and finishes. Every byte that
+ * would cross the paper's 100G CMAC links is accounted for, so the
+ * functional traffic can be checked against the hardware model's
+ * communication terms.
+ */
+
+#ifndef HEAP_BOOT_DISTRIBUTED_H
+#define HEAP_BOOT_DISTRIBUTED_H
+
+#include <memory>
+
+#include "boot/algorithm2.h"
+#include "tfhe/blind_rotate.h"
+#include "tfhe/repack.h"
+
+namespace heap::boot {
+
+/** One-directional byte-counting message channel (a CMAC link). */
+class SimulatedLink {
+  public:
+    void send(std::vector<uint8_t> message);
+    std::vector<uint8_t> receive();
+
+    size_t bytesTransferred() const { return bytes_; }
+    size_t messageCount() const { return messages_; }
+    bool empty() const { return queue_.empty(); }
+
+  private:
+    std::vector<std::vector<uint8_t>> queue_;
+    size_t bytes_ = 0;
+    size_t messages_ = 0;
+};
+
+/**
+ * A secondary node (Section V): holds the shared blind-rotate keys
+ * and test polynomial, consumes serialized LWE batches, produces
+ * serialized blind-rotated accumulators.
+ */
+class SecondaryNode {
+  public:
+    SecondaryNode(std::shared_ptr<const math::RnsBasis> basis,
+                  const tfhe::BlindRotateKey* brk,
+                  const math::RnsPoly* testPoly);
+
+    /** Deserializes a batch, blind-rotates each ciphertext (key-major
+     *  schedule), returns the serialized results. */
+    std::vector<uint8_t> processBatch(
+        std::span<const uint8_t> batch) const;
+
+    /** LWE ciphertexts processed so far. */
+    size_t processed() const { return processed_; }
+
+  private:
+    std::shared_ptr<const math::RnsBasis> basis_;
+    const tfhe::BlindRotateKey* brk_;
+    const math::RnsPoly* testPoly_;
+    mutable size_t processed_ = 0;
+};
+
+/** Per-bootstrap communication accounting. */
+struct DistributedTraffic {
+    size_t lweBytesOut = 0;  ///< primary -> secondaries
+    size_t accBytesIn = 0;   ///< secondaries -> primary
+    size_t batches = 0;
+};
+
+/**
+ * Primary node + protocol driver. Key material is generated once and
+ * (conceptually) replicated to the secondaries, as in the paper's
+ * deployment where every FPGA is loaded with the same RTL and keys.
+ */
+class DistributedBootstrapper {
+  public:
+    DistributedBootstrapper(
+        const ckks::Context& ctx, size_t secondaries,
+        rlwe::GadgetParams brGadget = {.baseBits = 0,
+                                       .digitsPerLimb = 0});
+
+    /** Runs Algorithm 2 with the blind rotations fanned out across
+     *  the secondaries (the primary keeps an equal share). */
+    ckks::Ciphertext bootstrap(const ckks::Ciphertext& in) const;
+
+    size_t secondaryCount() const { return nodes_.size(); }
+    const DistributedTraffic& lastTraffic() const { return traffic_; }
+    const SecondaryNode& node(size_t i) const { return *nodes_[i]; }
+
+  private:
+    const ckks::Context* ctx_;
+    tfhe::BlindRotateKey brk_;
+    tfhe::PackingKeys packKeys_;
+    math::RnsPoly testPoly_;
+    std::vector<std::unique_ptr<SecondaryNode>> nodes_;
+    mutable std::vector<SimulatedLink> out_, in_;
+    mutable DistributedTraffic traffic_;
+};
+
+} // namespace heap::boot
+
+#endif // HEAP_BOOT_DISTRIBUTED_H

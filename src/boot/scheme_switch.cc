@@ -1,0 +1,143 @@
+#include "boot/scheme_switch.h"
+
+#include "boot/algorithm2.h"
+
+#include <thread>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "math/modarith.h"
+
+namespace heap::boot {
+
+using math::Domain;
+using math::RnsPoly;
+
+SchemeSwitchBootstrapper::SchemeSwitchBootstrapper(
+    const ckks::Context& ctx, rlwe::GadgetParams brGadget)
+    : ctx_(&ctx)
+{
+    brGadget_ = brGadget.digitsPerLimb > 0 ? brGadget
+                                           : ctx.params().gadget;
+    brGadget_.validateFor(*ctx.basis());
+    HEAP_CHECK(ctx.params().auxLimbs >= 1,
+               "scheme-switching bootstrap needs an auxiliary prime p");
+    Rng& rng = ctx.rng();
+    // Blind-rotate keys over the ring secret itself (n_t = N).
+    brk_ = tfhe::makeBlindRotateKey(ctx.secretKey(),
+                                    ctx.secretKey().coeffs(), brGadget_,
+                                    rng, ctx.noiseParams());
+    packKeys_ = tfhe::makePackingKeys(ctx.secretKey(), ctx.params().n,
+                                      ctx.params().gadget, rng,
+                                      ctx.noiseParams());
+}
+
+void
+SchemeSwitchBootstrapper::setWorkers(size_t workers)
+{
+    HEAP_CHECK(workers >= 1 && workers <= 256, "bad worker count");
+    HEAP_CHECK(workers == 1 || schedule_ == Schedule::PerCiphertext,
+               "the key-major schedule is single-worker");
+    workers_ = workers;
+}
+
+void
+SchemeSwitchBootstrapper::setSchedule(Schedule s)
+{
+    HEAP_CHECK(s == Schedule::PerCiphertext || workers_ == 1,
+               "the key-major schedule is single-worker");
+    schedule_ = s;
+}
+
+size_t
+SchemeSwitchBootstrapper::keyBytes() const
+{
+    const auto& basis = *ctx_->basis();
+    const size_t polyBytes = basis.n() * basis.size() * sizeof(uint64_t);
+    // Each RGSW = 2 gadget halves of (limbs * d) RLWE rows of 2 polys.
+    const size_t rowsPerGadget =
+        basis.size() * static_cast<size_t>(brGadget_.digitsPerLimb);
+    const size_t rgswBytes = 2 * rowsPerGadget * 2 * polyBytes;
+    size_t total = (brk_.plus.size() + brk_.minus.size()) * rgswBytes / 2;
+    const size_t kskRows = basis.size()
+        * static_cast<size_t>(ctx_->params().gadget.digitsPerLimb);
+    total += packKeys_.autoKeys.size() * kskRows * 2 * polyBytes;
+    return total;
+}
+
+ckks::Ciphertext
+SchemeSwitchBootstrapper::bootstrap(const ckks::Ciphertext& in) const
+{
+    HEAP_CHECK(in.level() == 1,
+               "bootstrap expects a level-1 (single limb) ciphertext");
+    const auto basis = ctx_->basis();
+    const size_t n = basis->n();
+    const uint64_t twoN = 2 * n;
+    const size_t bootLimbs = basis->size(); // q_0..q_{L-1}, p
+    const size_t outLimbs = bootLimbs - 1;
+
+    Timer timer;
+
+    // --- Steps 1-2: ct' = 2N*ct mod q; ct_ms = (2N*ct - ct') / q ----
+    rlwe::Ciphertext ct = in.ct;
+    ct.toCoeff();
+    const ModSwitched ms = modSwitchSplit(ct, *basis);
+    const auto& aMs = ms.aMs;
+    const auto& bMs = ms.bMs;
+    times_.modSwitchMs = timer.millis();
+    timer.reset();
+
+    // --- Step 3a: Extract + BlindRotate every coefficient -----------
+    // LUT: F(u) = q0 * u, pre-divided by the repacking gain N.
+    const RnsPoly testPoly = makeBootstrapTestPoly(basis);
+
+    std::vector<rlwe::Ciphertext> rotated(n);
+    auto worker = [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+            const auto lwe = lwe::extractLwe(aMs, bMs, i, twoN);
+            rotated[i] = tfhe::blindRotate(lwe, testPoly, brk_);
+        }
+    };
+    if (schedule_ == Schedule::KeyMajor) {
+        // Section IV-E: one key fetch serves every ciphertext.
+        std::vector<lwe::LweCiphertext> lwes;
+        lwes.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+            lwes.push_back(lwe::extractLwe(aMs, bMs, i, twoN));
+        }
+        rotated = tfhe::blindRotateBatch(lwes, testPoly, brk_);
+    } else if (workers_ <= 1) {
+        worker(0, n);
+    } else {
+        // The paper's multi-node fan-out: coefficients are
+        // distributed evenly (Section V); here nodes are threads.
+        std::vector<std::thread> pool;
+        const size_t chunk = (n + workers_ - 1) / workers_;
+        for (size_t w = 0; w < workers_; ++w) {
+            const size_t begin = w * chunk;
+            const size_t end = std::min(n, begin + chunk);
+            if (begin < end) {
+                pool.emplace_back(worker, begin, end);
+            }
+        }
+        for (auto& t : pool) {
+            t.join();
+        }
+    }
+    times_.blindRotateMs = timer.millis();
+    timer.reset();
+
+    // --- Step 3b: repack the N results into one RLWE ciphertext -----
+    rlwe::Ciphertext ctKq = tfhe::packRlwes(rotated, packKeys_);
+    times_.repackMs = timer.millis();
+    timer.reset();
+
+    // --- Steps 4-5: add lift(ct'), scale by round(p/2N), rescale -----
+    ckks::Ciphertext out =
+        finishBootstrap(std::move(ctKq), ms, *basis, in.scale, in.slots);
+    HEAP_ASSERT(out.level() == outLimbs, "limb accounting error");
+    times_.finishMs = timer.millis();
+    return out;
+}
+
+} // namespace heap::boot

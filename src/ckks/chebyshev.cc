@@ -1,0 +1,131 @@
+#include "ckks/chebyshev.h"
+
+#include <cmath>
+#include <map>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace heap::ckks {
+
+std::vector<double>
+chebyshevFit(const std::function<double(double)>& f, int degree)
+{
+    HEAP_CHECK(degree >= 1 && degree <= 2048, "bad Chebyshev degree");
+    const int m = 2 * (degree + 1);
+    std::vector<double> fx(m);
+    for (int j = 0; j < m; ++j) {
+        const double theta =
+            std::numbers::pi * (j + 0.5) / static_cast<double>(m);
+        fx[j] = f(std::cos(theta));
+    }
+    std::vector<double> coeffs(degree + 1);
+    for (int k = 0; k <= degree; ++k) {
+        double s = 0;
+        for (int j = 0; j < m; ++j) {
+            const double theta =
+                std::numbers::pi * (j + 0.5) / static_cast<double>(m);
+            s += fx[j] * std::cos(k * theta);
+        }
+        coeffs[k] = 2.0 * s / static_cast<double>(m);
+    }
+    coeffs[0] /= 2.0;
+    return coeffs;
+}
+
+double
+chebyshevMaxError(const std::function<double(double)>& f,
+                  const std::vector<double>& coeffs)
+{
+    double worst = 0;
+    for (int i = 0; i <= 1000; ++i) {
+        const double x = -1.0 + 2.0 * i / 1000.0;
+        // Clenshaw evaluation.
+        double b1 = 0, b2 = 0;
+        for (size_t k = coeffs.size(); k-- > 1;) {
+            const double b0 = 2 * x * b1 - b2 + coeffs[k];
+            b2 = b1;
+            b1 = b0;
+        }
+        const double val = x * b1 - b2 + coeffs[0];
+        worst = std::max(worst, std::abs(f(x) - val));
+    }
+    return worst;
+}
+
+size_t
+chebyshevDepth(int degree)
+{
+    size_t d = 0;
+    while ((1 << d) < degree) {
+        ++d;
+    }
+    return d + 1;
+}
+
+Ciphertext
+evalChebyshev(const Evaluator& ev, const Ciphertext& x,
+              std::span<const double> coeffs)
+{
+    HEAP_CHECK(coeffs.size() >= 2, "need degree >= 1");
+
+    std::map<size_t, Ciphertext> T;
+    T.emplace(1, x);
+    // T_k via T_{2k} = 2 T_k^2 - 1, T_{2k+1} = 2 T_k T_{k+1} - T_1.
+    std::function<const Ciphertext&(size_t)> getT =
+        [&](size_t k) -> const Ciphertext& {
+        auto it = T.find(k);
+        if (it != T.end()) {
+            return it->second;
+        }
+        Ciphertext r;
+        if (k % 2 == 0) {
+            const Ciphertext h = getT(k / 2);
+            r = ev.multiplyRescale(h, h);
+            r = ev.add(r, r);
+            const auto one =
+                ev.makeConstant(1.0, r.scale, r.slots, r.level());
+            r = ev.subPlain(r, one);
+        } else {
+            const Ciphertext a = getT(k / 2);
+            const Ciphertext b = getT(k / 2 + 1);
+            r = ev.multiplyRescale(a, b);
+            r = ev.add(r, r);
+            Ciphertext t1 = x;
+            ev.dropToLevel(t1, r.level());
+            t1.scale = r.scale; // within the scale-drift tolerance
+            r = ev.sub(r, t1);
+        }
+        return T.emplace(k, std::move(r)).first->second;
+    };
+
+    Ciphertext acc;
+    bool haveAcc = false;
+    for (size_t k = coeffs.size(); k-- > 1;) {
+        if (std::abs(coeffs[k]) < 1e-12) {
+            continue;
+        }
+        Ciphertext term = ev.multiplyScalar(getT(k), coeffs[k]);
+        ev.rescaleInPlace(term);
+        if (!haveAcc) {
+            acc = std::move(term);
+            haveAcc = true;
+        } else {
+            // Align the (slightly drifted) scales before adding.
+            Ciphertext a = std::move(acc);
+            ev.alignLevels(a, term);
+            term.scale = a.scale;
+            acc = ev.add(a, term);
+        }
+    }
+    HEAP_CHECK(haveAcc, "all-zero Chebyshev series");
+    if (std::abs(coeffs[0]) > 1e-12) {
+        const auto c0 =
+            ev.makeConstant(coeffs[0], acc.scale, acc.slots,
+                            acc.level());
+        acc = ev.addPlain(acc, c0);
+    }
+    return acc;
+}
+
+} // namespace heap::ckks

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Homomorphic Chebyshev-series evaluation with logarithmic
+ * multiplicative depth.
+ *
+ * Chebyshev polynomials are built through the product identities
+ * T_{2k} = 2 T_k^2 - 1 and T_{2k+1} = 2 T_k T_{k+1} - T_1, giving
+ * depth ceil(log2(deg)) + 1 instead of deg. This powers the EvalMod
+ * (scaled sine) step of the conventional-bootstrapping baseline and
+ * the sigmoid evaluation in the logistic-regression application.
+ */
+
+#ifndef HEAP_CKKS_CHEBYSHEV_H
+#define HEAP_CKKS_CHEBYSHEV_H
+
+#include <functional>
+#include <vector>
+
+#include "ckks/evaluator.h"
+
+namespace heap::ckks {
+
+/**
+ * Numerically fits f on [-1, 1] with a Chebyshev series of the given
+ * degree (Chebyshev-Gauss quadrature). coeffs[k] multiplies T_k; the
+ * k = 0 term is already halved.
+ */
+std::vector<double> chebyshevFit(const std::function<double(double)>& f,
+                                 int degree);
+
+/** Max |f(x) - series(x)| over a dense grid (fit diagnostics). */
+double chebyshevMaxError(const std::function<double(double)>& f,
+                         const std::vector<double>& coeffs);
+
+/**
+ * Evaluates sum_k coeffs[k] T_k(x) homomorphically; `x` must encrypt
+ * slot values in [-1, 1]. Consumes ceil(log2(deg)) + 1 levels.
+ */
+Ciphertext evalChebyshev(const Evaluator& ev, const Ciphertext& x,
+                         std::span<const double> coeffs);
+
+/** Multiplicative depth evalChebyshev will consume for this degree. */
+size_t chebyshevDepth(int degree);
+
+} // namespace heap::ckks
+
+#endif // HEAP_CKKS_CHEBYSHEV_H

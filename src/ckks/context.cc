@@ -1,0 +1,232 @@
+#include "ckks/context.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "math/primes.h"
+
+namespace heap::ckks {
+
+CkksParams
+CkksParams::paperSet()
+{
+    CkksParams p;
+    p.n = 1 << 13;
+    p.limbBits = 36;
+    p.levels = 6;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 18, .digitsPerLimb = 2};
+    return p;
+}
+
+namespace {
+
+std::vector<uint64_t>
+buildModuli(const CkksParams& p)
+{
+    HEAP_CHECK(p.levels >= 1, "need at least one level");
+    HEAP_CHECK(p.limbBits >= 20 && p.limbBits <= 54,
+               "limbBits must be in [20, 54]");
+    // First limb gets extra headroom bits so the final-level message
+    // still fits; auxiliary primes match the first limb's width.
+    const int firstBits = p.firstLimbBits > 0
+                              ? p.firstLimbBits
+                              : std::min(p.limbBits + 6, 60);
+    HEAP_CHECK(firstBits > p.limbBits && firstBits <= 60,
+               "firstLimbBits must be in (limbBits, 60]");
+    const size_t bigCount = 1 + p.auxLimbs;
+    const auto big = math::generateNttPrimes(firstBits, p.n, bigCount);
+    std::vector<uint64_t> moduli;
+    moduli.push_back(big[0]);
+    if (p.levels > 1) {
+        const auto mids =
+            math::generateNttPrimes(p.limbBits, p.n, p.levels - 1);
+        moduli.insert(moduli.end(), mids.begin(), mids.end());
+    }
+    for (size_t i = 0; i < p.auxLimbs; ++i) {
+        moduli.push_back(big[1 + i]);
+    }
+    return moduli;
+}
+
+rlwe::SecretKey
+makeSecret(const CkksParams& p,
+           const std::shared_ptr<const math::RnsBasis>& basis, Rng& rng)
+{
+    if (p.secretHamming) {
+        return rlwe::SecretKey::sampleTernaryHamming(
+            basis, *p.secretHamming, rng);
+    }
+    return rlwe::SecretKey::sampleTernary(basis, rng);
+}
+
+} // namespace
+
+Context::Context(const CkksParams& params, uint64_t seed)
+    : params_(params),
+      basis_(std::make_shared<math::RnsBasis>(params.n,
+                                              buildModuli(params))),
+      encoder_(params.n),
+      rng_(seed),
+      sk_(makeSecret(params, basis_, rng_)),
+      pk_{rlwe::encryptZero(sk_, basis_->size(), rng_, noiseParams())}
+{
+    params_.gadget.validateFor(*basis_);
+    HEAP_CHECK(params_.scale > 1.0, "scale must exceed 1");
+    // Relinearization key: gadget encryption of s^2.
+    math::RnsPoly s2 = sk_.evalSquared();
+    s2.toCoeff();
+    relinKey_ =
+        rlwe::gadgetEncrypt(sk_, s2, params_.gadget, rng_, noiseParams());
+    conjKey_ = rlwe::makeAutomorphismKey(
+        sk_, encoder_.conjugationExponent(), params_.gadget, rng_,
+        noiseParams());
+    if (useHybridKeySwitch()) {
+        hybridRelin_ = rlwe::makeHybridKeySwitchKey(sk_, s2, rng_,
+                                                    noiseParams());
+        hybridConj_ = rlwe::makeHybridAutomorphismKey(
+            sk_, encoder_.conjugationExponent(), rng_, noiseParams());
+    }
+}
+
+const rlwe::HybridKeySwitchKey&
+Context::hybridRelinKey() const
+{
+    HEAP_CHECK(useHybridKeySwitch(), "hybrid switching disabled");
+    return hybridRelin_;
+}
+
+const rlwe::HybridKeySwitchKey&
+Context::hybridConjugationKey() const
+{
+    HEAP_CHECK(useHybridKeySwitch(), "hybrid switching disabled");
+    return hybridConj_;
+}
+
+const rlwe::HybridKeySwitchKey&
+Context::hybridRotationKey(int64_t steps) const
+{
+    const auto it = hybridRotKeys_.find(normalizeStep(steps));
+    HEAP_CHECK(it != hybridRotKeys_.end(),
+               "hybrid rotation key for step " << steps
+                                               << " was not generated");
+    return it->second;
+}
+
+int64_t
+Context::normalizeStep(int64_t steps) const
+{
+    const auto half = static_cast<int64_t>(params_.n / 2);
+    int64_t r = steps % half;
+    if (r < 0) {
+        r += half;
+    }
+    return r;
+}
+
+void
+Context::makeRotationKeys(std::span<const int64_t> steps)
+{
+    for (const int64_t raw : steps) {
+        const int64_t s = normalizeStep(raw);
+        if (s == 0 || rotKeys_.contains(s)) {
+            continue;
+        }
+        const uint64_t t = encoder_.rotationExponent(s);
+        rotKeys_.emplace(s, rlwe::makeAutomorphismKey(
+                                sk_, t, params_.gadget, rng_,
+                                noiseParams()));
+        if (useHybridKeySwitch()) {
+            hybridRotKeys_.emplace(
+                s, rlwe::makeHybridAutomorphismKey(sk_, t, rng_,
+                                                   noiseParams()));
+        }
+    }
+}
+
+const rlwe::GadgetCiphertext&
+Context::rotationKey(int64_t steps) const
+{
+    const auto it = rotKeys_.find(normalizeStep(steps));
+    HEAP_CHECK(it != rotKeys_.end(),
+               "rotation key for step " << steps
+                                        << " was not generated");
+    return it->second;
+}
+
+bool
+Context::hasRotationKey(int64_t steps) const
+{
+    return rotKeys_.contains(normalizeStep(steps));
+}
+
+Ciphertext
+Context::encryptCoeffs(std::span<const int64_t> coeffs, double scale,
+                       size_t slots, size_t level) const
+{
+    HEAP_CHECK(level >= 1 && level <= maxLevel(),
+               "level out of range: " << level);
+    auto msg = math::rnsFromSigned(basis_, level,
+                                   std::vector<int64_t>(coeffs.begin(),
+                                                        coeffs.end()));
+    msg.toEval();
+
+    // Public-key encryption: ct = v * pk + (e0, e1) + (0, m).
+    const auto v = math::sampleTernary(params_.n, rng_);
+    auto vPoly = math::rnsFromSigned(basis_, level, v);
+    vPoly.toEval();
+
+    Ciphertext out;
+    out.scale = scale;
+    out.slots = slots;
+    out.ct.a = pk_.key.a.restrictedTo(level);
+    out.ct.a.mulPointwiseInPlace(vPoly);
+    out.ct.b = pk_.key.b.restrictedTo(level);
+    out.ct.b.mulPointwiseInPlace(vPoly);
+
+    const auto noise = noiseParams();
+    auto e0 = math::rnsFromSigned(
+        basis_, level,
+        math::sampleGaussian(params_.n, noise.errorStdDev, rng_));
+    e0.toEval();
+    auto e1 = math::rnsFromSigned(
+        basis_, level,
+        math::sampleGaussian(params_.n, noise.errorStdDev, rng_));
+    e1.toEval();
+    out.ct.a.addInPlace(e0);
+    out.ct.b.addInPlace(e1);
+    out.ct.b.addInPlace(msg);
+    return out;
+}
+
+Ciphertext
+Context::encrypt(std::span<const Complex> values) const
+{
+    const auto coeffs = encoder_.encode(values, params_.scale);
+    return encryptCoeffs(coeffs, params_.scale, values.size(),
+                         maxLevel());
+}
+
+Ciphertext
+Context::encrypt(std::span<const double> values) const
+{
+    const auto coeffs = encoder_.encodeReal(values, params_.scale);
+    return encryptCoeffs(coeffs, params_.scale, values.size(),
+                         maxLevel());
+}
+
+std::vector<Complex>
+Context::decrypt(const Ciphertext& ct) const
+{
+    const auto coeffs = rlwe::decryptCentered(ct.ct, sk_);
+    return encoder_.decode(coeffs, ct.scale, ct.slots);
+}
+
+std::vector<long double>
+Context::decryptCoeffs(const Ciphertext& ct) const
+{
+    return rlwe::decryptCentered(ct.ct, sk_);
+}
+
+} // namespace heap::ckks

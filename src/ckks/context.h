@@ -1,0 +1,143 @@
+/**
+ * @file
+ * CKKS parameter set, key material, and context.
+ *
+ * The context owns the RNS basis (L message limbs q_0..q_{L-1} plus
+ * auxLimbs auxiliary primes p used only inside bootstrapping, Section
+ * III-C), the encoder, and every key: secret, public, relinearization,
+ * rotation/conjugation (hybrid gadget key switching).
+ */
+
+#ifndef HEAP_CKKS_CONTEXT_H
+#define HEAP_CKKS_CONTEXT_H
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "ckks/encoder.h"
+#include "rlwe/gadget.h"
+#include "rlwe/hybrid.h"
+#include "rlwe/rlwe.h"
+
+namespace heap::ckks {
+
+/** User-facing CKKS parameters. */
+struct CkksParams {
+    size_t n = 1 << 10;        ///< ring dimension N
+    int limbBits = 30;         ///< log2 q_i of each RNS limb
+    size_t levels = 3;         ///< L: message limbs (levels)
+    int firstLimbBits = 0;     ///< log2 q_0 (0 = limbBits + 6)
+    size_t auxLimbs = 1;       ///< auxiliary primes p (bootstrapping)
+    double scale = 1 << 20;    ///< default encoding scale Delta
+    rlwe::GadgetParams gadget{.baseBits = 10, .digitsPerLimb = 3};
+    double errorStdDev = 3.2;
+    /** Optional fixed Hamming weight for the ternary secret; the
+     *  default (nullopt) samples uniform ternary, matching the
+     *  paper's no-sparse-keys stance. */
+    std::optional<size_t> secretHamming;
+
+    /** The paper's HEAP parameter set (Section III-C): N = 2^13,
+     *  log q = 36, L = 6, one auxiliary prime, d = 2 (18-bit digits). */
+    static CkksParams paperSet();
+};
+
+/** CKKS ciphertext: RLWE pair plus scale/slot metadata. */
+struct Ciphertext {
+    rlwe::Ciphertext ct;
+    double scale = 0;
+    size_t slots = 0;
+
+    size_t level() const { return ct.limbCount(); }
+};
+
+/** Public encryption key (an encryption of zero at the full basis). */
+struct PublicKey {
+    rlwe::Ciphertext key;
+};
+
+/**
+ * Owns parameters, basis, encoder and keys; issues encryption and
+ * exposes key material to the evaluator and bootstrappers.
+ */
+class Context {
+  public:
+    explicit Context(const CkksParams& params, uint64_t seed = 1);
+
+    const CkksParams& params() const { return params_; }
+    std::shared_ptr<const math::RnsBasis> basis() const { return basis_; }
+    const Encoder& encoder() const { return encoder_; }
+    Rng& rng() const { return rng_; }
+
+    /** Message limbs (excludes auxiliary bootstrap primes). */
+    size_t maxLevel() const { return params_.levels; }
+
+    const rlwe::SecretKey& secretKey() const { return sk_; }
+    const PublicKey& publicKey() const { return pk_; }
+    const rlwe::GadgetCiphertext& relinKey() const { return relinKey_; }
+
+    /** True when an auxiliary prime is available and evaluator ops
+     *  use the (quieter, faster) hybrid key switching. Bootstrapping
+     *  key material stays on the gadget path, which also works at the
+     *  full QP basis. */
+    bool useHybridKeySwitch() const { return params_.auxLimbs >= 1; }
+    const rlwe::HybridKeySwitchKey& hybridRelinKey() const;
+    const rlwe::HybridKeySwitchKey& hybridConjugationKey() const;
+    const rlwe::HybridKeySwitchKey& hybridRotationKey(
+        int64_t steps) const;
+
+    /** Generates rotation keys for the given slot steps. */
+    void makeRotationKeys(std::span<const int64_t> steps);
+
+    /** Key for a left rotation by `steps` (throws if not generated). */
+    const rlwe::GadgetCiphertext& rotationKey(int64_t steps) const;
+    bool hasRotationKey(int64_t steps) const;
+
+    /** Reduces a step to its canonical value in [0, N/2). */
+    int64_t normalizeStep(int64_t steps) const;
+
+    /** Key for slot conjugation (generated on construction). */
+    const rlwe::GadgetCiphertext& conjugationKey() const
+    {
+        return conjKey_;
+    }
+
+    /** Encrypts encoded coefficients at the given level and scale. */
+    Ciphertext encryptCoeffs(std::span<const int64_t> coeffs, double scale,
+                             size_t slots, size_t level) const;
+
+    /** Encrypts a complex slot vector at the top level. */
+    Ciphertext encrypt(std::span<const Complex> values) const;
+
+    /** Encrypts a real slot vector at the top level. */
+    Ciphertext encrypt(std::span<const double> values) const;
+
+    /** Decrypts to complex slot values. */
+    std::vector<Complex> decrypt(const Ciphertext& ct) const;
+
+    /** Decrypts to raw centered coefficients (no decoding). */
+    std::vector<long double> decryptCoeffs(const Ciphertext& ct) const;
+
+    rlwe::NoiseParams noiseParams() const
+    {
+        return rlwe::NoiseParams{params_.errorStdDev};
+    }
+
+  private:
+    CkksParams params_;
+    std::shared_ptr<const math::RnsBasis> basis_;
+    Encoder encoder_;
+    mutable Rng rng_;
+    rlwe::SecretKey sk_;
+    PublicKey pk_;
+    rlwe::GadgetCiphertext relinKey_;
+    rlwe::GadgetCiphertext conjKey_;
+    std::map<int64_t, rlwe::GadgetCiphertext> rotKeys_;
+    rlwe::HybridKeySwitchKey hybridRelin_;
+    rlwe::HybridKeySwitchKey hybridConj_;
+    std::map<int64_t, rlwe::HybridKeySwitchKey> hybridRotKeys_;
+};
+
+} // namespace heap::ckks
+
+#endif // HEAP_CKKS_CONTEXT_H

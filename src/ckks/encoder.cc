@@ -1,0 +1,195 @@
+#include "ckks/encoder.h"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace heap::ckks {
+
+namespace {
+
+void
+bitReverse(std::vector<Complex>& vals)
+{
+    const size_t n = vals.size();
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j ^= bit;
+        if (i < j) {
+            std::swap(vals[i], vals[j]);
+        }
+    }
+}
+
+} // namespace
+
+Encoder::Encoder(size_t n)
+    : n_(n)
+{
+    HEAP_CHECK(n >= 4 && std::has_single_bit(n),
+               "ring dimension must be a power of two >= 4");
+    const size_t m = 2 * n;
+    ksiPows_.resize(m + 1);
+    for (size_t j = 0; j <= m; ++j) {
+        const double theta = 2.0 * std::numbers::pi
+                             * static_cast<double>(j)
+                             / static_cast<double>(m);
+        ksiPows_[j] = Complex(std::cos(theta), std::sin(theta));
+    }
+    rotGroup_.resize(n / 2);
+    uint64_t five = 1;
+    for (size_t i = 0; i < n / 2; ++i) {
+        rotGroup_[i] = five;
+        five = five * 5 % m;
+    }
+}
+
+void
+Encoder::fftSpecial(std::vector<Complex>& vals) const
+{
+    const size_t size = vals.size();
+    const size_t m = 2 * n_;
+    bitReverse(vals);
+    for (size_t len = 2; len <= size; len <<= 1) {
+        const size_t lenh = len >> 1;
+        const size_t lenq = len << 2;
+        const size_t gap = m / lenq;
+        for (size_t i = 0; i < size; i += len) {
+            for (size_t j = 0; j < lenh; ++j) {
+                const size_t idx = (rotGroup_[j] % lenq) * gap;
+                const Complex u = vals[i + j];
+                const Complex v = vals[i + j + lenh] * ksiPows_[idx];
+                vals[i + j] = u + v;
+                vals[i + j + lenh] = u - v;
+            }
+        }
+    }
+}
+
+void
+Encoder::fftSpecialInv(std::vector<Complex>& vals) const
+{
+    const size_t size = vals.size();
+    const size_t m = 2 * n_;
+    for (size_t len = size; len >= 2; len >>= 1) {
+        const size_t lenh = len >> 1;
+        const size_t lenq = len << 2;
+        const size_t gap = m / lenq;
+        for (size_t i = 0; i < size; i += len) {
+            for (size_t j = 0; j < lenh; ++j) {
+                const size_t idx = (lenq - (rotGroup_[j] % lenq)) * gap;
+                const Complex u = vals[i + j] + vals[i + j + lenh];
+                const Complex v =
+                    (vals[i + j] - vals[i + j + lenh]) * ksiPows_[idx];
+                vals[i + j] = u;
+                vals[i + j + lenh] = v;
+            }
+        }
+    }
+    bitReverse(vals);
+    for (auto& v : vals) {
+        v /= static_cast<double>(size);
+    }
+}
+
+std::vector<int64_t>
+Encoder::encode(std::span<const Complex> values, double scale) const
+{
+    const size_t slots = values.size();
+    HEAP_CHECK(slots >= 1 && slots <= maxSlots()
+                   && std::has_single_bit(slots),
+               "slot count must be a power of two <= N/2, got " << slots);
+    HEAP_CHECK(scale > 0, "scale must be positive");
+    std::vector<Complex> vals(values.begin(), values.end());
+    fftSpecialInv(vals);
+    // Interleave with gap for sparse packing: slot i contributes to
+    // coefficients gap*i (real) and gap*i + N/2 (imaginary).
+    const size_t gap = maxSlots() / slots;
+    std::vector<int64_t> coeffs(n_, 0);
+    for (size_t i = 0; i < slots; ++i) {
+        coeffs[gap * i] =
+            static_cast<int64_t>(std::llround(vals[i].real() * scale));
+        coeffs[gap * i + n_ / 2] =
+            static_cast<int64_t>(std::llround(vals[i].imag() * scale));
+    }
+    return coeffs;
+}
+
+std::vector<int64_t>
+Encoder::encodeReal(std::span<const double> values, double scale) const
+{
+    std::vector<Complex> z(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+        z[i] = Complex(values[i], 0.0);
+    }
+    return encode(z, scale);
+}
+
+std::vector<double>
+Encoder::encodeRaw(std::span<const Complex> values) const
+{
+    HEAP_CHECK(values.size() == maxSlots(),
+               "encodeRaw requires full packing");
+    std::vector<Complex> vals(values.begin(), values.end());
+    fftSpecialInv(vals);
+    std::vector<double> coeffs(n_);
+    for (size_t i = 0; i < maxSlots(); ++i) {
+        coeffs[i] = vals[i].real();
+        coeffs[i + n_ / 2] = vals[i].imag();
+    }
+    return coeffs;
+}
+
+std::vector<Complex>
+Encoder::decode(std::span<const long double> coeffs, double scale,
+                size_t slots) const
+{
+    HEAP_CHECK(coeffs.size() == n_, "coefficient count mismatch");
+    HEAP_CHECK(slots >= 1 && slots <= maxSlots()
+                   && std::has_single_bit(slots),
+               "bad slot count " << slots);
+    const size_t gap = maxSlots() / slots;
+    std::vector<Complex> vals(slots);
+    for (size_t i = 0; i < slots; ++i) {
+        vals[i] = Complex(
+            static_cast<double>(coeffs[gap * i]) / scale,
+            static_cast<double>(coeffs[gap * i + n_ / 2]) / scale);
+    }
+    fftSpecial(vals);
+    return vals;
+}
+
+std::vector<Complex>
+Encoder::decode(std::span<const int64_t> coeffs, double scale,
+                size_t slots) const
+{
+    std::vector<long double> c(coeffs.size());
+    for (size_t i = 0; i < coeffs.size(); ++i) {
+        c[i] = static_cast<long double>(coeffs[i]);
+    }
+    return decode(c, scale, slots);
+}
+
+uint64_t
+Encoder::rotationExponent(int64_t steps) const
+{
+    const uint64_t m = 2 * n_;
+    const size_t half = n_ / 2;
+    // Rotations are modulo the slot count; 5 has order N/2 mod 2N.
+    int64_t r = steps % static_cast<int64_t>(half);
+    if (r < 0) {
+        r += static_cast<int64_t>(half);
+    }
+    uint64_t e = 1;
+    for (int64_t i = 0; i < r; ++i) {
+        e = e * 5 % m;
+    }
+    return e;
+}
+
+} // namespace heap::ckks

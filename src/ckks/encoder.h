@@ -1,0 +1,82 @@
+/**
+ * @file
+ * CKKS encoder: canonical embedding between complex slot vectors and
+ * negacyclic polynomial coefficients (Section II-A).
+ *
+ * A plaintext is a vector of up to N/2 complex slots; encode() maps it
+ * through the special inverse FFT (evaluation points zeta^{5^i}, the
+ * power-of-five orbit also used by the automorph unit) and scales by
+ * Delta. Slot rotation corresponds to the Galois automorphism
+ * X -> X^{5^r}; conjugation to X -> X^{-1}.
+ */
+
+#ifndef HEAP_CKKS_ENCODER_H
+#define HEAP_CKKS_ENCODER_H
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace heap::ckks {
+
+using Complex = std::complex<double>;
+
+/**
+ * Encoder/decoder for ring dimension N (slots = N/2), supporting
+ * sparse packing with any power-of-two slot count <= N/2.
+ */
+class Encoder {
+  public:
+    explicit Encoder(size_t n);
+
+    size_t n() const { return n_; }
+    size_t maxSlots() const { return n_ / 2; }
+
+    /**
+     * Encodes `values` (power-of-two length <= N/2) into integer
+     * coefficients scaled by `scale`.
+     */
+    std::vector<int64_t> encode(std::span<const Complex> values,
+                                double scale) const;
+
+    /** Real-vector convenience. */
+    std::vector<int64_t> encodeReal(std::span<const double> values,
+                                    double scale) const;
+
+    /**
+     * Unrounded, unscaled embedding of a full slot vector into real
+     * coefficients (used to probe the embedding when building
+     * homomorphic DFT matrices). @pre values.size() == N/2.
+     */
+    std::vector<double> encodeRaw(std::span<const Complex> values) const;
+
+    /** Decodes centered coefficients into `slots` complex values. */
+    std::vector<Complex> decode(std::span<const long double> coeffs,
+                                double scale, size_t slots) const;
+
+    /** Decodes from exact signed coefficients. */
+    std::vector<Complex> decode(std::span<const int64_t> coeffs,
+                                double scale, size_t slots) const;
+
+    /** Galois exponent 5^steps mod 2N implementing a left slot
+     *  rotation by `steps` (negative steps rotate right). */
+    uint64_t rotationExponent(int64_t steps) const;
+
+    /** Galois exponent 2N-1 implementing slot conjugation. */
+    uint64_t conjugationExponent() const { return 2 * n_ - 1; }
+
+  private:
+    /** Slot -> coefficient-embedding direction (decode). */
+    void fftSpecial(std::vector<Complex>& vals) const;
+    /** Coefficient-embedding -> slot direction (encode). */
+    void fftSpecialInv(std::vector<Complex>& vals) const;
+
+    size_t n_;
+    std::vector<Complex> ksiPows_;    // exp(2 pi i j / 2N)
+    std::vector<uint64_t> rotGroup_;  // 5^i mod 2N
+};
+
+} // namespace heap::ckks
+
+#endif // HEAP_CKKS_ENCODER_H

@@ -1,0 +1,294 @@
+#include "ckks/evaluator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace heap::ckks {
+
+Plaintext
+Evaluator::makePlaintext(std::span<const Complex> values, double scale,
+                         size_t level) const
+{
+    const auto coeffs = ctx_->encoder().encode(values, scale);
+    auto poly = math::rnsFromSigned(ctx_->basis(), level, coeffs);
+    poly.toEval();
+    return Plaintext{std::move(poly), scale, values.size()};
+}
+
+Plaintext
+Evaluator::makePlaintext(std::span<const double> values, double scale,
+                         size_t level) const
+{
+    std::vector<Complex> z(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+        z[i] = Complex(values[i], 0);
+    }
+    return makePlaintext(z, scale, level);
+}
+
+Plaintext
+Evaluator::makeConstant(double value, double scale, size_t slots,
+                        size_t level) const
+{
+    // A slot-constant decodes from a constant polynomial: encode
+    // directly as round(value * scale) in the constant coefficient.
+    std::vector<int64_t> coeffs(ctx_->params().n, 0);
+    coeffs[0] = static_cast<int64_t>(std::llround(value * scale));
+    auto poly = math::rnsFromSigned(ctx_->basis(), level, coeffs);
+    poly.toEval();
+    return Plaintext{std::move(poly), scale, slots};
+}
+
+void
+Evaluator::checkScalesMatch(double s1, double s2) const
+{
+    // Prime-chain drift leaves scales within ~0.1% of each other
+    // after equal-depth paths; larger gaps indicate a user error.
+    HEAP_CHECK(std::abs(s1 - s2) <= 1e-3 * std::max(s1, s2),
+               "scale mismatch: " << s1 << " vs " << s2
+                                  << " (rescale or adjust first)");
+}
+
+Ciphertext
+Evaluator::add(const Ciphertext& a, const Ciphertext& b) const
+{
+    checkScalesMatch(a.scale, b.scale);
+    Ciphertext x = a, y = b;
+    alignLevels(x, y);
+    x.ct.toEval();
+    y.ct.toEval();
+    x.ct.addInPlace(y.ct);
+    return x;
+}
+
+Ciphertext
+Evaluator::sub(const Ciphertext& a, const Ciphertext& b) const
+{
+    checkScalesMatch(a.scale, b.scale);
+    Ciphertext x = a, y = b;
+    alignLevels(x, y);
+    x.ct.toEval();
+    y.ct.toEval();
+    x.ct.subInPlace(y.ct);
+    return x;
+}
+
+Ciphertext
+Evaluator::negate(const Ciphertext& a) const
+{
+    Ciphertext x = a;
+    x.ct.negInPlace();
+    return x;
+}
+
+Ciphertext
+Evaluator::addPlain(const Ciphertext& a, const Plaintext& p) const
+{
+    checkScalesMatch(a.scale, p.scale);
+    HEAP_CHECK(p.poly.limbCount() >= a.level(),
+               "plaintext level too low");
+    Ciphertext x = a;
+    x.ct.toEval();
+    x.ct.b.addInPlace(p.poly.restrictedTo(a.level()));
+    return x;
+}
+
+Ciphertext
+Evaluator::subPlain(const Ciphertext& a, const Plaintext& p) const
+{
+    checkScalesMatch(a.scale, p.scale);
+    HEAP_CHECK(p.poly.limbCount() >= a.level(),
+               "plaintext level too low");
+    Ciphertext x = a;
+    x.ct.toEval();
+    x.ct.b.subInPlace(p.poly.restrictedTo(a.level()));
+    return x;
+}
+
+Ciphertext
+Evaluator::multiply(const Ciphertext& a, const Ciphertext& b) const
+{
+    Ciphertext x = a, y = b;
+    alignLevels(x, y);
+    x.ct.toEval();
+    y.ct.toEval();
+
+    // Tensor: d0 = b1*b2, d1 = a1*b2 + a2*b1, d2 = a1*a2.
+    math::RnsPoly d0 = x.ct.b;
+    d0.mulPointwiseInPlace(y.ct.b);
+    math::RnsPoly d1 = x.ct.a;
+    d1.mulPointwiseInPlace(y.ct.b);
+    math::RnsPoly d1b = y.ct.a;
+    d1b.mulPointwiseInPlace(x.ct.b);
+    d1.addInPlace(d1b);
+    math::RnsPoly d2 = x.ct.a;
+    d2.mulPointwiseInPlace(y.ct.a);
+
+    // Relinearize d2 (an s^2 component) down to (a, b); the hybrid
+    // path is both quieter and cheaper when a special prime exists.
+    d2.toCoeff();
+    rlwe::Ciphertext relin =
+        ctx_->useHybridKeySwitch()
+            ? rlwe::applyHybrid(d2, ctx_->hybridRelinKey())
+            : rlwe::gadgetApply(d2, ctx_->relinKey());
+
+    Ciphertext out;
+    out.scale = x.scale * y.scale;
+    out.slots = std::max(x.slots, y.slots);
+    out.ct.a = std::move(d1);
+    out.ct.a.addInPlace(relin.a);
+    out.ct.b = std::move(d0);
+    out.ct.b.addInPlace(relin.b);
+    return out;
+}
+
+Ciphertext
+Evaluator::square(const Ciphertext& a) const
+{
+    return multiply(a, a);
+}
+
+Ciphertext
+Evaluator::multiplyPlain(const Ciphertext& a, const Plaintext& p) const
+{
+    HEAP_CHECK(p.poly.limbCount() >= a.level(),
+               "plaintext level too low");
+    Ciphertext x = a;
+    x.ct.toEval();
+    const auto pt = p.poly.restrictedTo(a.level());
+    x.ct.a.mulPointwiseInPlace(pt);
+    x.ct.b.mulPointwiseInPlace(pt);
+    x.scale = a.scale * p.scale;
+    return x;
+}
+
+Ciphertext
+Evaluator::multiplyScalar(const Ciphertext& a, double value) const
+{
+    const auto p = makeConstant(value, ctx_->params().scale, a.slots,
+                                a.level());
+    return multiplyPlain(a, p);
+}
+
+Ciphertext
+Evaluator::addScalar(const Ciphertext& a, double value) const
+{
+    const auto pt = makeConstant(value, a.scale, a.slots, a.level());
+    return addPlain(a, pt);
+}
+
+Ciphertext
+Evaluator::power(const Ciphertext& a, size_t k) const
+{
+    HEAP_CHECK(k >= 1, "power expects k >= 1");
+    // Square-and-multiply over the bits of k, most significant first.
+    int top = 63;
+    while (((k >> top) & 1) == 0) {
+        --top;
+    }
+    Ciphertext acc = a;
+    for (int bit = top - 1; bit >= 0; --bit) {
+        acc = multiplyRescale(acc, acc);
+        if ((k >> bit) & 1) {
+            Ciphertext base = a;
+            alignLevels(acc, base);
+            base.scale = acc.scale; // drift tolerance
+            acc = multiplyRescale(acc, base);
+        }
+    }
+    return acc;
+}
+
+Ciphertext
+Evaluator::innerSum(const Ciphertext& a, size_t count) const
+{
+    HEAP_CHECK(count >= 1 && (count & (count - 1)) == 0
+                   && count <= a.slots,
+               "innerSum count must be a power of two <= slots");
+    Ciphertext acc = a;
+    for (size_t s = 1; s < count; s <<= 1) {
+        acc = add(acc, rotate(acc, static_cast<int64_t>(s)));
+    }
+    return acc;
+}
+
+void
+Evaluator::rescaleInPlace(Ciphertext& a) const
+{
+    HEAP_CHECK(a.level() >= 2, "cannot rescale at level 1");
+    const uint64_t q = ctx_->basis()->modulus(a.level() - 1);
+    a.ct.rescaleLastLimb();
+    a.scale /= static_cast<double>(q);
+}
+
+Ciphertext
+Evaluator::rescale(const Ciphertext& a) const
+{
+    Ciphertext x = a;
+    rescaleInPlace(x);
+    return x;
+}
+
+Ciphertext
+Evaluator::multiplyRescale(const Ciphertext& a, const Ciphertext& b) const
+{
+    Ciphertext x = multiply(a, b);
+    rescaleInPlace(x);
+    return x;
+}
+
+Ciphertext
+Evaluator::rotate(const Ciphertext& a, int64_t steps) const
+{
+    const size_t half = ctx_->params().n / 2;
+    int64_t r = steps % static_cast<int64_t>(half);
+    if (r < 0) {
+        r += static_cast<int64_t>(half);
+    }
+    if (r == 0) {
+        return a;
+    }
+    const uint64_t t = ctx_->encoder().rotationExponent(r);
+    Ciphertext out = a;
+    out.ct = ctx_->useHybridKeySwitch()
+                 ? rlwe::evalAutoHybrid(a.ct, t,
+                                        ctx_->hybridRotationKey(r))
+                 : rlwe::evalAuto(a.ct, t, ctx_->rotationKey(r));
+    return out;
+}
+
+Ciphertext
+Evaluator::conjugate(const Ciphertext& a) const
+{
+    Ciphertext out = a;
+    out.ct =
+        ctx_->useHybridKeySwitch()
+            ? rlwe::evalAutoHybrid(a.ct,
+                                   ctx_->encoder().conjugationExponent(),
+                                   ctx_->hybridConjugationKey())
+            : rlwe::evalAuto(a.ct,
+                             ctx_->encoder().conjugationExponent(),
+                             ctx_->conjugationKey());
+    return out;
+}
+
+void
+Evaluator::dropToLevel(Ciphertext& a, size_t level) const
+{
+    HEAP_CHECK(level >= 1 && level <= a.level(),
+               "bad target level " << level);
+    if (level < a.level()) {
+        a.ct.dropLimbs(a.level() - level);
+    }
+}
+
+void
+Evaluator::alignLevels(Ciphertext& a, Ciphertext& b) const
+{
+    const size_t level = std::min(a.level(), b.level());
+    dropToLevel(a, level);
+    dropToLevel(b, level);
+}
+
+} // namespace heap::ckks

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * CKKS homomorphic evaluator: PtAdd, Add, PtMult, Mult (with
+ * relinearization), Rescale, Rotate, and Conjugate (the primitive set
+ * of Section II-A), plus level/scale management helpers.
+ */
+
+#ifndef HEAP_CKKS_EVALUATOR_H
+#define HEAP_CKKS_EVALUATOR_H
+
+#include "ckks/context.h"
+
+namespace heap::ckks {
+
+/** Encoded plaintext at a specific level/scale (Eval domain). */
+struct Plaintext {
+    math::RnsPoly poly;
+    double scale = 0;
+    size_t slots = 0;
+};
+
+/**
+ * Stateless-per-operation evaluator bound to a Context.
+ */
+class Evaluator {
+  public:
+    explicit Evaluator(const Context& ctx)
+        : ctx_(&ctx)
+    {
+    }
+
+    // --- encoding -------------------------------------------------
+    /** Encodes complex values at the given level and scale. */
+    Plaintext makePlaintext(std::span<const Complex> values, double scale,
+                            size_t level) const;
+    Plaintext makePlaintext(std::span<const double> values, double scale,
+                            size_t level) const;
+    /** Constant-across-slots plaintext. */
+    Plaintext makeConstant(double value, double scale, size_t slots,
+                           size_t level) const;
+
+    // --- additive ops ----------------------------------------------
+    Ciphertext add(const Ciphertext& a, const Ciphertext& b) const;
+    Ciphertext sub(const Ciphertext& a, const Ciphertext& b) const;
+    Ciphertext negate(const Ciphertext& a) const;
+    Ciphertext addPlain(const Ciphertext& a, const Plaintext& p) const;
+    Ciphertext subPlain(const Ciphertext& a, const Plaintext& p) const;
+
+    // --- multiplicative ops ----------------------------------------
+    /** Mult with relinearization. Scales multiply; no auto-rescale. */
+    Ciphertext multiply(const Ciphertext& a, const Ciphertext& b) const;
+    Ciphertext square(const Ciphertext& a) const;
+    Ciphertext multiplyPlain(const Ciphertext& a,
+                             const Plaintext& p) const;
+    /** Multiplies by a scalar encoded at the context scale. */
+    Ciphertext multiplyScalar(const Ciphertext& a, double value) const;
+
+    /** Adds a scalar to every slot (free: constant-coefficient add). */
+    Ciphertext addScalar(const Ciphertext& a, double value) const;
+
+    /** a^k by square-and-multiply (depth ceil(log2 k)); k >= 1. */
+    Ciphertext power(const Ciphertext& a, size_t k) const;
+
+    /**
+     * Cyclic rotate-and-fold: every slot becomes the sum of `count`
+     * consecutive slots (count a power of two; needs rotation keys
+     * for the power-of-two steps below count).
+     */
+    Ciphertext innerSum(const Ciphertext& a, size_t count) const;
+
+    /** Divides by the last limb; scale /= q_last (CKKS Rescale). */
+    void rescaleInPlace(Ciphertext& a) const;
+    Ciphertext rescale(const Ciphertext& a) const;
+
+    /** Multiply + rescale convenience. */
+    Ciphertext multiplyRescale(const Ciphertext& a,
+                               const Ciphertext& b) const;
+
+    // --- permutations ----------------------------------------------
+    /** Left-rotates slots by `steps` (requires the rotation key). */
+    Ciphertext rotate(const Ciphertext& a, int64_t steps) const;
+    /** Conjugates every slot. */
+    Ciphertext conjugate(const Ciphertext& a) const;
+
+    // --- level/scale management -------------------------------------
+    /** Drops limbs (ModReduce) to the target level; scale unchanged. */
+    void dropToLevel(Ciphertext& a, size_t level) const;
+    /** Aligns levels of both operands to the minimum of the two. */
+    void alignLevels(Ciphertext& a, Ciphertext& b) const;
+
+  private:
+    void checkScalesMatch(double s1, double s2) const;
+
+    const Context* ctx_;
+};
+
+} // namespace heap::ckks
+
+#endif // HEAP_CKKS_EVALUATOR_H

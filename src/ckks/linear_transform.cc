@@ -1,0 +1,184 @@
+#include "ckks/linear_transform.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace heap::ckks {
+
+namespace {
+
+bool
+nonZero(const std::vector<Complex>& v)
+{
+    for (const auto& c : v) {
+        if (std::abs(c) > 1e-12) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+LinearTransform::LinearTransform(const Context& ctx, SlotMatrix matrix,
+                                 bool useBsgs)
+    : ctx_(&ctx), matrix_(std::move(matrix)),
+      slots_(matrix_.size()), useBsgs_(useBsgs)
+{
+    // Slot rotations act on the full slot vector, so the transform is
+    // defined for fully packed ciphertexts.
+    HEAP_CHECK(slots_ == ctx.params().n / 2,
+               "linear transform requires full packing (slots = N/2)");
+    for (const auto& row : matrix_) {
+        HEAP_CHECK(row.size() == slots_, "matrix must be square");
+    }
+    // Generalized diagonals: diag_d[k] = M[k][(k + d) mod n].
+    diags_.assign(slots_, std::vector<Complex>(slots_));
+    for (size_t d = 0; d < slots_; ++d) {
+        for (size_t k = 0; k < slots_; ++k) {
+            diags_[d][k] = matrix_[k][(k + d) % slots_];
+        }
+    }
+    if (useBsgs_) {
+        baby_ = static_cast<size_t>(
+            std::ceil(std::sqrt(static_cast<double>(slots_))));
+        giant_ = (slots_ + baby_ - 1) / baby_;
+        // Pre-rotate each diagonal by -g*i so the giant-step rotation
+        // can be applied after the inner sum.
+        for (size_t i = 0; i < giant_; ++i) {
+            for (size_t j = 0; j < baby_; ++j) {
+                const size_t d = baby_ * i + j;
+                if (d >= slots_ || i == 0) {
+                    continue;
+                }
+                std::vector<Complex> pre(slots_);
+                for (size_t k = 0; k < slots_; ++k) {
+                    pre[k] =
+                        diags_[d][(k + slots_ - (baby_ * i) % slots_)
+                                  % slots_];
+                }
+                diags_[d] = std::move(pre);
+            }
+        }
+    }
+    diagNonZero_.resize(slots_);
+    for (size_t d = 0; d < slots_; ++d) {
+        diagNonZero_[d] = nonZero(diags_[d]);
+    }
+}
+
+std::vector<int64_t>
+LinearTransform::requiredRotations() const
+{
+    std::vector<int64_t> rots;
+    if (!useBsgs_) {
+        for (size_t d = 1; d < slots_; ++d) {
+            if (diagNonZero_[d]) {
+                rots.push_back(static_cast<int64_t>(d));
+            }
+        }
+        return rots;
+    }
+    for (size_t j = 1; j < baby_; ++j) {
+        rots.push_back(static_cast<int64_t>(j));
+    }
+    for (size_t i = 1; i < giant_; ++i) {
+        rots.push_back(static_cast<int64_t>(baby_ * i));
+    }
+    return rots;
+}
+
+size_t
+LinearTransform::rotationCount() const
+{
+    if (!useBsgs_) {
+        size_t c = 0;
+        for (size_t d = 1; d < slots_; ++d) {
+            c += diagNonZero_[d];
+        }
+        return c;
+    }
+    return (baby_ - 1) + (giant_ - 1);
+}
+
+Ciphertext
+LinearTransform::apply(const Evaluator& ev, const Ciphertext& ct) const
+{
+    HEAP_CHECK(ct.slots == slots_,
+               "ciphertext slot count " << ct.slots
+                                        << " != matrix dim " << slots_);
+    HEAP_CHECK(ct.level() >= 2, "linear transform needs a spare level");
+    const double ptScale = ctx_->params().scale;
+
+    auto mulDiag = [&](const Ciphertext& c, size_t d) {
+        const auto pt = ev.makePlaintext(
+            std::span<const Complex>(diags_[d]), ptScale, c.level());
+        return ev.multiplyPlain(c, pt);
+    };
+
+    Ciphertext acc;
+    bool haveAcc = false;
+    auto accumulate = [&](Ciphertext&& term) {
+        if (!haveAcc) {
+            acc = std::move(term);
+            haveAcc = true;
+        } else {
+            acc = ev.add(acc, term);
+        }
+    };
+
+    if (!useBsgs_) {
+        for (size_t d = 0; d < slots_; ++d) {
+            if (!diagNonZero_[d]) {
+                continue;
+            }
+            const Ciphertext r =
+                d == 0 ? ct : ev.rotate(ct, static_cast<int64_t>(d));
+            accumulate(mulDiag(r, d));
+        }
+    } else {
+        // Baby steps: rotations of the input.
+        std::vector<Ciphertext> baby(baby_);
+        std::vector<bool> babyReady(baby_, false);
+        auto babyRot = [&](size_t j) -> const Ciphertext& {
+            if (!babyReady[j]) {
+                baby[j] = j == 0
+                              ? ct
+                              : ev.rotate(ct, static_cast<int64_t>(j));
+                babyReady[j] = true;
+            }
+            return baby[j];
+        };
+        for (size_t i = 0; i < giant_; ++i) {
+            Ciphertext inner;
+            bool haveInner = false;
+            for (size_t j = 0; j < baby_; ++j) {
+                const size_t d = baby_ * i + j;
+                if (d >= slots_ || !diagNonZero_[d]) {
+                    continue;
+                }
+                Ciphertext term = mulDiag(babyRot(j), d);
+                if (!haveInner) {
+                    inner = std::move(term);
+                    haveInner = true;
+                } else {
+                    inner = ev.add(inner, term);
+                }
+            }
+            if (!haveInner) {
+                continue;
+            }
+            if (i > 0) {
+                inner = ev.rotate(
+                    inner, static_cast<int64_t>((baby_ * i) % slots_));
+            }
+            accumulate(std::move(inner));
+        }
+    }
+    HEAP_CHECK(haveAcc, "linear transform of the zero matrix");
+    ev.rescaleInPlace(acc);
+    return acc;
+}
+
+} // namespace heap::ckks

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Homomorphic linear transforms on CKKS slots via the diagonal method,
+ * with optional baby-step/giant-step (BSGS) rotation scheduling [28].
+ *
+ * Used by the conventional-bootstrapping baseline (CoeffToSlot /
+ * SlotToCoeff, Section VIII "CKKS Acceleration Efforts") and by
+ * matrix-vector workloads in the example applications.
+ */
+
+#ifndef HEAP_CKKS_LINEAR_TRANSFORM_H
+#define HEAP_CKKS_LINEAR_TRANSFORM_H
+
+#include <vector>
+
+#include "ckks/evaluator.h"
+
+namespace heap::ckks {
+
+/** Dense slot-space matrix (row-major, slots x slots). */
+using SlotMatrix = std::vector<std::vector<Complex>>;
+
+/**
+ * Homomorphic matrix-vector product out_slots = M * in_slots.
+ */
+class LinearTransform {
+  public:
+    /**
+     * Precomputes the generalized diagonals of M.
+     * @param slots matrix dimension (must divide/equal ct slots)
+     * @param useBsgs baby-step/giant-step scheduling (sqrt(n)+sqrt(n)
+     *        rotations instead of n)
+     */
+    LinearTransform(const Context& ctx, SlotMatrix matrix, bool useBsgs);
+
+    /** Slot steps whose rotation keys apply() requires. */
+    std::vector<int64_t> requiredRotations() const;
+
+    /** Applies the transform; consumes one multiplicative level. */
+    Ciphertext apply(const Evaluator& ev, const Ciphertext& ct) const;
+
+    size_t slots() const { return slots_; }
+    bool usesBsgs() const { return useBsgs_; }
+
+    /** Number of ciphertext rotations one apply() performs. */
+    size_t rotationCount() const;
+
+  private:
+    const Context* ctx_;
+    SlotMatrix matrix_;
+    size_t slots_;
+    bool useBsgs_;
+    size_t baby_ = 0;  // g
+    size_t giant_ = 0; // n / g
+    // diag_[d][k] = M[k][(k + d) mod n]; for BSGS, pre-rotated.
+    std::vector<std::vector<Complex>> diags_;
+    std::vector<bool> diagNonZero_;
+};
+
+} // namespace heap::ckks
+
+#endif // HEAP_CKKS_LINEAR_TRANSFORM_H

@@ -1,0 +1,149 @@
+#include "ckks/noise.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace heap::ckks {
+
+namespace {
+
+/** Density of nonzero secret coefficients. */
+double
+secretDensity(const Context& ctx)
+{
+    if (ctx.params().secretHamming) {
+        return static_cast<double>(*ctx.params().secretHamming)
+               / static_cast<double>(ctx.params().n);
+    }
+    return 2.0 / 3.0;
+}
+
+} // namespace
+
+double
+NoiseEstimator::freshSymmetric() const
+{
+    return ctx_->params().errorStdDev;
+}
+
+double
+NoiseEstimator::freshPublic() const
+{
+    // phase error = v*e_pk + e1 + e0*s with ternary v, s.
+    const double n = static_cast<double>(ctx_->params().n);
+    const double sigma = ctx_->params().errorStdDev;
+    const double rho = secretDensity(*ctx_);
+    return sigma * std::sqrt(n * (2.0 / 3.0) + 1.0 + n * rho);
+}
+
+double
+NoiseEstimator::afterAdd(double e1, double e2) const
+{
+    return std::hypot(e1, e2);
+}
+
+double
+NoiseEstimator::gadgetNoise(size_t limbs,
+                            const rlwe::GadgetParams& g) const
+{
+    const double n = static_cast<double>(ctx_->params().n);
+    const double sigma = ctx_->params().errorStdDev;
+    const double base = std::pow(2.0, g.baseBits);
+    // Balanced digits: uniform in [-B/2, B/2]; unsigned: uniform in
+    // [0, B) (variance B^2/12 plus the squared mean B/2).
+    const double digitVar =
+        g.balanced ? base * base / 12.0
+                   : base * base / 12.0 + base * base / 4.0;
+    const double terms = static_cast<double>(limbs)
+                         * static_cast<double>(g.digitsPerLimb) * n;
+    return sigma * std::sqrt(terms * digitVar);
+}
+
+double
+NoiseEstimator::hybridNoise(size_t limbs) const
+{
+    const auto& basis = *ctx_->basis();
+    HEAP_CHECK(limbs < basis.size(), "no special prime available");
+    const double n = static_cast<double>(ctx_->params().n);
+    const double sigma = ctx_->params().errorStdDev;
+    const double p =
+        static_cast<double>(basis.modulus(basis.size() - 1));
+    // Centered per-limb digits of magnitude ~q_j/sqrt(12), divided by
+    // P at ModDown, plus the ModDown rounding floor.
+    double sumQ2 = 0;
+    for (size_t j = 0; j < limbs; ++j) {
+        const double q = static_cast<double>(basis.modulus(j));
+        sumQ2 += q * q;
+    }
+    const double rho = secretDensity(*ctx_);
+    const double switching = sigma / p * std::sqrt(n / 12.0 * sumQ2);
+    const double rounding = std::sqrt((1.0 + rho * n) / 12.0);
+    return std::hypot(switching, rounding);
+}
+
+double
+NoiseEstimator::keySwitchNoise(size_t limbs) const
+{
+    if (ctx_->useHybridKeySwitch()) {
+        return hybridNoise(limbs);
+    }
+    return gadgetNoise(limbs, ctx_->params().gadget);
+}
+
+double
+NoiseEstimator::afterMultiply(double e1, double e2, double rms1,
+                              double rms2) const
+{
+    const double n = static_cast<double>(ctx_->params().n);
+    const double cross =
+        std::sqrt(n * (rms1 * rms1 * e2 * e2 + rms2 * rms2 * e1 * e1));
+    const double relin = keySwitchNoise(ctx_->maxLevel());
+    return std::hypot(cross, relin);
+}
+
+double
+NoiseEstimator::afterRescale(double e, size_t droppedLimbIndex) const
+{
+    HEAP_CHECK(droppedLimbIndex < ctx_->basis()->size(),
+               "bad limb index");
+    const double q = static_cast<double>(
+        ctx_->basis()->modulus(droppedLimbIndex));
+    const double n = static_cast<double>(ctx_->params().n);
+    const double rho = secretDensity(*ctx_);
+    const double rounding = std::sqrt((1.0 + rho * n) / 12.0);
+    return std::hypot(e / q, rounding);
+}
+
+double
+NoiseEstimator::afterRotate(double e) const
+{
+    return std::hypot(e, keySwitchNoise(ctx_->maxLevel()));
+}
+
+double
+NoiseEstimator::messageRms(double slotRms, double scale) const
+{
+    // Parseval over the canonical embedding: slot energy is N times
+    // the coefficient energy.
+    return scale * slotRms / std::sqrt(static_cast<double>(
+               ctx_->params().n));
+}
+
+double
+NoiseEstimator::measure(const Ciphertext& ct,
+                        std::span<const Complex> expected) const
+{
+    const auto got = ctx_->decryptCoeffs(ct);
+    const auto want =
+        ctx_->encoder().encode(expected, ct.scale);
+    double sum = 0;
+    for (size_t i = 0; i < got.size(); ++i) {
+        const double d = static_cast<double>(got[i])
+                         - static_cast<double>(want[i]);
+        sum += d * d;
+    }
+    return std::sqrt(sum / static_cast<double>(got.size()));
+}
+
+} // namespace heap::ckks

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Analytic noise estimator for the CKKS/TFHE pipeline.
+ *
+ * Tracks the standard deviation of the decryption-phase error in
+ * coefficient units through each primitive, using the standard
+ * central-limit heuristics (ternary secret of density 2/3, ring
+ * products scale by sqrt(N) times the companion's RMS). Predictions
+ * are order-accurate (validated within a small factor by tests) and
+ * are used to pick gadget bases and level budgets — the same
+ * trade-off the paper navigates when sizing d and the key formats.
+ */
+
+#ifndef HEAP_CKKS_NOISE_H
+#define HEAP_CKKS_NOISE_H
+
+#include "ckks/context.h"
+
+namespace heap::ckks {
+
+class NoiseEstimator {
+  public:
+    explicit NoiseEstimator(const Context& ctx)
+        : ctx_(&ctx)
+    {
+    }
+
+    /** Fresh symmetric encryption: sigma. */
+    double freshSymmetric() const;
+
+    /** Fresh public-key encryption: sigma * sqrt(2N/3 + ...). */
+    double freshPublic() const;
+
+    /** Sum/difference of independent errors. */
+    double afterAdd(double e1, double e2) const;
+
+    /**
+     * Tensor + relinearize: m1*e2 + m2*e1 cross terms (messageRms =
+     * RMS coefficient magnitude of each operand) plus the gadget
+     * noise of the relinearization.
+     */
+    double afterMultiply(double e1, double e2, double rms1,
+                         double rms2) const;
+
+    /** Rescale: error divides by q_last, plus rounding ~sqrt(N/18). */
+    double afterRescale(double e, size_t droppedLimbIndex) const;
+
+    /** Rotation/conjugation: permutation + key switch. */
+    double afterRotate(double e) const;
+
+    /** Additive key-switch (gadget) noise at the given level. */
+    double gadgetNoise(size_t limbs, const rlwe::GadgetParams& g) const;
+
+    /** Additive hybrid (special-prime) key-switch noise. */
+    double hybridNoise(size_t limbs) const;
+
+    /** The key-switch noise of whichever method the context uses. */
+    double keySwitchNoise(size_t limbs) const;
+
+    /**
+     * RMS coefficient magnitude of an encoded message with slot RMS
+     * `slotRms` at scale `scale` (Parseval over the embedding).
+     */
+    double messageRms(double slotRms, double scale) const;
+
+    /**
+     * Measured phase-error standard deviation of `ct` against the
+     * expected slot values (testing/diagnostics; needs the secret).
+     */
+    double measure(const Ciphertext& ct,
+                   std::span<const Complex> expected) const;
+
+  private:
+    const Context* ctx_;
+};
+
+} // namespace heap::ckks
+
+#endif // HEAP_CKKS_NOISE_H

@@ -1,0 +1,168 @@
+#include "ckks/serialize.h"
+
+namespace heap::ckks {
+
+namespace {
+
+constexpr uint64_t kCiphertextMagic = 0x48454150'43543031ULL; // HEAPCT01
+constexpr uint64_t kGadgetMagic = 0x48454150'474b3031ULL;     // HEAPGK01
+
+void
+checkBasisTag(ByteReader& r, const math::RnsBasis& basis)
+{
+    const uint64_t n = r.u64();
+    HEAP_CHECK(n == basis.n(),
+               "ring dimension mismatch: data " << n << ", context "
+                                                << basis.n());
+    const auto moduli = r.u64Vec(64);
+    HEAP_CHECK(moduli.size() <= basis.size(),
+               "data uses more limbs than the context basis");
+    for (size_t i = 0; i < moduli.size(); ++i) {
+        HEAP_CHECK(moduli[i] == basis.modulus(i),
+                   "modulus chain mismatch at limb " << i);
+    }
+}
+
+void
+writeBasisTag(const math::RnsBasis& basis, size_t limbs, ByteWriter& w)
+{
+    w.u64(basis.n());
+    w.u64(limbs);
+    for (size_t i = 0; i < limbs; ++i) {
+        w.u64(basis.modulus(i));
+    }
+}
+
+} // namespace
+
+void
+savePoly(const math::RnsPoly& p, ByteWriter& w)
+{
+    w.u64(p.domain() == math::Domain::Eval ? 1 : 0);
+    w.u64(p.limbCount());
+    for (size_t i = 0; i < p.limbCount(); ++i) {
+        w.u64Span(p.limb(i));
+    }
+}
+
+math::RnsPoly
+loadPoly(ByteReader& r, std::shared_ptr<const math::RnsBasis> basis)
+{
+    const uint64_t domainTag = r.u64();
+    HEAP_CHECK(domainTag <= 1, "corrupt polynomial domain tag");
+    const uint64_t limbs = r.u64();
+    HEAP_CHECK(limbs >= 1 && limbs <= basis->size(),
+               "limb count out of range: " << limbs);
+    math::RnsPoly p(basis, limbs,
+                    domainTag == 1 ? math::Domain::Eval
+                                   : math::Domain::Coeff);
+    for (size_t i = 0; i < limbs; ++i) {
+        const auto data = r.u64Vec(basis->n());
+        HEAP_CHECK(data.size() == basis->n(),
+                   "coefficient count mismatch");
+        const uint64_t q = basis->modulus(i);
+        for (size_t j = 0; j < data.size(); ++j) {
+            HEAP_CHECK(data[j] < q, "coefficient out of range");
+            p.limb(i)[j] = data[j];
+        }
+    }
+    return p;
+}
+
+void
+saveRlwe(const rlwe::Ciphertext& ct, ByteWriter& w)
+{
+    savePoly(ct.a, w);
+    savePoly(ct.b, w);
+}
+
+rlwe::Ciphertext
+loadRlwe(ByteReader& r, std::shared_ptr<const math::RnsBasis> basis)
+{
+    rlwe::Ciphertext ct;
+    ct.a = loadPoly(r, basis);
+    ct.b = loadPoly(r, std::move(basis));
+    HEAP_CHECK(ct.a.limbCount() == ct.b.limbCount()
+                   && ct.a.domain() == ct.b.domain(),
+               "inconsistent ciphertext components");
+    return ct;
+}
+
+std::vector<uint8_t>
+saveCiphertext(const Ciphertext& ct)
+{
+    ByteWriter w;
+    w.u64(kCiphertextMagic);
+    writeBasisTag(ct.ct.a.basis(), ct.level(), w);
+    w.f64(ct.scale);
+    w.u64(ct.slots);
+    saveRlwe(ct.ct, w);
+    return w.bytes();
+}
+
+Ciphertext
+loadCiphertext(std::span<const uint8_t> data, const Context& ctx)
+{
+    ByteReader r(data);
+    HEAP_CHECK(r.u64() == kCiphertextMagic,
+               "not a HEAP ciphertext (bad magic)");
+    checkBasisTag(r, *ctx.basis());
+    Ciphertext ct;
+    ct.scale = r.f64();
+    HEAP_CHECK(ct.scale > 0, "corrupt scale");
+    ct.slots = r.u64();
+    HEAP_CHECK(ct.slots >= 1 && ct.slots <= ctx.params().n / 2,
+               "corrupt slot count");
+    ct.ct = loadRlwe(r, ctx.basis());
+    HEAP_CHECK(r.atEnd(), "trailing bytes after ciphertext");
+    return ct;
+}
+
+std::vector<uint8_t>
+saveGadget(const rlwe::GadgetCiphertext& key)
+{
+    HEAP_CHECK(key.rowCount() > 0, "empty gadget ciphertext");
+    ByteWriter w;
+    w.u64(kGadgetMagic);
+    const auto& p = key.params();
+    writeBasisTag(key.row(0, 0).a.basis(),
+                  key.row(0, 0).a.limbCount(), w);
+    w.u64(static_cast<uint64_t>(p.baseBits));
+    w.u64(static_cast<uint64_t>(p.digitsPerLimb));
+    w.u64(p.balanced ? 1 : 0);
+    w.u64(key.rowCount());
+    for (size_t i = 0;
+         i < key.rowCount()
+             / static_cast<size_t>(p.digitsPerLimb);
+         ++i) {
+        for (int j = 0; j < p.digitsPerLimb; ++j) {
+            saveRlwe(key.row(i, static_cast<size_t>(j)), w);
+        }
+    }
+    return w.bytes();
+}
+
+rlwe::GadgetCiphertext
+loadGadget(std::span<const uint8_t> data, const Context& ctx)
+{
+    ByteReader r(data);
+    HEAP_CHECK(r.u64() == kGadgetMagic,
+               "not a HEAP gadget key (bad magic)");
+    checkBasisTag(r, *ctx.basis());
+    rlwe::GadgetParams p;
+    p.baseBits = static_cast<int>(r.u64());
+    p.digitsPerLimb = static_cast<int>(r.u64());
+    p.balanced = r.u64() != 0;
+    p.validateFor(*ctx.basis());
+    const uint64_t rows = r.u64();
+    HEAP_CHECK(rows >= 1 && rows <= 4096, "corrupt row count");
+    std::vector<rlwe::Ciphertext> cts;
+    cts.reserve(rows);
+    for (uint64_t i = 0; i < rows; ++i) {
+        cts.push_back(loadRlwe(r, ctx.basis()));
+    }
+    HEAP_CHECK(r.atEnd(), "trailing bytes after gadget key");
+    return rlwe::GadgetCiphertext(std::move(cts), p);
+}
+
+} // namespace heap::ckks

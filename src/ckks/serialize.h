@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Wire format for CKKS/RLWE artifacts. Versioned and validated on
+ * load (ring dimension and modulus chain must match the receiving
+ * context's basis — a ciphertext is meaningless under a different
+ * parameter set).
+ */
+
+#ifndef HEAP_CKKS_SERIALIZE_H
+#define HEAP_CKKS_SERIALIZE_H
+
+#include "ckks/context.h"
+#include "common/serialize.h"
+
+namespace heap::ckks {
+
+/** Serializes an RNS polynomial (domain, limbs, coefficients). */
+void savePoly(const math::RnsPoly& p, ByteWriter& w);
+
+/** Loads an RNS polynomial onto the given basis (validated). */
+math::RnsPoly loadPoly(ByteReader& r,
+                       std::shared_ptr<const math::RnsBasis> basis);
+
+/** Serializes an RLWE ciphertext pair. */
+void saveRlwe(const rlwe::Ciphertext& ct, ByteWriter& w);
+rlwe::Ciphertext loadRlwe(ByteReader& r,
+                          std::shared_ptr<const math::RnsBasis> basis);
+
+/** Serializes a CKKS ciphertext (RLWE pair + scale + slots). */
+std::vector<uint8_t> saveCiphertext(const Ciphertext& ct);
+Ciphertext loadCiphertext(std::span<const uint8_t> data,
+                          const Context& ctx);
+
+/** Serializes a gadget (key-switching) ciphertext. */
+std::vector<uint8_t> saveGadget(const rlwe::GadgetCiphertext& key);
+rlwe::GadgetCiphertext loadGadget(std::span<const uint8_t> data,
+                                  const Context& ctx);
+
+} // namespace heap::ckks
+
+#endif // HEAP_CKKS_SERIALIZE_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Error-handling primitives for the HEAP library.
+ *
+ * Follows the gem5 fatal/panic distinction:
+ *  - HEAP_FATAL / HEAP_CHECK fire on user errors (bad parameters, invalid
+ *    arguments) and throw std::invalid_argument so callers can recover.
+ *  - HEAP_PANIC / HEAP_ASSERT fire on internal invariant violations (library
+ *    bugs) and throw std::logic_error.
+ */
+
+#ifndef HEAP_COMMON_CHECK_H
+#define HEAP_COMMON_CHECK_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace heap {
+
+namespace detail {
+
+/** Builds a diagnostic message with source location. */
+inline std::string
+formatDiag(const char* kind, const char* file, int line, const char* cond,
+           const std::string& msg)
+{
+    std::ostringstream oss;
+    oss << kind << " at " << file << ":" << line;
+    if (cond != nullptr && cond[0] != '\0') {
+        oss << " [" << cond << "]";
+    }
+    if (!msg.empty()) {
+        oss << ": " << msg;
+    }
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Thrown when a user-supplied parameter or argument is invalid. */
+class UserError : public std::invalid_argument {
+  public:
+    using std::invalid_argument::invalid_argument;
+};
+
+/** Thrown when an internal library invariant is violated (a bug). */
+class InternalError : public std::logic_error {
+  public:
+    using std::logic_error::logic_error;
+};
+
+} // namespace heap
+
+/** Unconditionally report a user error. */
+#define HEAP_FATAL(msg)                                                     \
+    throw ::heap::UserError(                                                \
+        ::heap::detail::formatDiag("fatal", __FILE__, __LINE__, "",        \
+                                   (std::ostringstream{} << msg).str()))
+
+/** Unconditionally report an internal error (library bug). */
+#define HEAP_PANIC(msg)                                                     \
+    throw ::heap::InternalError(                                            \
+        ::heap::detail::formatDiag("panic", __FILE__, __LINE__, "",        \
+                                   (std::ostringstream{} << msg).str()))
+
+/** Validate a user-facing precondition. */
+#define HEAP_CHECK(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            throw ::heap::UserError(::heap::detail::formatDiag(             \
+                "fatal", __FILE__, __LINE__, #cond,                        \
+                (std::ostringstream{} << msg).str()));                      \
+        }                                                                   \
+    } while (false)
+
+/** Validate an internal invariant. */
+#define HEAP_ASSERT(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            throw ::heap::InternalError(::heap::detail::formatDiag(         \
+                "panic", __FILE__, __LINE__, #cond,                        \
+                (std::ostringstream{} << msg).str()));                      \
+        }                                                                   \
+    } while (false)
+
+#endif // HEAP_COMMON_CHECK_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the HEAP library.
+ *
+ * All randomness in the library flows through Rng so that tests and
+ * examples are reproducible from a seed. The generator is xoshiro256**,
+ * which is fast and has excellent statistical quality; it is NOT a CSPRNG
+ * and this library is a research reproduction, not a hardened product.
+ */
+
+#ifndef HEAP_COMMON_RNG_H
+#define HEAP_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace heap {
+
+/**
+ * xoshiro256** pseudo-random generator with convenience distributions.
+ */
+class Rng {
+  public:
+    /** Constructs a generator from a 64-bit seed via splitmix64. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Returns the next raw 64-bit output. */
+    uint64_t next();
+
+    /** Returns a uniform integer in [0, bound). @pre bound > 0. */
+    uint64_t uniform(uint64_t bound);
+
+    /** Returns a uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Returns a standard normal variate (Box-Muller). */
+    double gaussian();
+
+    /** Returns a ternary value in {-1, 0, 1}; P(0)=1/2, P(+-1)=1/4. */
+    int ternary();
+
+    // UniformRandomBitGenerator interface for <random> interop.
+    using result_type = uint64_t;
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+    result_type operator()() { return next(); }
+
+  private:
+    uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace heap
+
+#endif // HEAP_COMMON_RNG_H

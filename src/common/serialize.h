@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal binary serialization: little-endian, length-checked
+ * reads, magic/version tagging done by the callers. Used to persist
+ * ciphertexts and evaluation keys (the artifacts a HEAP deployment
+ * ships between host and accelerator, Section V).
+ */
+
+#ifndef HEAP_COMMON_SERIALIZE_H
+#define HEAP_COMMON_SERIALIZE_H
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace heap {
+
+/** Append-only byte sink. */
+class ByteWriter {
+  public:
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+        }
+    }
+
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        u64(bits);
+    }
+
+    void
+    u64Span(std::span<const uint64_t> v)
+    {
+        u64(v.size());
+        for (const uint64_t x : v) {
+            u64(x);
+        }
+    }
+
+    const std::vector<uint8_t>& bytes() const { return buf_; }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/** Bounds-checked byte source; throws UserError on underrun. */
+class ByteReader {
+  public:
+    explicit ByteReader(std::span<const uint8_t> data)
+        : data_(data)
+    {
+    }
+
+    uint64_t
+    u64()
+    {
+        HEAP_CHECK(pos_ + 8 <= data_.size(),
+                   "serialized data truncated at offset " << pos_);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+        }
+        pos_ += 8;
+        return v;
+    }
+
+    int64_t i64() { return static_cast<int64_t>(u64()); }
+
+    double
+    f64()
+    {
+        const uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, 8);
+        return v;
+    }
+
+    std::vector<uint64_t>
+    u64Vec(size_t maxCount = 1 << 26)
+    {
+        const uint64_t count = u64();
+        HEAP_CHECK(count <= maxCount, "serialized vector too large");
+        std::vector<uint64_t> v(count);
+        for (auto& x : v) {
+            x = u64();
+        }
+        return v;
+    }
+
+    bool atEnd() const { return pos_ == data_.size(); }
+    size_t remaining() const { return data_.size() - pos_; }
+
+  private:
+    std::span<const uint8_t> data_;
+    size_t pos_ = 0;
+};
+
+} // namespace heap
+
+#endif // HEAP_COMMON_SERIALIZE_H

@@ -1,0 +1,87 @@
+#include "common/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace heap {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    row.resize(headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        oss << "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            oss << " " << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c] << " |";
+        }
+        oss << "\n";
+    };
+    auto emit_rule = [&]() {
+        oss << "+";
+        for (const size_t w : widths) {
+            oss << std::string(w + 2, '-') << "+";
+        }
+        oss << "\n";
+    };
+
+    emit_rule();
+    emit_row(headers_);
+    emit_rule();
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+    emit_rule();
+    return oss.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+Table::speedup(double v, int precision)
+{
+    if (!std::isfinite(v)) {
+        return "-";
+    }
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v << "x";
+    return oss.str();
+}
+
+} // namespace heap

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal fixed-width console table printer used by the benchmark
+ * harnesses to reproduce the paper's evaluation tables.
+ */
+
+#ifndef HEAP_COMMON_TABLE_H
+#define HEAP_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace heap {
+
+/**
+ * Accumulates rows of strings and renders them as an aligned ASCII table.
+ */
+class Table {
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends one row; the row is padded/truncated to the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Renders the table, headers first, with a separator rule. */
+    std::string render() const;
+
+    /** Renders and writes to stdout. */
+    void print() const;
+
+    /** Formats a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Formats a speedup factor as e.g. "15.39x" ("-" if not finite). */
+    static std::string speedup(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace heap
+
+#endif // HEAP_COMMON_TABLE_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Lightweight wall-clock timer used by examples and Table VIII's
+ * functional measurements.
+ */
+
+#ifndef HEAP_COMMON_TIMER_H
+#define HEAP_COMMON_TIMER_H
+
+#include <chrono>
+
+namespace heap {
+
+/** Wall-clock stopwatch with millisecond/second accessors. */
+class Timer {
+  public:
+    Timer() { reset(); }
+
+    /** Restarts the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Returns elapsed seconds since construction or the last reset(). */
+    double seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Returns elapsed milliseconds. */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace heap
+
+#endif // HEAP_COMMON_TIMER_H

@@ -1,0 +1,70 @@
+#include "hw/app_model.h"
+
+namespace heap::hw {
+
+OpSchedule
+AppModel::helrIteration()
+{
+    // Han et al. [29] mini-batch gradient descent with Nesterov
+    // momentum: per iteration, the inner products X*w (BSGS rotations
+    // over 196 features), a degree-7 polynomial sigmoid, the gradient
+    // aggregation, and the momentum update; the ~10-ciphertext
+    // weight/momentum/gradient working set is refreshed by
+    // bootstrapping each iteration (sparse 256-slot packing).
+    OpSchedule s;
+    s.mults = 70;
+    s.rotations = 70;
+    s.adds = 120;
+    s.ptMults = 60;
+    s.rescales = 70;
+    s.bootstraps = 10;
+    s.bootstrapSlots = 256;
+    return s;
+}
+
+OpSchedule
+AppModel::resnetInference()
+{
+    // Lee et al. [39] multiplexed-parallel convolutions: 20 conv
+    // layers as rotation-heavy matrix products, ReLU by polynomial
+    // approximation, one bootstrap per activation ciphertext
+    // (~256 bootstraps at 1024-slot packing across the network).
+    OpSchedule s;
+    s.mults = 2000;
+    s.rotations = 2000;
+    s.adds = 3000;
+    s.ptMults = 1200;
+    s.rescales = 1200;
+    s.bootstraps = 284;
+    s.bootstrapSlots = 1024;
+    return s;
+}
+
+double
+AppModel::scheduleSeconds(const OpSchedule& s) const
+{
+    double ms = 0;
+    ms += static_cast<double>(s.mults) * ops_.multMs();
+    ms += static_cast<double>(s.rotations) * ops_.rotateMs();
+    ms += static_cast<double>(s.adds) * ops_.addMs();
+    ms += static_cast<double>(s.ptMults) * 2.0 * ops_.addMs();
+    ms += static_cast<double>(s.rescales) * ops_.rescaleMs();
+    if (s.bootstraps > 0) {
+        ms += static_cast<double>(s.bootstraps)
+              * boot_.bootstrap(s.bootstrapSlots).totalMs;
+    }
+    return ms / 1e3;
+}
+
+double
+AppModel::bootstrapFraction(const OpSchedule& s) const
+{
+    if (s.bootstraps == 0) {
+        return 0;
+    }
+    const double bootMs = static_cast<double>(s.bootstraps)
+                          * boot_.bootstrap(s.bootstrapSlots).totalMs;
+    return bootMs / (scheduleSeconds(s) * 1e3);
+}
+
+} // namespace heap::hw

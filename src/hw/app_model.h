@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Application-level timing models (Tables VI and VII): HELR logistic
+ * regression training [29] with sparsely packed ciphertexts, and
+ * ResNet-20 inference following Lee et al. [39].
+ *
+ * A schedule lists the homomorphic operations one iteration (LR) or
+ * one inference (ResNet-20) performs; the model prices it with the
+ * single-FPGA op costs plus the multi-FPGA bootstrap model. Schedule
+ * counts are documented in DESIGN.md: LR works on a ~10-ciphertext
+ * working set at 256 slots (the paper's sparse packing) and ResNet-20
+ * on 1024-slot ciphertexts with one bootstrap per activation
+ * ciphertext.
+ */
+
+#ifndef HEAP_HW_APP_MODEL_H
+#define HEAP_HW_APP_MODEL_H
+
+#include "hw/bootstrap_model.h"
+
+namespace heap::hw {
+
+/** Homomorphic-op counts of one application unit of work. */
+struct OpSchedule {
+    size_t mults = 0;
+    size_t rotations = 0;
+    size_t adds = 0;
+    size_t ptMults = 0;
+    size_t rescales = 0;
+    size_t bootstraps = 0;
+    size_t bootstrapSlots = 0;
+};
+
+class AppModel {
+  public:
+    AppModel(const FpgaConfig& cfg, const HeapParams& p, size_t numFpgas)
+        : boot_(cfg, p, numFpgas), ops_(cfg, p)
+    {
+    }
+
+    /** One HELR training iteration (MNIST 3-vs-8, 256 slots). */
+    static OpSchedule helrIteration();
+
+    /** One ResNet-20 CIFAR-10 inference (1024 slots). */
+    static OpSchedule resnetInference();
+
+    /** Prices a schedule on HEAP (seconds). */
+    double scheduleSeconds(const OpSchedule& s) const;
+
+    /** Fraction of a schedule's time spent bootstrapping. */
+    double bootstrapFraction(const OpSchedule& s) const;
+
+    double lrIterationSeconds() const
+    {
+        return scheduleSeconds(helrIteration());
+    }
+
+    double resnetSeconds() const
+    {
+        return scheduleSeconds(resnetInference());
+    }
+
+    const BootstrapModel& bootModel() const { return boot_; }
+    const OpCostModel& opModel() const { return ops_; }
+
+  private:
+    BootstrapModel boot_;
+    OpCostModel ops_;
+};
+
+} // namespace heap::hw
+
+#endif // HEAP_HW_APP_MODEL_H

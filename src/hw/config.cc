@@ -1,0 +1,82 @@
+#include "hw/config.h"
+
+#include "common/check.h"
+
+namespace heap::hw {
+
+double
+HeapParams::brkBytes() const
+{
+    // (h+1)d x (h+1) matrix of degree N-1 polynomials over Qp.
+    const double polys = static_cast<double>((h + 1) * d * (h + 1));
+    const double coeffBits =
+        static_cast<double>((limbs + auxLimbs) * limbBits);
+    return polys * static_cast<double>(n) * coeffBits / 8.0;
+}
+
+size_t
+ResourceModel::uramBlocksPerRlwe() const
+{
+    // Each 72-bit URAM word holds two 36-bit coefficients (Figure 2).
+    const size_t coeffs = 2 * params_.limbs * params_.n;
+    const size_t coeffsPerBlock = 2 * cfg_.uramDepth;
+    return (coeffs + coeffsPerBlock - 1) / coeffsPerBlock;
+}
+
+size_t
+ResourceModel::bramBlocksPerRlwe() const
+{
+    // Each BRAM address holds half a coefficient; two blocks pair up
+    // per 36-bit coefficient (Figure 3) => 512 coefficients per block.
+    const size_t coeffs = 2 * params_.limbs * params_.n;
+    const size_t coeffsPerBlock = cfg_.bramDepth / 2;
+    return (coeffs + coeffsPerBlock - 1) / coeffsPerBlock;
+}
+
+size_t
+ResourceModel::uramRlweCapacity() const
+{
+    return cfg_.uramTotal / uramBlocksPerRlwe();
+}
+
+size_t
+ResourceModel::bramRlweCapacity() const
+{
+    // One ciphertext's worth of BRAM is reserved as the dual-port
+    // accumulation double-buffer of the external-product unit
+    // (Section IV-A), leaving 20 resident ciphertexts.
+    return (cfg_.bramTotal - bramBlocksPerRlwe()) / bramBlocksPerRlwe();
+}
+
+ResourceUsage
+ResourceModel::utilization() const
+{
+    ResourceUsage u;
+    // Every DSP is spent in the modular adder/subtractor/multiplier
+    // and MAC pipelines: twelve 18/32-bit DSP slices compose one
+    // 36-bit fused multiply + Barrett unit (Section IV-A).
+    constexpr size_t kDspPerFu = 12;
+    u.dsp = cfg_.modFUs * kDspPerFu;
+
+    // Ciphertext buffers fill whole-RLWE multiples (Section IV-C).
+    u.uram = uramRlweCapacity() * uramBlocksPerRlwe();
+    u.bram = bramRlweCapacity() * bramBlocksPerRlwe();
+
+    // LUT/FF derived from the per-block shares of Section VI-A: the
+    // functional units take 42% of utilized LUTs at ~830 LUTs per
+    // modular unit; RFs/FIFOs/address-generation/control make up the
+    // rest.
+    constexpr size_t kLutPerFu = 830;
+    const size_t fuLuts = cfg_.modFUs * kLutPerFu;
+    u.lut = static_cast<size_t>(static_cast<double>(fuLuts) / 0.42);
+    constexpr size_t kFfPerFu = 1588;
+    const size_t fuFfs = cfg_.modFUs * kFfPerFu;
+    u.ff = static_cast<size_t>(static_cast<double>(fuFfs) / 0.42);
+
+    HEAP_ASSERT(u.dsp <= cfg_.dspTotal && u.bram <= cfg_.bramTotal
+                    && u.uram <= cfg_.uramTotal,
+                "modeled design exceeds device resources");
+    return u;
+}
+
+} // namespace heap::hw

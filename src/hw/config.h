@@ -1,0 +1,133 @@
+/**
+ * @file
+ * HEAP hardware model: target-device description (Alveo U280) and the
+ * paper's design-point constants (Sections III-C, IV, V).
+ *
+ * The functional library proves the algorithm; this model reproduces
+ * the paper's evaluation numbers (Tables II-VIII) from the
+ * microarchitecture's arithmetic: functional-unit counts and
+ * latencies, on-chip memory shapes, HBM and CMAC bandwidths, and the
+ * 8-FPGA blind-rotation fan-out.
+ */
+
+#ifndef HEAP_HW_CONFIG_H
+#define HEAP_HW_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace heap::hw {
+
+/** Alveo U280 device + HEAP kernel clocking (Sections IV-B, V, VI). */
+struct FpgaConfig {
+    double kernelClockHz = 300e6; ///< achieved kernel clock
+    double memClockHz = 450e6;    ///< HBM-side AXI clock
+    double cmacClockHz = 322e6;   ///< 100G Ethernet core clock
+
+    size_t modFUs = 512;          ///< modular arithmetic units
+    int modOpLatencyCycles = 7;   ///< modadd/modsub/modmul latency
+    size_t automorphUnits = 512;  ///< permute units
+    int automorphCyclesPerLimb = 16;
+
+    size_t hbmAxiPorts = 32;      ///< 256-bit AXI ports
+    size_t hbmAxiBits = 256;
+    double hbmBandwidthBps = 460e9;
+    double hbmCapacityBytes = 8e9;
+
+    double cmacBps = 100e9;       ///< FPGA-to-FPGA Ethernet
+    size_t cmacCyclesPerRlwe = 458; ///< cycles to ship one RLWE ct
+
+    // Device resource totals (Table II "Available").
+    size_t lutTotal = 1304000;
+    size_t ffTotal = 2607000;
+    size_t dspTotal = 9024;
+    size_t bramTotal = 4032;
+    size_t uramTotal = 962;
+
+    // On-chip memory shapes (Figures 2-3).
+    size_t uramWordBits = 72;
+    size_t uramDepth = 4096;
+    size_t bramWordBits = 72;
+    size_t bramDepth = 1024;
+};
+
+/** The paper's HEAP parameter set (Section III-C). */
+struct HeapParams {
+    size_t n = 8192;        ///< ring dimension N = 2^13
+    int limbBits = 36;      ///< log q
+    size_t limbs = 6;       ///< L (log Q = 216)
+    size_t auxLimbs = 1;    ///< auxiliary prime p
+    size_t nt = 500;        ///< LWE dimension for BlindRotate
+    int d = 2;              ///< gadget decomposition degree
+    int h = 1;              ///< GLWE mask size
+    size_t slotsFull = 4096;///< fully packed slot count (N/2)
+
+    size_t logQ() const { return limbs * static_cast<size_t>(limbBits); }
+
+    /** Bytes of one RLWE ciphertext (2 * logQ * N bits, ~0.44 MB). */
+    double rlweBytes() const
+    {
+        return 2.0 * static_cast<double>(logQ())
+               * static_cast<double>(n) / 8.0;
+    }
+
+    /** Bytes of one LWE ciphertext ((nt+1) * log q bits, ~2.3 KB). */
+    double lweBytes() const
+    {
+        return static_cast<double>(nt + 1)
+               * static_cast<double>(limbBits) / 8.0;
+    }
+
+    /**
+     * Bytes of one BlindRotate (GGSW) key: a (h+1)d x (h+1) matrix of
+     * degree N-1 polynomials over Qp (Section III-C, ~3.52 MB).
+     */
+    double brkBytes() const;
+
+    /** Total BlindRotate key bytes: nt keys (~1.76 GB). */
+    double brkTotalBytes() const { return brkBytes() * static_cast<double>(nt); }
+
+    /**
+     * Conventional-bootstrapping key traffic per bootstrap: ~25 keys
+     * of ~126 MB each, re-read across the bootstrap's hundreds of
+     * key switches for ~32 GB of total main-memory key traffic
+     * (Section III-C).
+     */
+    static double conventionalKeyBytes() { return 32e9; }
+};
+
+/** Table II: modeled FPGA resource utilization. */
+struct ResourceUsage {
+    size_t lut = 0, ff = 0, dsp = 0, bram = 0, uram = 0;
+};
+
+/**
+ * Derives Table II's utilization from the design's structure: DSPs
+ * from the modular FUs, BRAM/URAM from the ciphertext-buffer layout of
+ * Figures 2-3, LUT/FF from the per-block shares reported in VI-A.
+ */
+class ResourceModel {
+  public:
+    ResourceModel(const FpgaConfig& cfg, const HeapParams& p)
+        : cfg_(cfg), params_(p)
+    {
+    }
+
+    ResourceUsage utilization() const;
+
+    /** URAM blocks needed to buffer one RLWE ciphertext (12). */
+    size_t uramBlocksPerRlwe() const;
+    /** BRAM blocks needed to buffer one RLWE ciphertext (192). */
+    size_t bramBlocksPerRlwe() const;
+    /** RLWE ciphertexts resident in URAM (80) and BRAM (20). */
+    size_t uramRlweCapacity() const;
+    size_t bramRlweCapacity() const;
+
+  private:
+    FpgaConfig cfg_;
+    HeapParams params_;
+};
+
+} // namespace heap::hw
+
+#endif // HEAP_HW_CONFIG_H

@@ -1,0 +1,83 @@
+#include "hw/fab_model.h"
+
+#include <bit>
+#include <cmath>
+
+namespace heap::hw {
+
+FabModel::FabModel(const FpgaConfig& cfg, const FabParams& p)
+    : cfg_(cfg), params_(p)
+{
+}
+
+double
+FabModel::opMs(size_t activeLimbs, bool withAutomorph) const
+{
+    // Same datapath arithmetic as OpCostModel::keySwitchCycles, at
+    // FAB's ring size: digits = l * d NTTs into l limbs + MACs.
+    const double n = static_cast<double>(params_.n);
+    const double stages = std::bit_width(params_.n) - 1;
+    const double nttCycles =
+        stages * std::ceil(n / 2.0 / static_cast<double>(cfg_.modFUs))
+        + cfg_.modOpLatencyCycles;
+    const double pw = std::ceil(n / static_cast<double>(cfg_.modFUs))
+                      + cfg_.modOpLatencyCycles;
+    const double l = static_cast<double>(activeLimbs);
+    const double digits = 2.0 * l; // d = 2
+    double cycles = digits * pw            // decompose
+                    + digits * l * nttCycles
+                    + digits * l * pw;     // MAC
+    if (withAutomorph) {
+        cycles += 2.0 * l * cfg_.automorphCyclesPerLimb;
+    } else {
+        cycles += 4.0 * l * pw; // tensor product
+    }
+    return cycles / cfg_.kernelClockHz * 1e3;
+}
+
+double
+FabModel::bootstrapMs() const
+{
+    // Levels decay across the bootstrap; price ops at the average
+    // active limb count.
+    const size_t avgLimbs = params_.limbs - params_.bootDepth / 2;
+    double ms = 0;
+    ms += static_cast<double>(params_.rotations) * opMs(avgLimbs, true);
+    ms += static_cast<double>(params_.mults) * opMs(avgLimbs, false);
+    // Rescales: 2 polys x (iNTT + per-limb NTT+fixups).
+    const double n = static_cast<double>(params_.n);
+    const double stages = std::bit_width(params_.n) - 1;
+    const double nttCycles =
+        stages * std::ceil(n / 2.0 / static_cast<double>(cfg_.modFUs))
+        + cfg_.modOpLatencyCycles;
+    ms += static_cast<double>(params_.rescales) * 2.0
+          * static_cast<double>(avgLimbs) * nttCycles
+          / cfg_.kernelClockHz * 1e3;
+    return ms;
+}
+
+double
+FabModel::bootstrapMs(size_t fpgas) const
+{
+    // Only the (small) data-parallel fraction of the conventional
+    // pipeline scales with nodes; the dependency chain within one
+    // RLWE ciphertext serializes the rest (Amdahl with p ~ 0.2).
+    constexpr double kParallelFraction = 0.2;
+    const double serial = (1.0 - kParallelFraction) * bootstrapMs();
+    return serial
+           + kParallelFraction * bootstrapMs()
+                 / static_cast<double>(fpgas);
+}
+
+double
+FabModel::tMultPerSlotUs() const
+{
+    const double levelsLeft =
+        static_cast<double>(params_.limbs - params_.bootDepth);
+    const double multSum =
+        levelsLeft * opMs(params_.limbs - params_.bootDepth, false);
+    return (bootstrapMs() + multSum) * 1e3
+           / (levelsLeft * static_cast<double>(params_.slots));
+}
+
+} // namespace heap::hw

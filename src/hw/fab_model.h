@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Structural cost model of FAB [2] — the FPGA baseline HEAP is
+ * measured against. FAB runs *conventional* CKKS bootstrapping
+ * (Figure 1a) at bootstrappable parameters (N = 2^16, ~24 limbs) on
+ * the same Alveo U280 substrate; its cost is an op schedule
+ * (CoeffToSlot/EvalMod/SlotToCoeff rotations and multiplications)
+ * priced with the same functional-unit arithmetic as the HEAP model.
+ */
+
+#ifndef HEAP_HW_FAB_MODEL_H
+#define HEAP_HW_FAB_MODEL_H
+
+#include "hw/op_model.h"
+
+namespace heap::hw {
+
+/** FAB's parameter point (Section VI-D: N=2^16, log Q = 1728). */
+struct FabParams {
+    size_t n = 1 << 16;
+    int limbBits = 54;
+    size_t limbs = 32;        ///< log Q = 1728 at 54-bit limbs
+    size_t bootDepth = 19;    ///< levels the bootstrap consumes
+    size_t slots = 1 << 15;
+    // Conventional-bootstrap op schedule (optimized variant [1]:
+    // 24 rotation keys + 1 mult key; BSGS reuses each key several
+    // times across CoeffToSlot/SlotToCoeff and EvalMod).
+    size_t rotations = 60;
+    size_t mults = 40;
+    size_t rescales = 19;
+};
+
+class FabModel {
+  public:
+    explicit FabModel(const FpgaConfig& cfg, const FabParams& p = {});
+
+    /** One conventional bootstrap on a single FPGA (ms). */
+    double bootstrapMs() const;
+
+    /**
+     * Multi-FPGA FAB ("FAB-2"): conventional bootstrapping's serial
+     * dependency chain caps the gain at ~20% regardless of FPGA
+     * count (Section I: "observed only 20% improvement ... limited
+     * by the bootstrapping implementation, which could not be
+     * parallelized").
+     */
+    double bootstrapMs(size_t fpgas) const;
+
+    /** Eq. 3 at FAB's accounting (levels left after bootstrapping). */
+    double tMultPerSlotUs() const;
+
+    /** Published FAB figures for cross-checking the model. */
+    static double publishedTMultPerSlotUs() { return 0.477; }
+    static double publishedBootstrapFractionLr() { return 0.70; }
+
+    const FabParams& params() const { return params_; }
+
+  private:
+    double opMs(size_t activeLimbs, bool withAutomorph) const;
+
+    FpgaConfig cfg_;
+    FabParams params_;
+};
+
+} // namespace heap::hw
+
+#endif // HEAP_HW_FAB_MODEL_H

@@ -1,0 +1,133 @@
+#include "hw/op_model.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace heap::hw {
+
+double
+OpCostModel::nttCyclesPerLimb(size_t n) const
+{
+    // log2(n) stages of n/2 radix-2 butterflies. Limbs are scheduled
+    // in same-prime pairs (one coefficient of each limb per URAM
+    // word, Section IV-D), so the amortized per-limb butterfly rate
+    // is the full modFUs per cycle; the 7-cycle latency is the
+    // pipeline fill.
+    const double stages = std::bit_width(n) - 1;
+    const double perStage = std::ceil(
+        static_cast<double>(n / 2) / static_cast<double>(cfg_.modFUs));
+    return stages * perStage + cfg_.modOpLatencyCycles;
+}
+
+double
+OpCostModel::pointwiseCyclesPerLimb(size_t n) const
+{
+    return std::ceil(static_cast<double>(n)
+                     / static_cast<double>(cfg_.modFUs))
+           + cfg_.modOpLatencyCycles;
+}
+
+double
+OpCostModel::keySwitchCycles(size_t limbs) const
+{
+    const size_t n = params_.n;
+    const double digits = static_cast<double>(limbs) * params_.d;
+    // Decompose (elementwise), NTT each digit into every limb, MAC
+    // against both key polys, all on the ExternalProduct datapath.
+    const double decompose =
+        digits * pointwiseCyclesPerLimb(n);
+    const double ntts =
+        digits * static_cast<double>(limbs) * nttCyclesPerLimb(n);
+    // The two key polynomials stream through separate MAC banks of
+    // the external-product unit concurrently (Section IV-A).
+    const double macs = digits * static_cast<double>(limbs)
+                        * pointwiseCyclesPerLimb(n);
+    return decompose + ntts + macs;
+}
+
+double
+OpCostModel::addMs() const
+{
+    // Operands are URAM-resident (80-ciphertext capacity), so Add is
+    // purely compute-bound.
+    const double cycles = 2.0 * static_cast<double>(params_.limbs)
+                          * pointwiseCyclesPerLimb(params_.n);
+    return cyclesToMs(cycles);
+}
+
+double
+OpCostModel::multMs() const
+{
+    // Tensor product (4 pointwise limb passes per limb) + relin.
+    const double tensor = 4.0 * static_cast<double>(params_.limbs)
+                          * pointwiseCyclesPerLimb(params_.n);
+    const double cycles = tensor + keySwitchCycles(params_.limbs);
+    // Key traffic: l*d gadget rows of 2 polys.
+    const double kskBytes = static_cast<double>(params_.limbs)
+                            * params_.d * 2.0 * params_.rlweBytes() / 2.0;
+    const double memS = memSeconds(2.0 * params_.rlweBytes() + kskBytes);
+    return std::max(cyclesToMs(cycles), memS * 1e3);
+}
+
+double
+OpCostModel::rescaleMs() const
+{
+    // iNTT the dropped limb, then per remaining limb an NTT of the
+    // correction plus subtract/scale passes, on both polynomials.
+    const double perPoly =
+        nttCyclesPerLimb(params_.n)
+        + static_cast<double>(params_.limbs - 1)
+              * (nttCyclesPerLimb(params_.n)
+                 + 2.0 * pointwiseCyclesPerLimb(params_.n));
+    return cyclesToMs(2.0 * perPoly);
+}
+
+double
+OpCostModel::rotateMs() const
+{
+    // Automorph both polys (16 cycles per limb each on the 512
+    // permute units), then KeySwitch.
+    const double autoCycles = 2.0 * static_cast<double>(params_.limbs)
+                              * cfg_.automorphCyclesPerLimb;
+    const double cycles = autoCycles + keySwitchCycles(params_.limbs);
+    const double kskBytes = static_cast<double>(params_.limbs)
+                            * params_.d * 2.0 * params_.rlweBytes() / 2.0;
+    const double memS = memSeconds(2.0 * params_.rlweBytes() + kskBytes);
+    return std::max(cyclesToMs(cycles), memS * 1e3);
+}
+
+double
+OpCostModel::blindRotateMs(const TfheOpParams& tp) const
+{
+    // Per iteration: rotation + decompose + (h+1)d digit NTTs + MACs +
+    // 2 inverse NTTs, twice (ternary-secret plus/minus keys), with the
+    // fine-grained pipelining of Section IV-E overlapping the
+    // rotation/decompose/NTT/MAC stages of consecutive iterations.
+    const double rows = static_cast<double>((tp.h + 1) * tp.d);
+    const double perEp = rows * static_cast<double>(tp.limbs)
+                             * nttCyclesPerLimb(tp.n)
+                         + rows * static_cast<double>(tp.limbs)
+                               * pointwiseCyclesPerLimb(tp.n)
+                         + 2.0 * static_cast<double>(tp.limbs)
+                               * nttCyclesPerLimb(tp.n);
+    const double rotate = 2.0 * pointwiseCyclesPerLimb(tp.n);
+    // Stage-overlap factor: the deepest pipeline stage (the digit
+    // NTTs) hides the others once the loop is streaming.
+    const double perIter = (2.0 * perEp + rotate) / kPipelineOverlap;
+    return cyclesToMs(static_cast<double>(tp.nt) * perIter);
+}
+
+double
+OpCostModel::nttThroughputOpsPerSec() const
+{
+    // One "NTT op" transforms a full RLWE ciphertext: 2 polynomials
+    // of L limbs each.
+    const double cycles = 2.0 * static_cast<double>(params_.limbs)
+                          * nttCyclesPerLimb(params_.n);
+    return cfg_.kernelClockHz / cycles;
+}
+
+} // namespace heap::hw

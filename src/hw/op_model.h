@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Cycle-level cost model of HEAP's single-FPGA datapath (Sections
+ * IV-A..IV-E): NTT, elementwise ops, automorph, KeySwitch, and the
+ * TFHE BlindRotate. Reproduces Tables III and IV.
+ *
+ * Compute cycles follow the 512-FU radix-2 datapath: two limbs are
+ * processed concurrently (one coefficient from each of two same-prime
+ * limbs per URAM word, Section IV-D), so the aggregate butterfly rate
+ * is modFUs per cycle. Memory terms use the 32x256-bit HBM interface;
+ * op latency is max(compute, memory) since transfers overlap compute
+ * through the RD/WR FIFOs.
+ */
+
+#ifndef HEAP_HW_OP_MODEL_H
+#define HEAP_HW_OP_MODEL_H
+
+#include "hw/config.h"
+
+namespace heap::hw {
+
+/** TFHE-library-scale parameters for the Table III BlindRotate row. */
+struct TfheOpParams {
+    size_t n = 1024;  ///< TFHE ring dimension
+    size_t nt = 630;  ///< LWE dimension
+    int d = 2;        ///< decomposition degree
+    int h = 1;        ///< GLWE mask
+    size_t limbs = 1; ///< single torus limb
+};
+
+/**
+ * Depth of stage overlap in the BlindRotate loop (Section IV-E): with
+ * fine-grained pipelining, the rotate / decompose / NTT / MAC / iNTT
+ * stages of consecutive iterations execute concurrently, so steady-
+ * state throughput is set by the deepest stage rather than the stage
+ * sum. Eight concurrent stages reflect the datapath's structure.
+ */
+inline constexpr double kPipelineOverlap = 8.0;
+
+/** Per-operation latency model. */
+class OpCostModel {
+  public:
+    OpCostModel(const FpgaConfig& cfg, const HeapParams& p)
+        : cfg_(cfg), params_(p)
+    {
+    }
+
+    // --- primitive kernels ------------------------------------------
+    /** Cycles for one negacyclic NTT over one limb of size n. */
+    double nttCyclesPerLimb(size_t n) const;
+    /** Cycles for an elementwise pass over one limb (N coefficients). */
+    double pointwiseCyclesPerLimb(size_t n) const;
+    /** Cycles for a KeySwitch at `limbs` active limbs (ModUp/Down
+     *  basis-conversion datapath, Section IV-E). */
+    double keySwitchCycles(size_t limbs) const;
+
+    // --- Table III rows (times in ms) --------------------------------
+    double addMs() const;
+    double multMs() const;
+    double rescaleMs() const;
+    double rotateMs() const;
+    /** Single TFHE BlindRotate at library-scale parameters. */
+    double blindRotateMs(const TfheOpParams& tp = {}) const;
+
+    // --- Table IV -----------------------------------------------------
+    /** Full-ciphertext NTTs (2 polys x L limbs) per second. */
+    double nttThroughputOpsPerSec() const;
+
+    /** Seconds to move `bytes` through HBM. */
+    double memSeconds(double bytes) const
+    {
+        return bytes / cfg_.hbmBandwidthBps;
+    }
+
+    double cyclesToMs(double cycles) const
+    {
+        return cycles / cfg_.kernelClockHz * 1e3;
+    }
+
+  private:
+    FpgaConfig cfg_;
+    HeapParams params_;
+};
+
+} // namespace heap::hw
+
+#endif // HEAP_HW_OP_MODEL_H

@@ -1,0 +1,109 @@
+#include "hw/reference.h"
+
+namespace heap::hw::ref {
+
+const std::vector<BasicOpRow>&
+table3()
+{
+    static const std::vector<BasicOpRow> rows = {
+        {"Add", "CKKS", 0.001, 0.04, 0.16, 0.028, kNA},
+        {"Mult", "CKKS", 0.028, 1.71, 2.96, 0.464, kNA},
+        {"Rescale", "CKKS", 0.010, 0.19, 0.49, 0.069, kNA},
+        {"Rotate", "CKKS", 0.025, 1.57, 2.55, 0.364, kNA},
+        {"BlindRotate", "TFHE", 0.060, kNA, kNA, kNA, 9.40},
+    };
+    return rows;
+}
+
+const std::vector<NttRow>&
+table4()
+{
+    static const std::vector<NttRow> rows = {
+        {"HEAP", 210e3},
+        {"FAB", 103e3},
+        {"HEAX", 90e3},
+    };
+    return rows;
+}
+
+const std::vector<BootstrapRow>&
+table5()
+{
+    static const std::vector<BootstrapRow> rows = {
+        {"Lattigo", 3.5, "2^15", 101.78, 3283, 38313},
+        {"GPU", 1.2, "2^15", 0.716, 23.10, 92.4},
+        {"GME", 1.5, "2^16", 0.074, 2.39, 11.93},
+        {"F1", 1.0, "1", 254.46, 8208, 27334},
+        {"BTS-2", 1.2, "2^16", 0.0455, 1.47, 5.87},
+        {"CL", 1.0, "2^15", 4.19, 13.96, 46.49},
+        {"ARK", 1.0, "2^15", 0.014, 0.45, 1.50},
+        {"SHARP", 1.0, "2^15", 0.012, 0.39, 1.29},
+        {"FAB", 0.3, "2^15", 0.477, 15.39, 15.39},
+        {"HEAP", 0.3, "2^12", 0.031, 1.0, 1.0},
+    };
+    return rows;
+}
+
+const std::vector<AppRow>&
+table6Lr()
+{
+    static const std::vector<AppRow> rows = {
+        {"Lattigo", 37.05, 5293, 58221},
+        {"GPU", 0.775, 111, 443},
+        {"GME", 0.054, 7.7, 38.57},
+        {"F1", 1.024, 146, 486},
+        {"BTS-2", 0.028, 4, 16},
+        {"ARK", 0.008, 1.14, 3.8},
+        {"SHARP", 0.002, 0.29, 0.96},
+        {"FAB", 0.103, 14.71, 14.71},
+        {"FAB-2", 0.081, 11.57, 11.57},
+        {"HEAP", 0.007, 1.0, 1.0},
+    };
+    return rows;
+}
+
+const std::vector<AppRow>&
+table7Resnet()
+{
+    static const std::vector<AppRow> rows = {
+        {"CPU", 10602, 39708, 436786},
+        {"GME", 0.982, 3.7, 18.39},
+        {"CL", 0.321, 1.20, 4},
+        {"ARK", 0.125, 0.47, 1.56},
+        {"SHARP", 0.099, 0.37, 1.23},
+        {"HEAP", 0.267, 1.0, 1.0},
+    };
+    return rows;
+}
+
+const std::vector<SchemeSwitchRow>&
+table8()
+{
+    static const std::vector<SchemeSwitchRow> rows = {
+        {"Bootstrapping", 4168, 436, 1.5, 9.6, 290.7, "ms"},
+        {"LR Model Training", 37.05, 2.39, 0.007, 15.5, 341.4, "s"},
+        {"ResNet-20 Inference", 10602, 309.7, 0.267, 34.2, 1160, "s"},
+    };
+    return rows;
+}
+
+const std::vector<ResourceRow>&
+table2()
+{
+    static const std::vector<ResourceRow> rows = {
+        {"LUTs", 1304000, 1012000, 77.61},
+        {"FFs", 2607000, 1936000, 74.26},
+        {"DSPs", 9024, 6144, 68.08},
+        {"BRAM blocks", 4032, 3840, 95.24},
+        {"URAM blocks", 962, 960, 99.80},
+    };
+    return rows;
+}
+
+BootstrapStages
+bootstrapStages()
+{
+    return BootstrapStages{};
+}
+
+} // namespace heap::hw::ref

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Published reference numbers from the paper's evaluation section.
+ *
+ * The paper compares HEAP against *published* results of prior
+ * systems (Lattigo CPU, GPU [34], GME [51], F1 [49], BTS-2 [38],
+ * CraterLake [50], ARK [37], SHARP [36], FAB [2], HEAX [48], TFHE
+ * [17]); these constants reproduce those columns so every bench can
+ * print the paper's table next to the model's reproduction.
+ */
+
+#ifndef HEAP_HW_REFERENCE_H
+#define HEAP_HW_REFERENCE_H
+
+#include <string>
+#include <vector>
+
+namespace heap::hw::ref {
+
+/** Sentinel for "not supported / not reported". */
+inline constexpr double kNA = -1.0;
+
+/** Table III: basic FHE op execution time (ms) on a single FPGA. */
+struct BasicOpRow {
+    std::string op;
+    std::string scheme;
+    double heapMs, fabMs, gpuMs, gmeMs, tfheMs;
+};
+const std::vector<BasicOpRow>& table3();
+
+/** Table IV: NTT throughput (full-ciphertext transforms per second). */
+struct NttRow {
+    std::string work;
+    double opsPerSec;
+};
+const std::vector<NttRow>& table4();
+
+/** Table V: bootstrapping T_mult,a/slot. */
+struct BootstrapRow {
+    std::string work;
+    double freqGHz;
+    std::string slots;
+    double timeUs;        ///< T_mult,a/slot in microseconds
+    double speedupTime;   ///< HEAP speedup (wall-clock)
+    double speedupCycles; ///< HEAP speedup (cycle count)
+};
+const std::vector<BootstrapRow>& table5();
+
+/** Tables VI & VII: application time with speedups. */
+struct AppRow {
+    std::string work;
+    double timeSec;
+    double speedupTime;
+    double speedupCycles;
+};
+const std::vector<AppRow>& table6Lr();
+const std::vector<AppRow>& table7Resnet();
+
+/** Table VIII: scheme switching vs hardware decomposition. */
+struct SchemeSwitchRow {
+    std::string workload;
+    double ckksCpu;  ///< CKKS-only on CPU
+    double ssCpu;    ///< scheme switching on CPU
+    double ssHeap;   ///< scheme switching on HEAP
+    double speedup1; ///< ckksCpu / ssCpu
+    double speedup2; ///< ssCpu / ssHeap
+    std::string unit;
+};
+const std::vector<SchemeSwitchRow>& table8();
+
+/** Table II: reported resource utilization. */
+struct ResourceRow {
+    std::string resource;
+    size_t available;
+    size_t utilized;
+    double percent;
+};
+const std::vector<ResourceRow>& table2();
+
+/** Section VI-E single-bootstrap stage anchors (ms). */
+struct BootstrapStages {
+    double modSwitchMs = 0.0025;
+    double blindRotateMs = 1.3303;
+    double finishMs = 0.1672;
+    double totalMs = 1.5;
+};
+BootstrapStages bootstrapStages();
+
+} // namespace heap::hw::ref
+
+#endif // HEAP_HW_REFERENCE_H

@@ -1,0 +1,134 @@
+#include "hw/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace heap::hw {
+
+void
+ScheduleTimeline::add(std::string lane, double startMs, double endMs,
+                      char glyph, std::string label)
+{
+    HEAP_CHECK(endMs >= startMs, "event ends before it starts");
+    if (std::find(laneOrder_.begin(), laneOrder_.end(), lane)
+        == laneOrder_.end()) {
+        laneOrder_.push_back(lane);
+    }
+    events_.push_back(TimelineEvent{std::move(lane), startMs, endMs,
+                                    glyph, std::move(label)});
+}
+
+double
+ScheduleTimeline::spanMs() const
+{
+    double end = 0;
+    for (const auto& e : events_) {
+        end = std::max(end, e.endMs);
+    }
+    return end;
+}
+
+double
+ScheduleTimeline::utilization(const std::string& lane) const
+{
+    double busy = 0;
+    for (const auto& e : events_) {
+        if (e.lane == lane) {
+            busy += e.endMs - e.startMs;
+        }
+    }
+    const double span = spanMs();
+    return span > 0 ? busy / span : 0;
+}
+
+std::string
+ScheduleTimeline::render(size_t width) const
+{
+    const double span = spanMs();
+    HEAP_CHECK(span > 0, "empty timeline");
+    size_t laneWidth = 0;
+    for (const auto& l : laneOrder_) {
+        laneWidth = std::max(laneWidth, l.size());
+    }
+    std::ostringstream oss;
+    for (const auto& lane : laneOrder_) {
+        std::string bar(width, '.');
+        for (const auto& e : events_) {
+            if (e.lane != lane) {
+                continue;
+            }
+            auto col = [&](double t) {
+                return std::min(
+                    width - 1,
+                    static_cast<size_t>(t / span
+                                        * static_cast<double>(width)));
+            };
+            const size_t c0 = col(e.startMs);
+            const size_t c1 = std::max(c0, col(e.endMs));
+            for (size_t c = c0; c <= c1; ++c) {
+                bar[c] = e.glyph;
+            }
+        }
+        oss << lane << std::string(laneWidth - lane.size(), ' ') << " |"
+            << bar << "| "
+            << static_cast<int>(100.0 * utilization(lane) + 0.5)
+            << "%\n";
+    }
+    oss << std::string(laneWidth, ' ') << " 0" << std::string(width - 6, ' ')
+        << std::fixed;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fms", span);
+    oss << buf << "\n";
+    return oss.str();
+}
+
+ScheduleTimeline
+buildBootstrapTimeline(const BootstrapModel& model, size_t slots)
+{
+    const auto b = model.bootstrap(slots);
+    const size_t fpgas = model.numFpgas();
+    const auto& p = model.params();
+    const double ctsPerFpga = std::ceil(
+        static_cast<double>(slots) / static_cast<double>(fpgas));
+    // Time to ship one FPGA's batch over the 100G link (each way).
+    const double batchMs =
+        ctsPerFpga * p.lweBytes() / (100e9 / 8.0) * 1e3;
+    const double brMs = b.blindRotateMs;
+
+    ScheduleTimeline tl;
+    const double t0 = b.modSwitchMs;
+    tl.add("fpga0 (primary)", 0, t0, 'M', "ModulusSwitch");
+    // Distribution: one secondary's batch at a time (Section V).
+    for (size_t j = 1; j < fpgas; ++j) {
+        const double s = t0 + static_cast<double>(j - 1) * batchMs;
+        tl.add("link out", s, s + batchMs, '>', "batch to fpga" +
+                                                    std::to_string(j));
+        // Secondary computes as soon as its batch lands; results
+        // stream back during the tail of its compute window.
+        const std::string lane = "fpga" + std::to_string(j);
+        tl.add(lane, s + batchMs, s + batchMs + brMs, '#',
+               "BlindRotate");
+        tl.add("link in", s + batchMs + brMs - batchMs,
+               s + batchMs + brMs, '<', "results");
+    }
+    // Primary's own share computes during/after distribution.
+    const double primaryStart =
+        t0 + static_cast<double>(fpgas - 1) * batchMs;
+    tl.add("fpga0 (primary)", t0, primaryStart, 'D', "distribute");
+    tl.add("fpga0 (primary)", primaryStart, primaryStart + brMs, '#',
+           "BlindRotate");
+    // Repack + finish once everything has landed.
+    double lastIn = primaryStart + brMs;
+    for (size_t j = 1; j < fpgas; ++j) {
+        lastIn = std::max(lastIn, t0 + static_cast<double>(j) * batchMs
+                                      + brMs);
+    }
+    tl.add("fpga0 (primary)", lastIn, lastIn + b.finishMs, 'R',
+           "repack+finish");
+    return tl;
+}
+
+} // namespace heap::hw

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Event timeline + ASCII Gantt renderer for the multi-FPGA bootstrap
+ * schedule of Section V: the primary distributes LWE ciphertexts to
+ * each secondary in turn, every FPGA blind-rotates its share, results
+ * stream back as soon as they are ready, and the primary repacks —
+ * "communication between the FPGAs is not the bottleneck".
+ */
+
+#ifndef HEAP_HW_TIMELINE_H
+#define HEAP_HW_TIMELINE_H
+
+#include <string>
+#include <vector>
+
+#include "hw/bootstrap_model.h"
+
+namespace heap::hw {
+
+/** One busy interval on one lane (an FPGA or a link). */
+struct TimelineEvent {
+    std::string lane;
+    double startMs = 0;
+    double endMs = 0;
+    char glyph = '#';
+    std::string label;
+};
+
+/** Collects events and renders an ASCII Gantt chart. */
+class ScheduleTimeline {
+  public:
+    void add(std::string lane, double startMs, double endMs, char glyph,
+             std::string label = {});
+
+    /** Total span covered by the events. */
+    double spanMs() const;
+
+    /** Lane utilization: busy time / span. */
+    double utilization(const std::string& lane) const;
+
+    /** Renders lanes in insertion order, `width` columns of time. */
+    std::string render(size_t width = 72) const;
+
+    const std::vector<TimelineEvent>& events() const { return events_; }
+
+  private:
+    std::vector<TimelineEvent> events_;
+    std::vector<std::string> laneOrder_;
+};
+
+/**
+ * Builds the Section V bootstrap schedule for `slots` packed slots on
+ * the model's FPGA count: distribute -> blind-rotate -> stream back
+ * -> repack, with per-secondary staggering and overlap.
+ */
+ScheduleTimeline buildBootstrapTimeline(const BootstrapModel& model,
+                                        size_t slots);
+
+} // namespace heap::hw
+
+#endif // HEAP_HW_TIMELINE_H

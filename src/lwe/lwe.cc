@@ -1,0 +1,173 @@
+#include "lwe/lwe.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+#include "math/modarith.h"
+#include "math/sampling.h"
+
+namespace heap::lwe {
+
+using math::addMod;
+using math::fromCentered;
+using math::mulModNaive;
+using math::negMod;
+using math::subMod;
+using math::toCentered;
+
+LweSecretKey
+LweSecretKey::sampleTernary(size_t n, Rng& rng)
+{
+    return LweSecretKey{math::sampleTernary(n, rng)};
+}
+
+int64_t
+lwePhase(const LweCiphertext& ct, const LweSecretKey& sk)
+{
+    HEAP_CHECK(ct.a.size() == sk.coeffs.size(),
+               "LWE dimension mismatch: " << ct.a.size() << " vs "
+                                          << sk.coeffs.size());
+    const uint64_t q = ct.modulus;
+    uint64_t acc = ct.b % q;
+    for (size_t j = 0; j < ct.a.size(); ++j) {
+        const int64_t s = sk.coeffs[j];
+        if (s == 0) {
+            continue;
+        }
+        const uint64_t term =
+            mulModNaive(ct.a[j] % q, fromCentered(s, q), q);
+        acc = addMod(acc, term, q);
+    }
+    return toCentered(acc, q);
+}
+
+LweCiphertext
+lweEncrypt(int64_t m, const LweSecretKey& sk, uint64_t q, Rng& rng,
+           double errStdDev)
+{
+    LweCiphertext ct;
+    ct.modulus = q;
+    ct.a.resize(sk.coeffs.size());
+    for (auto& v : ct.a) {
+        v = rng.uniform(q);
+    }
+    // b = m + e - <a, s>.
+    const int64_t e =
+        static_cast<int64_t>(std::llround(rng.gaussian() * errStdDev));
+    uint64_t b = fromCentered(m + e, q);
+    for (size_t j = 0; j < ct.a.size(); ++j) {
+        const int64_t s = sk.coeffs[j];
+        if (s == 0) {
+            continue;
+        }
+        b = subMod(b, mulModNaive(ct.a[j], fromCentered(s, q), q), q);
+    }
+    ct.b = b;
+    return ct;
+}
+
+LweCiphertext
+extractLwe(std::span<const uint64_t> aPoly, std::span<const uint64_t> bPoly,
+           size_t idx, uint64_t modulus)
+{
+    const size_t n = aPoly.size();
+    HEAP_CHECK(bPoly.size() == n, "RLWE component size mismatch");
+    HEAP_CHECK(idx < n, "extraction index out of range");
+    LweCiphertext ct;
+    ct.modulus = modulus;
+    ct.b = bPoly[idx] % modulus;
+    ct.a.resize(n);
+    // Coefficient idx of a(X)*s(X) mod X^N+1 equals
+    //   sum_{k<=idx} a_{idx-k} s_k - sum_{k>idx} a_{N+idx-k} s_k,
+    // so the LWE mask pairs s_k with a_{idx-k} (negated on wraparound):
+    // Eq. (2) of the paper.
+    for (size_t k = 0; k < n; ++k) {
+        if (k <= idx) {
+            ct.a[k] = aPoly[idx - k] % modulus;
+        } else {
+            ct.a[k] = negMod(aPoly[n + idx - k] % modulus, modulus);
+        }
+    }
+    return ct;
+}
+
+LweCiphertext
+lweModSwitch(const LweCiphertext& ct, uint64_t newModulus)
+{
+    HEAP_CHECK(newModulus >= 2, "bad target modulus");
+    const long double ratio = static_cast<long double>(newModulus)
+                              / static_cast<long double>(ct.modulus);
+    auto sw = [&](uint64_t x) {
+        const auto r = static_cast<uint64_t>(
+            std::llroundl(static_cast<long double>(x) * ratio));
+        return r % newModulus;
+    };
+    LweCiphertext out;
+    out.modulus = newModulus;
+    out.b = sw(ct.b);
+    out.a.resize(ct.a.size());
+    for (size_t j = 0; j < ct.a.size(); ++j) {
+        out.a[j] = sw(ct.a[j]);
+    }
+    return out;
+}
+
+LweKeySwitchKey
+makeLweKeySwitchKey(const LweSecretKey& dst, const LweSecretKey& src,
+                    uint64_t q, int baseBits, Rng& rng, double errStdDev)
+{
+    HEAP_CHECK(baseBits >= 1 && baseBits < 32, "bad key-switch base");
+    LweKeySwitchKey ksk;
+    ksk.baseBits = baseBits;
+    ksk.srcDim = src.coeffs.size();
+    const int qBits = std::bit_width(q - 1);
+    ksk.digits = (qBits + baseBits - 1) / baseBits;
+    ksk.rows.reserve(ksk.srcDim * static_cast<size_t>(ksk.digits));
+    for (size_t j = 0; j < ksk.srcDim; ++j) {
+        for (int d = 0; d < ksk.digits; ++d) {
+            const uint64_t scale = math::powMod(1ULL << baseBits,
+                                                static_cast<uint64_t>(d),
+                                                q);
+            const int64_t msg = toCentered(
+                mulModNaive(fromCentered(src.coeffs[j], q), scale, q), q);
+            ksk.rows.push_back(lweEncrypt(msg, dst, q, rng, errStdDev));
+        }
+    }
+    return ksk;
+}
+
+LweCiphertext
+lweKeySwitch(const LweCiphertext& ct, const LweKeySwitchKey& ksk)
+{
+    HEAP_CHECK(ct.a.size() == ksk.srcDim, "key-switch dimension mismatch");
+    HEAP_CHECK(!ksk.rows.empty(), "empty key-switch key");
+    const uint64_t q = ct.modulus;
+    const uint64_t mask = (1ULL << ksk.baseBits) - 1;
+    const size_t dstDim = ksk.rows.front().a.size();
+
+    LweCiphertext out;
+    out.modulus = q;
+    out.b = ct.b % q;
+    out.a.assign(dstDim, 0);
+    for (size_t j = 0; j < ksk.srcDim; ++j) {
+        uint64_t v = ct.a[j] % q;
+        for (int d = 0; d < ksk.digits; ++d) {
+            const uint64_t dig = (v >> (d * ksk.baseBits)) & mask;
+            if (dig == 0) {
+                continue;
+            }
+            const auto& row =
+                ksk.rows[j * static_cast<size_t>(ksk.digits)
+                         + static_cast<size_t>(d)];
+            out.b = addMod(out.b, mulModNaive(dig, row.b, q), q);
+            for (size_t k = 0; k < dstDim; ++k) {
+                out.a[k] =
+                    addMod(out.a[k], mulModNaive(dig, row.a[k], q), q);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace heap::lwe

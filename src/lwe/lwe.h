@@ -1,0 +1,96 @@
+/**
+ * @file
+ * LWE ciphertexts and the TFHE-side scalar operations of the paper:
+ * Extract (sample extraction, Eq. 2), ModulusSwitch (to 2N), and LWE
+ * key switching (dimension reduction, Section VII-A).
+ *
+ * An LWE ciphertext is ct = (a, b) in Z_q^{n+1} with phase
+ * phi = b + <a, s>. Moduli here are arbitrary (powers of two such as
+ * 2N included) — no NTT is ever applied to LWE data.
+ */
+
+#ifndef HEAP_LWE_LWE_H
+#define HEAP_LWE_LWE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace heap::lwe {
+
+/** LWE ciphertext: mask vector a, body b, working modulus q. */
+struct LweCiphertext {
+    std::vector<uint64_t> a;
+    uint64_t b = 0;
+    uint64_t modulus = 0;
+
+    size_t dimension() const { return a.size(); }
+};
+
+/** LWE secret key: small signed coefficients. */
+struct LweSecretKey {
+    std::vector<int64_t> coeffs;
+
+    /** Samples a uniform ternary key of dimension n. */
+    static LweSecretKey sampleTernary(size_t n, Rng& rng);
+};
+
+/** Computes the phase b + <a, s> centered in (-q/2, q/2]. */
+int64_t lwePhase(const LweCiphertext& ct, const LweSecretKey& sk);
+
+/** Encrypts the centered message m with Gaussian noise. */
+LweCiphertext lweEncrypt(int64_t m, const LweSecretKey& sk, uint64_t q,
+                         Rng& rng, double errStdDev = 3.2);
+
+/** Decrypts to the centered phase (message + noise). */
+inline int64_t
+lweDecrypt(const LweCiphertext& ct, const LweSecretKey& sk)
+{
+    return lwePhase(ct, sk);
+}
+
+/**
+ * Extract (Eq. 2): forms the LWE ciphertext of coefficient `idx` of an
+ * RLWE ciphertext (a(X), b(X)) given as raw single-modulus coefficient
+ * vectors. The LWE secret is the RLWE secret's coefficient vector.
+ */
+LweCiphertext extractLwe(std::span<const uint64_t> aPoly,
+                         std::span<const uint64_t> bPoly, size_t idx,
+                         uint64_t modulus);
+
+/**
+ * ModulusSwitch: rescales every entry from modulus q to newModulus by
+ * rounding round(x * newModulus / q). The paper's Algorithm 2 instead
+ * uses the exact-division form computed at the RLWE level (see
+ * boot/scheme_switch.h); this rounding form serves standalone TFHE.
+ */
+LweCiphertext lweModSwitch(const LweCiphertext& ct, uint64_t newModulus);
+
+/**
+ * LWE key-switching key: for every source-key coefficient j and digit
+ * d, an encryption of s_j * B^d under the destination key. This is the
+ * paper's "vector of h*N*d LWE ciphertexts" (Section II-B).
+ */
+struct LweKeySwitchKey {
+    // rows[j * digits + d] encrypts sSrc_j * B^d.
+    std::vector<LweCiphertext> rows;
+    int baseBits = 0;
+    int digits = 0;
+    size_t srcDim = 0;
+};
+
+/** Builds a key-switching key from `src` to `dst` at modulus q. */
+LweKeySwitchKey makeLweKeySwitchKey(const LweSecretKey& dst,
+                                    const LweSecretKey& src, uint64_t q,
+                                    int baseBits, Rng& rng,
+                                    double errStdDev = 3.2);
+
+/** Switches ct (under src) to an LWE ciphertext under dst. */
+LweCiphertext lweKeySwitch(const LweCiphertext& ct,
+                           const LweKeySwitchKey& ksk);
+
+} // namespace heap::lwe
+
+#endif // HEAP_LWE_LWE_H

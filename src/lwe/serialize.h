@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wire format for LWE ciphertexts — the payloads the Section V
+ * protocol streams between the primary and secondary nodes.
+ */
+
+#ifndef HEAP_LWE_SERIALIZE_H
+#define HEAP_LWE_SERIALIZE_H
+
+#include "common/serialize.h"
+#include "lwe/lwe.h"
+
+namespace heap::lwe {
+
+inline void
+saveLwe(const LweCiphertext& ct, ByteWriter& w)
+{
+    w.u64(ct.modulus);
+    w.u64(ct.b);
+    w.u64Span(ct.a);
+}
+
+inline LweCiphertext
+loadLwe(ByteReader& r)
+{
+    LweCiphertext ct;
+    ct.modulus = r.u64();
+    HEAP_CHECK(ct.modulus >= 2, "corrupt LWE modulus");
+    ct.b = r.u64();
+    HEAP_CHECK(ct.b < ct.modulus, "corrupt LWE body");
+    ct.a = r.u64Vec(1 << 20);
+    for (const uint64_t v : ct.a) {
+        HEAP_CHECK(v < ct.modulus, "corrupt LWE mask entry");
+    }
+    return ct;
+}
+
+} // namespace heap::lwe
+
+#endif // HEAP_LWE_SERIALIZE_H

@@ -1,0 +1,126 @@
+#include "math/baseconv.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace heap::math {
+
+BaseConverter::BaseConverter(std::vector<uint64_t> src,
+                             std::vector<uint64_t> dst)
+    : src_(std::move(src)), dst_(std::move(dst))
+{
+    HEAP_CHECK(!src_.empty() && !dst_.empty(), "empty basis");
+    for (const uint64_t p : src_) {
+        for (const uint64_t t : dst_) {
+            HEAP_CHECK(p != t, "bases must be disjoint (prime " << p
+                                                                << ")");
+        }
+    }
+    const size_t k = src_.size();
+    const size_t m = dst_.size();
+
+    for (const uint64_t t : dst_) {
+        dstRed_.emplace_back(t);
+    }
+
+    // pHatInv_[i] = [(P/p_i)^{-1}]_{p_i}.
+    pHatInv_.resize(k);
+    pHatInvShoup_.resize(k);
+    for (size_t i = 0; i < k; ++i) {
+        uint64_t prod = 1;
+        for (size_t u = 0; u < k; ++u) {
+            if (u != i) {
+                prod = mulModNaive(prod, src_[u] % src_[i], src_[i]);
+            }
+        }
+        pHatInv_[i] = invMod(prod, src_[i]);
+        pHatInvShoup_[i] = shoupPrecompute(pHatInv_[i], src_[i]);
+    }
+
+    // pHatModDst_ and pModDst_.
+    pHatModDst_.assign(k * m, 0);
+    pModDst_.resize(m);
+    for (size_t j = 0; j < m; ++j) {
+        const uint64_t t = dst_[j];
+        uint64_t pMod = 1;
+        for (const uint64_t p : src_) {
+            pMod = mulModNaive(pMod, p % t, t);
+        }
+        pModDst_[j] = pMod;
+        for (size_t i = 0; i < k; ++i) {
+            uint64_t hat = 1;
+            for (size_t u = 0; u < k; ++u) {
+                if (u != i) {
+                    hat = mulModNaive(hat, src_[u] % t, t);
+                }
+            }
+            pHatModDst_[i * m + j] = hat;
+        }
+    }
+
+    pInv_.resize(k);
+    for (size_t i = 0; i < k; ++i) {
+        pInv_[i] = 1.0 / static_cast<double>(src_[i]);
+    }
+}
+
+void
+BaseConverter::convertCoeff(std::span<const uint64_t> srcResidues,
+                            std::span<uint64_t> dstResidues,
+                            bool exact) const
+{
+    const size_t k = src_.size();
+    const size_t m = dst_.size();
+    HEAP_CHECK(srcResidues.size() == k && dstResidues.size() == m,
+               "residue count mismatch");
+
+    // y_i = [x * (P/p_i)^{-1}]_{p_i}; alpha ~ round(sum y_i / p_i).
+    double alphaEst = 0;
+    uint64_t y[64];
+    HEAP_CHECK(k <= 64, "source basis too large");
+    for (size_t i = 0; i < k; ++i) {
+        y[i] = mulModShoup(srcResidues[i] % src_[i], pHatInv_[i],
+                           pHatInvShoup_[i], src_[i]);
+        alphaEst += static_cast<double>(y[i]) * pInv_[i];
+    }
+    const auto alpha =
+        exact ? static_cast<uint64_t>(std::llround(alphaEst)) : 0;
+
+    for (size_t j = 0; j < m; ++j) {
+        const uint64_t t = dst_[j];
+        uint64_t acc = 0;
+        for (size_t i = 0; i < k; ++i) {
+            acc = addMod(acc,
+                         dstRed_[j].mulMod(y[i], pHatModDst_[i * m + j]),
+                         t);
+        }
+        if (exact && alpha != 0) {
+            acc = subMod(acc,
+                         dstRed_[j].mulMod(alpha % t, pModDst_[j]), t);
+        }
+        dstResidues[j] = acc;
+    }
+}
+
+void
+BaseConverter::convert(std::span<const std::span<const uint64_t>> src,
+                       std::span<std::span<uint64_t>> dst,
+                       bool exact) const
+{
+    HEAP_CHECK(src.size() == src_.size() && dst.size() == dst_.size(),
+               "limb count mismatch");
+    const size_t n = src[0].size();
+    std::vector<uint64_t> in(src_.size()), out(dst_.size());
+    for (size_t c = 0; c < n; ++c) {
+        for (size_t i = 0; i < src_.size(); ++i) {
+            in[i] = src[i][c];
+        }
+        convertCoeff(in, out, exact);
+        for (size_t j = 0; j < dst_.size(); ++j) {
+            dst[j][c] = out[j];
+        }
+    }
+}
+
+} // namespace heap::math

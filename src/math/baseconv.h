@@ -1,0 +1,73 @@
+/**
+ * @file
+ * RNS base conversion — the "basis conversion operation during ModUp
+ * and ModDown in the CKKS KeySwitch" whose datapath the paper shares
+ * with the TFHE ExternalProduct unit (Sections IV-A, IV-E).
+ *
+ * Given the residues of x with respect to a source prime basis
+ * P = prod(p_i), computes residues with respect to a disjoint target
+ * basis. Two variants:
+ *
+ *  - fast (approximate) conversion: x~ = sum_i [x * (P/p_i)^{-1}]_{p_i}
+ *    * (P/p_i) mod t, which equals x + alpha*P for a small integer
+ *    alpha in [0, k) — the classic FBC of the RNS CKKS literature;
+ *  - exact conversion: the same sum with alpha estimated from the
+ *    floating-point sum of y_i / p_i and subtracted.
+ */
+
+#ifndef HEAP_MATH_BASECONV_H
+#define HEAP_MATH_BASECONV_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "math/modarith.h"
+
+namespace heap::math {
+
+class BaseConverter {
+  public:
+    /**
+     * Precomputes conversion constants from `src` to `dst`.
+     * @pre bases are disjoint sets of primes.
+     */
+    BaseConverter(std::vector<uint64_t> src, std::vector<uint64_t> dst);
+
+    const std::vector<uint64_t>& srcModuli() const { return src_; }
+    const std::vector<uint64_t>& dstModuli() const { return dst_; }
+
+    /**
+     * Converts one coefficient: srcResidues[i] = [x]_{p_i}.
+     * @param exact subtract the alpha*P overshoot (costs one
+     *        floating-point pass)
+     * @param dstResidues out: [x + alpha*P]_{t_j} (alpha = 0 if exact)
+     */
+    void convertCoeff(std::span<const uint64_t> srcResidues,
+                      std::span<uint64_t> dstResidues,
+                      bool exact = false) const;
+
+    /**
+     * Converts whole coefficient vectors: src[i] is the limb of p_i
+     * (length n each), dst[j] the output limb of t_j.
+     */
+    void convert(std::span<const std::span<const uint64_t>> src,
+                 std::span<std::span<uint64_t>> dst,
+                 bool exact = false) const;
+
+  private:
+    std::vector<uint64_t> src_, dst_;
+    std::vector<BarrettReducer> dstRed_;
+    // pHatInv_[i] = [(P/p_i)^{-1}]_{p_i} with Shoup companion.
+    std::vector<uint64_t> pHatInv_, pHatInvShoup_;
+    // pHatModDst_[i * dst + j] = [P/p_i]_{t_j}.
+    std::vector<uint64_t> pHatModDst_;
+    // pModDst_[j] = [P]_{t_j} (for the exact correction).
+    std::vector<uint64_t> pModDst_;
+    // 1 / p_i as double (for the alpha estimate).
+    std::vector<double> pInv_;
+};
+
+} // namespace heap::math
+
+#endif // HEAP_MATH_BASECONV_H

@@ -1,0 +1,166 @@
+#include "math/ntt.h"
+
+#include <bit>
+
+#include "common/check.h"
+#include "math/primes.h"
+
+namespace heap::math {
+
+NttTables::NttTables(size_t n, uint64_t q)
+    : n_(n), q_(q), barrett_(q)
+{
+    HEAP_CHECK(n >= 2 && (n & (n - 1)) == 0, "n must be a power of two");
+    logN_ = 0;
+    while ((static_cast<size_t>(1) << logN_) < n) {
+        ++logN_;
+    }
+
+    const uint64_t psi = minimalPrimitiveRoot2N(q, n);
+    const uint64_t omega = mulModNaive(psi, psi, q);
+    const uint64_t psiInv = invMod(psi, q);
+    const uint64_t omegaInv = invMod(omega, q);
+    const uint64_t nInv = invMod(static_cast<uint64_t>(n), q);
+
+    // Stage-flattened omega twiddles: for each stage length `len`
+    // (a power of two in [1, n/2]), tw_[len + j] = omega^{j * n/(2 len)}.
+    tw_.assign(n, 1);
+    itw_.assign(n, 1);
+    stageStep_.assign(logN_ + 1, 1);
+    for (size_t len = 1; len <= n / 2; len <<= 1) {
+        const uint64_t stride = static_cast<uint64_t>(n / (2 * len));
+        uint64_t w = 1, iw = 1;
+        const uint64_t wStep = powMod(omega, stride, q);
+        const uint64_t iwStep = powMod(omegaInv, stride, q);
+        stageStep_[std::bit_width(len) - 1] = wStep;
+        for (size_t j = 0; j < len; ++j) {
+            tw_[len + j] = w;
+            itw_[len + j] = iw;
+            w = mulModNaive(w, wStep, q);
+            iw = mulModNaive(iw, iwStep, q);
+        }
+    }
+
+    psiPow_.resize(n);
+    ipsiPowScaled_.resize(n);
+    uint64_t p = 1;
+    uint64_t ip = nInv;
+    for (size_t i = 0; i < n; ++i) {
+        psiPow_[i] = p;
+        ipsiPowScaled_[i] = ip;
+        p = mulModNaive(p, psi, q);
+        ip = mulModNaive(ip, psiInv, q);
+    }
+
+    auto shoupify = [&](const std::vector<uint64_t>& v) {
+        std::vector<uint64_t> s(v.size());
+        for (size_t i = 0; i < v.size(); ++i) {
+            s[i] = shoupPrecompute(v[i], q);
+        }
+        return s;
+    };
+    twShoup_ = shoupify(tw_);
+    itwShoup_ = shoupify(itw_);
+    psiPowShoup_ = shoupify(psiPow_);
+    ipsiPowScaledShoup_ = shoupify(ipsiPowScaled_);
+}
+
+void
+NttTables::forward(std::span<uint64_t> a) const
+{
+    HEAP_ASSERT(a.size() == n_, "NTT size mismatch");
+    // Pre-multiply by psi^i (negacyclic twist).
+    for (size_t i = 0; i < n_; ++i) {
+        a[i] = mulModShoup(a[i], psiPow_[i], psiPowShoup_[i], q_);
+    }
+    // DIF pass: natural in, bit-reversed out.
+    for (size_t len = n_ / 2; len >= 1; len >>= 1) {
+        for (size_t start = 0; start < n_; start += 2 * len) {
+            for (size_t j = 0; j < len; ++j) {
+                const uint64_t w = tw_[len + j];
+                const uint64_t ws = twShoup_[len + j];
+                const uint64_t u = a[start + j];
+                const uint64_t v = a[start + j + len];
+                a[start + j] = addMod(u, v, q_);
+                a[start + j + len] =
+                    mulModShoup(subMod(u, v, q_), w, ws, q_);
+            }
+        }
+    }
+}
+
+void
+NttTables::forwardOnTheFly(std::span<uint64_t> a) const
+{
+    HEAP_ASSERT(a.size() == n_, "NTT size mismatch");
+    for (size_t i = 0; i < n_; ++i) {
+        a[i] = mulModShoup(a[i], psiPow_[i], psiPowShoup_[i], q_);
+    }
+    for (size_t len = n_ / 2; len >= 1; len >>= 1) {
+        // Generate this stage's twiddles by repeated multiplication
+        // with the stage seed (only log2(n) seeds are stored).
+        const uint64_t step = stageStep_[std::bit_width(len) - 1];
+        for (size_t start = 0; start < n_; start += 2 * len) {
+            uint64_t w = 1;
+            for (size_t j = 0; j < len; ++j) {
+                const uint64_t u = a[start + j];
+                const uint64_t v = a[start + j + len];
+                a[start + j] = addMod(u, v, q_);
+                a[start + j + len] =
+                    barrett_.mulMod(subMod(u, v, q_), w);
+                w = barrett_.mulMod(w, step);
+            }
+        }
+    }
+}
+
+void
+NttTables::inverse(std::span<uint64_t> a) const
+{
+    HEAP_ASSERT(a.size() == n_, "NTT size mismatch");
+    // DIT pass: bit-reversed in, natural out, using omega^{-1}.
+    for (size_t len = 1; len <= n_ / 2; len <<= 1) {
+        for (size_t start = 0; start < n_; start += 2 * len) {
+            for (size_t j = 0; j < len; ++j) {
+                const uint64_t w = itw_[len + j];
+                const uint64_t ws = itwShoup_[len + j];
+                const uint64_t u = a[start + j];
+                const uint64_t v =
+                    mulModShoup(a[start + j + len], w, ws, q_);
+                a[start + j] = addMod(u, v, q_);
+                a[start + j + len] = subMod(u, v, q_);
+            }
+        }
+    }
+    // Post-multiply by psi^{-i} * n^{-1} (untwist + scale).
+    for (size_t i = 0; i < n_; ++i) {
+        a[i] = mulModShoup(a[i], ipsiPowScaled_[i], ipsiPowScaledShoup_[i],
+                           q_);
+    }
+}
+
+std::vector<uint64_t>
+negacyclicConvolveSchoolbook(std::span<const uint64_t> a,
+                             std::span<const uint64_t> b, uint64_t q)
+{
+    const size_t n = a.size();
+    HEAP_CHECK(b.size() == n, "size mismatch");
+    std::vector<uint64_t> out(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        if (a[i] == 0) {
+            continue;
+        }
+        for (size_t j = 0; j < n; ++j) {
+            const uint64_t prod = mulModNaive(a[i], b[j], q);
+            const size_t k = i + j;
+            if (k < n) {
+                out[k] = addMod(out[k], prod, q);
+            } else {
+                out[k - n] = subMod(out[k - n], prod, q);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace heap::math

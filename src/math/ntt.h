@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Negacyclic number theoretic transform over Z_q[X]/(X^N + 1).
+ *
+ * The transform is factored exactly the way the paper's NTT datapath is
+ * (Section IV-D): radix-2 butterflies following the Cooley-Tukey access
+ * pattern, with per-stage twiddle groups so the address generation is
+ * `address = i_g + i_nc * 2^cs`. In software:
+ *
+ *  - forward(): multiply by psi^i, then an iterative DIF pass
+ *    (natural order in, bit-reversed order out) with omega = psi^2,
+ *  - inverse(): iterative DIT pass (bit-reversed in, natural out) with
+ *    omega^{-1}, then multiply by psi^{-i} / N.
+ *
+ * Pointwise products are performed in the bit-reversed evaluation
+ * domain, so forward/inverse compose to the exact negacyclic product.
+ * Twiddle factors carry Shoup companions for fast constant
+ * multiplication.
+ */
+
+#ifndef HEAP_MATH_NTT_H
+#define HEAP_MATH_NTT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "math/modarith.h"
+
+namespace heap::math {
+
+/**
+ * Precomputed tables for the negacyclic NTT of size n modulo q.
+ */
+class NttTables {
+  public:
+    /**
+     * Builds tables for ring dimension n and prime modulus q.
+     * @pre n a power of two, q prime with q = 1 (mod 2n).
+     */
+    NttTables(size_t n, uint64_t q);
+
+    size_t n() const { return n_; }
+    uint64_t modulus() const { return q_; }
+    const BarrettReducer& reducer() const { return barrett_; }
+
+    /** In-place forward negacyclic NTT (natural -> bit-reversed). */
+    void forward(std::span<uint64_t> a) const;
+
+    /**
+     * Forward NTT with on-the-fly twiddle generation (Section IV-D's
+     * control-signal alternative): only log2(n) stage seeds are read
+     * from memory; each stage's twiddles are produced by repeated
+     * multiplication. Trades multiplier bandwidth for on-chip
+     * memory — bit-identical to forward().
+     */
+    void forwardOnTheFly(std::span<uint64_t> a) const;
+
+    /** In-place inverse negacyclic NTT (bit-reversed -> natural). */
+    void inverse(std::span<uint64_t> a) const;
+
+  private:
+    size_t n_;
+    int logN_;
+    uint64_t q_;
+    BarrettReducer barrett_;
+    // Stage-flattened twiddles: tw_[len + j] = omega^{j * n / (2 len)}.
+    std::vector<uint64_t> tw_, twShoup_;
+    // Per-stage twiddle steps omega^{n/(2 len)} for on-the-fly mode.
+    std::vector<uint64_t> stageStep_;
+    std::vector<uint64_t> itw_, itwShoup_;
+    // psiPow_[i] = psi^i; ipsiPowScaled_[i] = psi^{-i} * n^{-1}.
+    std::vector<uint64_t> psiPow_, psiPowShoup_;
+    std::vector<uint64_t> ipsiPowScaled_, ipsiPowScaledShoup_;
+};
+
+/**
+ * Reference negacyclic convolution in O(n^2); the oracle NTT results are
+ * validated against in unit tests.
+ */
+std::vector<uint64_t> negacyclicConvolveSchoolbook(
+    std::span<const uint64_t> a, std::span<const uint64_t> b, uint64_t q);
+
+} // namespace heap::math
+
+#endif // HEAP_MATH_NTT_H

@@ -1,0 +1,138 @@
+#include "math/primes.h"
+
+#include <array>
+
+#include "common/check.h"
+#include "math/modarith.h"
+
+namespace heap::math {
+
+namespace {
+
+/** Factorizes n by trial division (used only on q-1, small factor sets). */
+std::vector<uint64_t>
+primeFactors(uint64_t n)
+{
+    std::vector<uint64_t> factors;
+    for (uint64_t p = 2; p * p <= n; p += (p == 2 ? 1 : 2)) {
+        if (n % p == 0) {
+            factors.push_back(p);
+            while (n % p == 0) {
+                n /= p;
+            }
+        }
+    }
+    if (n > 1) {
+        factors.push_back(n);
+    }
+    return factors;
+}
+
+} // namespace
+
+bool
+isPrime(uint64_t n)
+{
+    if (n < 2) {
+        return false;
+    }
+    for (const uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                             19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n % p == 0) {
+            return n == p;
+        }
+    }
+    // Write n-1 = d * 2^r.
+    uint64_t d = n - 1;
+    int r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // Deterministic witness set for 64-bit integers.
+    constexpr std::array<uint64_t, 12> witnesses = {
+        2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37};
+    for (const uint64_t a : witnesses) {
+        uint64_t x = powMod(a % n, d, n);
+        if (x == 1 || x == n - 1) {
+            continue;
+        }
+        bool composite = true;
+        for (int i = 0; i < r - 1; ++i) {
+            x = mulModNaive(x, x, n);
+            if (x == n - 1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<uint64_t>
+generateNttPrimes(int bits, size_t n, size_t count)
+{
+    HEAP_CHECK(bits >= 20 && bits <= kMaxModulusBits,
+               "prime bit width out of range: " << bits);
+    HEAP_CHECK(n >= 2 && (n & (n - 1)) == 0, "n must be a power of two");
+    const uint64_t step = 2 * static_cast<uint64_t>(n);
+    std::vector<uint64_t> primes;
+    // Scan q = k * 2n + 1 downward from 2^bits.
+    uint64_t q = ((static_cast<uint64_t>(1) << bits) / step) * step + 1;
+    while (primes.size() < count) {
+        HEAP_CHECK(q > (static_cast<uint64_t>(1) << (bits - 1)),
+                   "ran out of " << bits << "-bit NTT primes for n=" << n);
+        if (isPrime(q)) {
+            primes.push_back(q);
+        }
+        q -= step;
+    }
+    return primes;
+}
+
+uint64_t
+primitiveRoot(uint64_t q)
+{
+    HEAP_CHECK(isPrime(q), "primitiveRoot requires a prime modulus");
+    const uint64_t order = q - 1;
+    const auto factors = primeFactors(order);
+    for (uint64_t g = 2; g < q; ++g) {
+        bool ok = true;
+        for (const uint64_t f : factors) {
+            if (powMod(g, order / f, q) == 1) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            return g;
+        }
+    }
+    HEAP_PANIC("no primitive root found for q=" << q);
+}
+
+uint64_t
+minimalPrimitiveRoot2N(uint64_t q, size_t n)
+{
+    const uint64_t m = 2 * static_cast<uint64_t>(n);
+    HEAP_CHECK((q - 1) % m == 0, "q != 1 mod 2n");
+    const uint64_t g = primitiveRoot(q);
+    uint64_t root = powMod(g, (q - 1) / m, q);
+    // root is a primitive 2n-th root; find the smallest one for
+    // reproducibility across runs.
+    uint64_t best = root;
+    uint64_t cur = root;
+    for (uint64_t k = 3; k < m; k += 2) {
+        cur = mulModNaive(cur, mulModNaive(root, root, q), q);
+        // cur = root^k for odd k; all odd powers are primitive.
+        if (cur < best) {
+            best = cur;
+        }
+    }
+    return best;
+}
+
+} // namespace heap::math

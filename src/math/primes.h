@@ -1,0 +1,44 @@
+/**
+ * @file
+ * NTT-friendly prime generation and primitive-root search.
+ *
+ * CKKS/TFHE RNS limbs must be primes q with q = 1 (mod 2N) so that the
+ * negacyclic NTT exists. generateNttPrimes() finds such primes near a
+ * requested bit width (the paper uses 36-bit limbs).
+ */
+
+#ifndef HEAP_MATH_PRIMES_H
+#define HEAP_MATH_PRIMES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace heap::math {
+
+/** Deterministic Miller-Rabin primality test valid for all 64-bit n. */
+bool isPrime(uint64_t n);
+
+/**
+ * Generates `count` distinct primes of roughly `bits` bits with
+ * q = 1 (mod 2n), scanning downward from 2^bits.
+ *
+ * @param bits  target bit width (20..62)
+ * @param n     ring dimension (power of two)
+ * @param count number of primes required
+ * @return primes in the order found (descending)
+ */
+std::vector<uint64_t> generateNttPrimes(int bits, size_t n, size_t count);
+
+/** Returns a generator of the multiplicative group of Z_q (q prime). */
+uint64_t primitiveRoot(uint64_t q);
+
+/**
+ * Returns a primitive 2n-th root of unity mod q.
+ * @pre q prime, q = 1 (mod 2n), n a power of two.
+ */
+uint64_t minimalPrimitiveRoot2N(uint64_t q, size_t n);
+
+} // namespace heap::math
+
+#endif // HEAP_MATH_PRIMES_H

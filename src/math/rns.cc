@@ -1,0 +1,386 @@
+#include "math/rns.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "math/poly.h"
+#include "math/primes.h"
+
+namespace heap::math {
+
+RnsBasis::RnsBasis(size_t n, std::vector<uint64_t> moduli)
+    : n_(n), moduli_(std::move(moduli))
+{
+    HEAP_CHECK(!moduli_.empty(), "empty modulus chain");
+    for (size_t i = 0; i < moduli_.size(); ++i) {
+        const uint64_t q = moduli_[i];
+        HEAP_CHECK(isPrime(q), "modulus " << q << " is not prime");
+        HEAP_CHECK((q - 1) % (2 * n) == 0,
+                   "modulus " << q << " is not NTT-friendly for n=" << n);
+        for (size_t j = 0; j < i; ++j) {
+            HEAP_CHECK(moduli_[j] != q, "duplicate modulus " << q);
+        }
+        ntt_.push_back(std::make_unique<NttTables>(n, q));
+        reducers_.emplace_back(q);
+    }
+    const size_t l = moduli_.size();
+    invQ_.assign(l * l, 0);
+    for (size_t j = 0; j < l; ++j) {
+        for (size_t i = 0; i < l; ++i) {
+            if (i != j) {
+                invQ_[j * l + i] = invMod(moduli_[j] % moduli_[i],
+                                          moduli_[i]);
+            }
+        }
+    }
+}
+
+uint64_t
+RnsBasis::invModulus(size_t j, size_t i) const
+{
+    HEAP_ASSERT(i != j, "invModulus(i, i) undefined");
+    return invQ_[j * moduli_.size() + i];
+}
+
+double
+RnsBasis::logQ(size_t limbs) const
+{
+    HEAP_CHECK(limbs <= moduli_.size(), "limb count exceeds basis");
+    double s = 0.0;
+    for (size_t i = 0; i < limbs; ++i) {
+        s += std::log2(static_cast<double>(moduli_[i]));
+    }
+    return s;
+}
+
+RnsPoly::RnsPoly(std::shared_ptr<const RnsBasis> basis, size_t limbs,
+                 Domain domain)
+    : basis_(std::move(basis)), domain_(domain)
+{
+    HEAP_CHECK(limbs >= 1 && limbs <= basis_->size(),
+               "invalid limb count " << limbs);
+    limbs_.assign(limbs, std::vector<uint64_t>(basis_->n(), 0));
+}
+
+void
+RnsPoly::setZero()
+{
+    for (auto& l : limbs_) {
+        std::fill(l.begin(), l.end(), 0);
+    }
+}
+
+void
+RnsPoly::toEval()
+{
+    if (domain_ == Domain::Eval) {
+        return;
+    }
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        basis_->ntt(i).forward(limbs_[i]);
+    }
+    domain_ = Domain::Eval;
+}
+
+void
+RnsPoly::toCoeff()
+{
+    if (domain_ == Domain::Coeff) {
+        return;
+    }
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        basis_->ntt(i).inverse(limbs_[i]);
+    }
+    domain_ = Domain::Coeff;
+}
+
+namespace {
+
+void
+checkCompatible(const RnsPoly& a, const RnsPoly& b)
+{
+    HEAP_CHECK(&a.basis() == &b.basis(), "basis mismatch");
+    HEAP_CHECK(a.limbCount() == b.limbCount(),
+               "limb count mismatch: " << a.limbCount() << " vs "
+                                       << b.limbCount());
+    HEAP_CHECK(a.domain() == b.domain(), "domain mismatch");
+}
+
+} // namespace
+
+void
+RnsPoly::addInPlace(const RnsPoly& other)
+{
+    checkCompatible(*this, other);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        polyAdd(limbs_[i], other.limb(i), limbs_[i], basis_->modulus(i));
+    }
+}
+
+void
+RnsPoly::subInPlace(const RnsPoly& other)
+{
+    checkCompatible(*this, other);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        polySub(limbs_[i], other.limb(i), limbs_[i], basis_->modulus(i));
+    }
+}
+
+void
+RnsPoly::negInPlace()
+{
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        polyNeg(limbs_[i], limbs_[i], basis_->modulus(i));
+    }
+}
+
+void
+RnsPoly::mulPointwiseInPlace(const RnsPoly& other)
+{
+    checkCompatible(*this, other);
+    HEAP_CHECK(domain_ == Domain::Eval,
+               "pointwise multiply requires Eval domain");
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        const auto& red = basis_->reducer(i);
+        auto dst = limbs_[i].data();
+        const auto src = other.limb(i).data();
+        for (size_t j = 0; j < basis_->n(); ++j) {
+            dst[j] = red.mulMod(dst[j], src[j]);
+        }
+    }
+}
+
+void
+RnsPoly::mulPointwiseAccum(const RnsPoly& a, const RnsPoly& b)
+{
+    checkCompatible(a, b);
+    checkCompatible(*this, a);
+    HEAP_CHECK(domain_ == Domain::Eval, "accumulate requires Eval domain");
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        const uint64_t q = basis_->modulus(i);
+        const auto& red = basis_->reducer(i);
+        auto dst = limbs_[i].data();
+        const auto pa = a.limb(i).data();
+        const auto pb = b.limb(i).data();
+        for (size_t j = 0; j < basis_->n(); ++j) {
+            dst[j] = addMod(dst[j], red.mulMod(pa[j], pb[j]), q);
+        }
+    }
+}
+
+void
+RnsPoly::mulScalarInPlace(uint64_t c)
+{
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        polyMulScalar(limbs_[i], c % basis_->modulus(i), limbs_[i],
+                      basis_->modulus(i));
+    }
+}
+
+void
+RnsPoly::mulScalarRnsInPlace(std::span<const uint64_t> cPerLimb)
+{
+    HEAP_CHECK(cPerLimb.size() >= limbs_.size(), "scalar vector too short");
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        polyMulScalar(limbs_[i], cPerLimb[i], limbs_[i],
+                      basis_->modulus(i));
+    }
+}
+
+RnsPoly
+RnsPoly::automorphism(uint64_t t) const
+{
+    HEAP_CHECK(domain_ == Domain::Coeff,
+               "automorphism requires Coeff domain");
+    RnsPoly out(basis_, limbs_.size(), Domain::Coeff);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        polyAutomorphism(limbs_[i], t, out.limb(i), basis_->modulus(i));
+    }
+    return out;
+}
+
+RnsPoly
+RnsPoly::monomialMul(uint64_t k) const
+{
+    HEAP_CHECK(domain_ == Domain::Coeff,
+               "monomialMul requires Coeff domain");
+    RnsPoly out(basis_, limbs_.size(), Domain::Coeff);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        polyMonomialMul(limbs_[i], k, out.limb(i), basis_->modulus(i));
+    }
+    return out;
+}
+
+void
+RnsPoly::dropLimbs(size_t count)
+{
+    HEAP_CHECK(count < limbs_.size(), "cannot drop all limbs");
+    limbs_.resize(limbs_.size() - count);
+}
+
+void
+RnsPoly::rescaleLastLimb()
+{
+    HEAP_CHECK(limbs_.size() >= 2, "rescale needs at least two limbs");
+    const size_t last = limbs_.size() - 1;
+    const uint64_t qLast = basis_->modulus(last);
+    const Domain orig = domain_;
+
+    // Bring the dropped limb into coefficient representation.
+    std::vector<uint64_t> lastCoeff = limbs_[last];
+    if (orig == Domain::Eval) {
+        basis_->ntt(last).inverse(lastCoeff);
+    }
+
+    for (size_t i = 0; i < last; ++i) {
+        const uint64_t qi = basis_->modulus(i);
+        // Centered lift of the last limb reduced mod q_i (rounding
+        // rather than floor division).
+        std::vector<uint64_t> corr(basis_->n());
+        for (size_t j = 0; j < basis_->n(); ++j) {
+            corr[j] = fromCentered(toCentered(lastCoeff[j], qLast), qi);
+        }
+        if (orig == Domain::Eval) {
+            basis_->ntt(i).forward(corr);
+        }
+        polySub(limbs_[i], corr, limbs_[i], qi);
+        polyMulScalar(limbs_[i], basis_->invModulus(last, i), limbs_[i],
+                      qi);
+    }
+    limbs_.pop_back();
+}
+
+RnsPoly
+RnsPoly::restrictedTo(size_t limbs) const
+{
+    HEAP_CHECK(limbs >= 1 && limbs <= limbs_.size(),
+               "restrictedTo limb count out of range");
+    RnsPoly out(basis_, limbs, domain_);
+    for (size_t i = 0; i < limbs; ++i) {
+        out.limbs_[i] = limbs_[i];
+    }
+    return out;
+}
+
+RnsPoly
+rnsFromSigned(std::shared_ptr<const RnsBasis> basis, size_t limbs,
+              std::span<const int64_t> coeffs)
+{
+    HEAP_CHECK(coeffs.size() == basis->n(), "coefficient count mismatch");
+    RnsPoly out(basis, limbs, Domain::Coeff);
+    for (size_t i = 0; i < limbs; ++i) {
+        const uint64_t q = basis->modulus(i);
+        auto dst = out.limb(i);
+        for (size_t j = 0; j < coeffs.size(); ++j) {
+            dst[j] = fromCentered(coeffs[j], q);
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Garner mixed-radix digits of the CRT value (digit i is mod q_i). */
+std::vector<uint64_t>
+garnerDigits(std::span<const uint64_t> residues,
+             std::span<const uint64_t> moduli,
+             const RnsBasis* basis = nullptr)
+{
+    const size_t k = residues.size();
+    std::vector<uint64_t> v(k);
+    for (size_t i = 0; i < k; ++i) {
+        uint64_t x = residues[i] % moduli[i];
+        for (size_t j = 0; j < i; ++j) {
+            const uint64_t vj = v[j] % moduli[i];
+            const uint64_t inv =
+                basis != nullptr
+                    ? basis->invModulus(j, i)
+                    : invMod(moduli[j] % moduli[i], moduli[i]);
+            x = mulModNaive(subMod(x % moduli[i], vj, moduli[i]), inv,
+                            moduli[i]);
+        }
+        v[i] = x;
+    }
+    return v;
+}
+
+/** Accumulates mixed-radix digits into a long double. */
+long double
+mixedRadixValue(const std::vector<uint64_t>& v,
+                std::span<const uint64_t> moduli)
+{
+    long double value = 0.0L;
+    long double radix = 1.0L;
+    for (size_t i = 0; i < v.size(); ++i) {
+        value += static_cast<long double>(v[i]) * radix;
+        radix *= static_cast<long double>(moduli[i]);
+    }
+    return value;
+}
+
+/** Lexicographic comparison from the most significant digit. */
+bool
+mixedRadixLess(const std::vector<uint64_t>& a,
+               const std::vector<uint64_t>& b)
+{
+    for (size_t i = a.size(); i-- > 0;) {
+        if (a[i] != b[i]) {
+            return a[i] < b[i];
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+long double
+crtToCenteredDouble(std::span<const uint64_t> residues,
+                    std::span<const uint64_t> moduli)
+{
+    HEAP_CHECK(residues.size() == moduli.size() && !moduli.empty(),
+               "bad CRT input");
+    const auto pos = garnerDigits(residues, moduli);
+    std::vector<uint64_t> negRes(residues.size());
+    for (size_t i = 0; i < residues.size(); ++i) {
+        negRes[i] = negMod(residues[i] % moduli[i], moduli[i]);
+    }
+    const auto neg = garnerDigits(negRes, moduli);
+    if (mixedRadixLess(neg, pos)) {
+        return -mixedRadixValue(neg, moduli);
+    }
+    return mixedRadixValue(pos, moduli);
+}
+
+int64_t
+crtToCenteredInt64(std::span<const uint64_t> residues,
+                   std::span<const uint64_t> moduli)
+{
+    HEAP_CHECK(residues.size() == moduli.size() && !moduli.empty(),
+               "bad CRT input");
+    const auto pos = garnerDigits(residues, moduli);
+    std::vector<uint64_t> negRes(residues.size());
+    for (size_t i = 0; i < residues.size(); ++i) {
+        negRes[i] = negMod(residues[i] % moduli[i], moduli[i]);
+    }
+    const auto neg = garnerDigits(negRes, moduli);
+    const bool isNeg = mixedRadixLess(neg, pos);
+    const auto& digits = isNeg ? neg : pos;
+
+    uint128 value = 0;
+    uint128 radix = 1;
+    for (size_t i = 0; i < digits.size(); ++i) {
+        if (digits[i] != 0) {
+            HEAP_CHECK((radix >> 62) == 0,
+                       "centered value exceeds 2^62 at digit " << i);
+            value += radix * digits[i];
+            HEAP_CHECK((value >> 62) == 0, "centered value exceeds 2^62");
+        }
+        if ((radix >> 64) == 0) {
+            radix *= moduli[i];
+        }
+    }
+    const int64_t v = static_cast<int64_t>(value);
+    return isNeg ? -v : v;
+}
+
+} // namespace heap::math

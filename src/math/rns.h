@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Residue number system (RNS) polynomials.
+ *
+ * A ciphertext polynomial with a large modulus Q = prod(q_i) is stored
+ * as one machine-word "limb" per prime q_i (Section II-A of the paper).
+ * RnsPoly tracks the active limb count (the CKKS level) and whether the
+ * limbs are in coefficient or evaluation (NTT) representation.
+ */
+
+#ifndef HEAP_MATH_RNS_H
+#define HEAP_MATH_RNS_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "math/modarith.h"
+#include "math/ntt.h"
+
+namespace heap::math {
+
+/**
+ * A fixed chain of NTT-friendly prime moduli for ring dimension N,
+ * with shared NTT tables and CRT constants.
+ */
+class RnsBasis {
+  public:
+    /**
+     * Builds a basis over Z[X]/(X^n + 1) for the given prime chain.
+     * @pre every modulus is prime, = 1 (mod 2n), and distinct.
+     */
+    RnsBasis(size_t n, std::vector<uint64_t> moduli);
+
+    size_t n() const { return n_; }
+    size_t size() const { return moduli_.size(); }
+    uint64_t modulus(size_t i) const { return moduli_[i]; }
+    const std::vector<uint64_t>& moduli() const { return moduli_; }
+    const NttTables& ntt(size_t i) const { return *ntt_[i]; }
+    const BarrettReducer& reducer(size_t i) const { return reducers_[i]; }
+
+    /** Returns [q_j^{-1}]_{q_i} (cached). @pre i != j. */
+    uint64_t invModulus(size_t j, size_t i) const;
+
+    /** log2(prod of the first `limbs` moduli). */
+    double logQ(size_t limbs) const;
+
+  private:
+    size_t n_;
+    std::vector<uint64_t> moduli_;
+    std::vector<std::unique_ptr<NttTables>> ntt_;
+    std::vector<BarrettReducer> reducers_;
+    // invQ_[j * L + i] = q_j^{-1} mod q_i.
+    std::vector<uint64_t> invQ_;
+};
+
+/** Representation domain of RnsPoly limbs. */
+enum class Domain { Coeff, Eval };
+
+/**
+ * An element of R_{Q_l} = Z_{Q_l}[X]/(X^N+1) in RNS form with
+ * l = limbCount() active limbs.
+ */
+class RnsPoly {
+  public:
+    RnsPoly() = default;
+
+    /** Creates the zero polynomial with `limbs` active limbs. */
+    RnsPoly(std::shared_ptr<const RnsBasis> basis, size_t limbs,
+            Domain domain = Domain::Coeff);
+
+    const RnsBasis& basis() const { return *basis_; }
+    std::shared_ptr<const RnsBasis> basisPtr() const { return basis_; }
+    size_t n() const { return basis_->n(); }
+    size_t limbCount() const { return limbs_.size(); }
+    Domain domain() const { return domain_; }
+    bool empty() const { return basis_ == nullptr; }
+
+    std::span<uint64_t> limb(size_t i) { return limbs_[i]; }
+    std::span<const uint64_t> limb(size_t i) const { return limbs_[i]; }
+
+    /** Overwrites all limbs with zero. */
+    void setZero();
+
+    /** Converts all limbs to the evaluation domain (no-op if already). */
+    void toEval();
+
+    /** Converts all limbs to the coefficient domain (no-op if already). */
+    void toCoeff();
+
+    /** Forces the domain tag without transforming (expert use). */
+    void setDomain(Domain d) { domain_ = d; }
+
+    // Element-wise ring operations (operands must share basis, limb
+    // count, and domain).
+    void addInPlace(const RnsPoly& other);
+    void subInPlace(const RnsPoly& other);
+    void negInPlace();
+
+    /** Pointwise product; both operands must be in Eval domain. */
+    void mulPointwiseInPlace(const RnsPoly& other);
+
+    /** out += a * b (pointwise, Eval domain). */
+    void mulPointwiseAccum(const RnsPoly& a, const RnsPoly& b);
+
+    /** Multiplies every limb by the integer scalar c (c reduced per limb). */
+    void mulScalarInPlace(uint64_t c);
+
+    /** Multiplies limb i by cPerLimb[i]. */
+    void mulScalarRnsInPlace(std::span<const uint64_t> cPerLimb);
+
+    /** Applies X -> X^t. @pre Coeff domain, t odd. */
+    RnsPoly automorphism(uint64_t t) const;
+
+    /** Multiplies by X^k (negacyclic). @pre Coeff domain. */
+    RnsPoly monomialMul(uint64_t k) const;
+
+    /** Drops the last `count` limbs without scaling (CKKS ModReduce). */
+    void dropLimbs(size_t count = 1);
+
+    /**
+     * RNS rescale: divides by the last active modulus and drops it
+     * (CKKS Rescale, Section II-A). Works in either domain; returns in
+     * the same domain it was given.
+     */
+    void rescaleLastLimb();
+
+    /** Deep copy restricted to the first `limbs` limbs. */
+    RnsPoly restrictedTo(size_t limbs) const;
+
+  private:
+    std::shared_ptr<const RnsBasis> basis_;
+    std::vector<std::vector<uint64_t>> limbs_;
+    Domain domain_ = Domain::Coeff;
+};
+
+/** Embeds small signed coefficients into all `limbs` limbs of a basis. */
+RnsPoly rnsFromSigned(std::shared_ptr<const RnsBasis> basis, size_t limbs,
+                      std::span<const int64_t> coeffs);
+
+/**
+ * CRT-recomposes residues (one per modulus) into the centered value in
+ * (-Q/2, Q/2], returned as long double via Garner mixed-radix digits.
+ * Accurate when the centered magnitude is far below Q.
+ */
+long double crtToCenteredDouble(std::span<const uint64_t> residues,
+                                std::span<const uint64_t> moduli);
+
+/**
+ * Exact centered CRT recomposition; requires |centered value| < 2^62.
+ */
+int64_t crtToCenteredInt64(std::span<const uint64_t> residues,
+                           std::span<const uint64_t> moduli);
+
+} // namespace heap::math
+
+#endif // HEAP_MATH_RNS_H

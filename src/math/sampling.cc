@@ -1,0 +1,60 @@
+#include "math/sampling.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace heap::math {
+
+std::vector<int64_t>
+sampleTernary(size_t n, Rng& rng)
+{
+    std::vector<int64_t> out(n);
+    for (auto& v : out) {
+        v = rng.ternary();
+    }
+    return out;
+}
+
+std::vector<int64_t>
+sampleTernaryHamming(size_t n, size_t hamming, Rng& rng)
+{
+    HEAP_CHECK(hamming <= n, "Hamming weight exceeds dimension");
+    std::vector<int64_t> out(n, 0);
+    size_t placed = 0;
+    while (placed < hamming) {
+        const size_t idx = rng.uniform(n);
+        if (out[idx] == 0) {
+            out[idx] = (rng.next() & 1) ? 1 : -1;
+            ++placed;
+        }
+    }
+    return out;
+}
+
+std::vector<int64_t>
+sampleGaussian(size_t n, double stddev, Rng& rng)
+{
+    std::vector<int64_t> out(n);
+    for (auto& v : out) {
+        v = static_cast<int64_t>(std::llround(rng.gaussian() * stddev));
+    }
+    return out;
+}
+
+RnsPoly
+sampleUniformRns(std::shared_ptr<const RnsBasis> basis, size_t limbs,
+                 Domain domain, Rng& rng)
+{
+    RnsPoly out(basis, limbs, domain);
+    for (size_t i = 0; i < limbs; ++i) {
+        const uint64_t q = basis->modulus(i);
+        auto dst = out.limb(i);
+        for (auto& v : dst) {
+            v = rng.uniform(q);
+        }
+    }
+    return out;
+}
+
+} // namespace heap::math

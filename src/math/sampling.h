@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Lattice noise and secret samplers (uniform, discrete Gaussian,
+ * ternary). Sparse/ternary-with-fixed-Hamming-weight secrets are
+ * supported for the scheme-switching LUT-domain bound, but the default
+ * is uniform ternary, matching the paper's "no sparse keys" stance.
+ */
+
+#ifndef HEAP_MATH_SAMPLING_H
+#define HEAP_MATH_SAMPLING_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "math/rns.h"
+
+namespace heap::math {
+
+/** Default error standard deviation used throughout the library. */
+inline constexpr double kErrorStdDev = 3.2;
+
+/** Samples n signed ternary values in {-1, 0, 1}. */
+std::vector<int64_t> sampleTernary(size_t n, Rng& rng);
+
+/**
+ * Samples n ternary values with exactly `hamming` nonzero entries
+ * (signs uniform). @pre hamming <= n.
+ */
+std::vector<int64_t> sampleTernaryHamming(size_t n, size_t hamming,
+                                          Rng& rng);
+
+/** Samples n rounded-Gaussian values with the given stddev. */
+std::vector<int64_t> sampleGaussian(size_t n, double stddev, Rng& rng);
+
+/** Samples a uniform RnsPoly with `limbs` limbs in the given domain. */
+RnsPoly sampleUniformRns(std::shared_ptr<const RnsBasis> basis,
+                         size_t limbs, Domain domain, Rng& rng);
+
+} // namespace heap::math
+
+#endif // HEAP_MATH_SAMPLING_H

@@ -1,0 +1,116 @@
+#include "math/security.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace heap::math {
+
+namespace {
+
+/**
+ * HomomorphicEncryption.org standard (Nov 2018 tables), uniform
+ * ternary secret, classical cost model: max log2(Q) per (n, level).
+ */
+struct TableRow {
+    size_t n;
+    size_t logQ128, logQ192, logQ256;
+};
+
+constexpr std::array<TableRow, 6> kStandard = {{
+    {1024, 27, 19, 14},
+    {2048, 54, 37, 29},
+    {4096, 109, 75, 58},
+    {8192, 218, 152, 118},
+    {16384, 438, 305, 237},
+    {32768, 881, 611, 476},
+}};
+
+} // namespace
+
+size_t
+maxLogQForSecurity(size_t n, int securityBits)
+{
+    HEAP_CHECK(securityBits == 128 || securityBits == 192
+                   || securityBits == 256,
+               "supported levels: 128/192/256");
+    for (const auto& row : kStandard) {
+        if (row.n == n) {
+            switch (securityBits) {
+            case 128:
+                return row.logQ128;
+            case 192:
+                return row.logQ192;
+            default:
+                return row.logQ256;
+            }
+        }
+    }
+    // Between table rows: security scales ~linearly in n at fixed
+    // logQ, so the max logQ scales ~linearly too.
+    if (n < kStandard.front().n) {
+        return 0;
+    }
+    if (n > kStandard.back().n) {
+        const double scale = static_cast<double>(n)
+                             / static_cast<double>(kStandard.back().n);
+        return static_cast<size_t>(
+            scale * static_cast<double>(
+                        maxLogQForSecurity(kStandard.back().n,
+                                           securityBits)));
+    }
+    // n is a power of two within the table in all supported cases.
+    HEAP_CHECK(std::has_single_bit(n), "n must be a power of two");
+    HEAP_PANIC("unreachable table lookup for n=" << n);
+}
+
+double
+estimateSecurityBits(size_t n, double logQ)
+{
+    HEAP_CHECK(n >= 2 && std::has_single_bit(n),
+               "n must be a power of two");
+    HEAP_CHECK(logQ > 0, "logQ must be positive");
+    if (n < kStandard.front().n) {
+        // Demo-sized rings: extrapolate the same n/logQ law; tiny
+        // rings offer essentially no security.
+        const double bits = 128.0 * static_cast<double>(n)
+                            / (static_cast<double>(logQ) * 37.6);
+        return std::clamp(bits, 0.0, 300.0);
+    }
+    // The table is well approximated by security ~ c * n / logQ with
+    // c calibrated per level; use the 128/192/256 anchors for a
+    // piecewise-linear estimate in 1/logQ.
+    auto levelAt = [&](size_t nn, double lq) {
+        // Interpolate between the three anchor levels for ring nn.
+        const double q128 =
+            static_cast<double>(maxLogQForSecurity(nn, 128));
+        const double q192 =
+            static_cast<double>(maxLogQForSecurity(nn, 192));
+        const double q256 =
+            static_cast<double>(maxLogQForSecurity(nn, 256));
+        if (lq >= q128) {
+            return 128.0 * q128 / lq; // beyond the table: ~1/logQ
+        }
+        if (lq >= q192) {
+            return 128.0
+                   + (192.0 - 128.0) * (q128 - lq) / (q128 - q192);
+        }
+        if (lq >= q256) {
+            return 192.0
+                   + (256.0 - 192.0) * (q192 - lq) / (q192 - q256);
+        }
+        return std::min(300.0, 256.0 * q256 / lq);
+    };
+    if (n > kStandard.back().n) {
+        const double scale = static_cast<double>(n)
+                             / static_cast<double>(kStandard.back().n);
+        return std::clamp(levelAt(kStandard.back().n, logQ / scale),
+                          0.0, 300.0);
+    }
+    return std::clamp(levelAt(n, logQ), 0.0, 300.0);
+}
+
+} // namespace heap::math

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * LWE/RLWE security estimation from the HomomorphicEncryption.org
+ * standard tables (ternary secret, classical attacks): the maximum
+ * ciphertext-modulus width that keeps a given ring dimension at a
+ * target security level, and an interpolated security estimate for
+ * arbitrary (N, log Q) points.
+ *
+ * The paper selects N = 2^13 with log Q = 216 for 128-bit security
+ * (Section III-C); estimateSecurityBits() lets tests and users check
+ * parameter sets against the standard's conservative curve — and
+ * flags that the bootstrapping basis Qp (log Qp = 252) dips slightly
+ * below 128 bits under the same accounting (see EXPERIMENTS.md).
+ */
+
+#ifndef HEAP_MATH_SECURITY_H
+#define HEAP_MATH_SECURITY_H
+
+#include <cstddef>
+
+namespace heap::math {
+
+/**
+ * Maximum log2(Q) for the target security level at ring dimension n
+ * (HE-standard table, ternary secret, classical). Supported levels:
+ * 128, 192, 256. Returns 0 when n is below the table (< 1024).
+ */
+size_t maxLogQForSecurity(size_t n, int securityBits);
+
+/**
+ * Estimated classical security (bits) of an RLWE instance with ring
+ * dimension n and ciphertext modulus of logQ bits, by interpolation
+ * on the standard tables. Saturated to [0, 300].
+ */
+double estimateSecurityBits(size_t n, double logQ);
+
+/** True when (n, logQ) meets the target level per the tables. */
+inline bool
+meetsSecurity(size_t n, double logQ, int securityBits)
+{
+    return estimateSecurityBits(n, logQ)
+           >= static_cast<double>(securityBits);
+}
+
+} // namespace heap::math
+
+#endif // HEAP_MATH_SECURITY_H

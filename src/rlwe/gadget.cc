@@ -1,0 +1,284 @@
+#include "rlwe/gadget.h"
+
+#include <bit>
+
+#include "common/check.h"
+#include "math/modarith.h"
+#include "math/poly.h"
+
+namespace heap::rlwe {
+
+void
+GadgetParams::validateFor(const math::RnsBasis& basis) const
+{
+    HEAP_CHECK(baseBits >= 1 && baseBits <= 32,
+               "gadget baseBits out of range: " << baseBits);
+    HEAP_CHECK(digitsPerLimb >= 1, "gadget needs at least one digit");
+    for (size_t i = 0; i < basis.size(); ++i) {
+        const int limbBits = std::bit_width(basis.modulus(i) - 1);
+        HEAP_CHECK(digitsPerLimb * baseBits >= limbBits,
+                   "gadget digits (" << digitsPerLimb << " x " << baseBits
+                                     << " bits) do not cover limb of "
+                                     << limbBits << " bits");
+    }
+}
+
+std::vector<std::vector<int64_t>>
+gadgetDecompose(const math::RnsPoly& x, const GadgetParams& params)
+{
+    HEAP_CHECK(x.domain() == Domain::Coeff,
+               "gadget decomposition requires Coeff domain");
+    const size_t n = x.n();
+    const size_t l = x.limbCount();
+    const int d = params.digitsPerLimb;
+    const uint64_t mask = (1ULL << params.baseBits) - 1;
+    const int64_t base = 1LL << params.baseBits;
+    std::vector<std::vector<int64_t>> digits(l * d);
+    for (size_t i = 0; i < l; ++i) {
+        for (int j = 0; j < d; ++j) {
+            digits[i * d + j].resize(n);
+        }
+    }
+    for (size_t i = 0; i < l; ++i) {
+        const uint64_t qi = x.basis().modulus(i);
+        const auto src = x.limb(i);
+        for (size_t t = 0; t < n; ++t) {
+            if (!params.balanced) {
+                for (int j = 0; j < d; ++j) {
+                    digits[i * d + j][t] = static_cast<int64_t>(
+                        (src[t] >> (j * params.baseBits)) & mask);
+                }
+                continue;
+            }
+            // Balanced: decompose the centered representative with
+            // digits in [-B/2, B/2] (carry propagation); the top
+            // digit absorbs the final remainder.
+            int64_t v = math::toCentered(src[t], qi);
+            for (int j = 0; j < d; ++j) {
+                if (j == d - 1) {
+                    digits[i * d + j][t] = v;
+                    break;
+                }
+                int64_t r = v % base;
+                if (r > base / 2) {
+                    r -= base;
+                } else if (r < -base / 2) {
+                    r += base;
+                }
+                digits[i * d + j][t] = r;
+                v = (v - r) >> params.baseBits;
+            }
+        }
+    }
+    return digits;
+}
+
+GadgetCiphertext
+gadgetEncrypt(const SecretKey& sk, const math::RnsPoly& msg,
+              const GadgetParams& params, Rng& rng,
+              const NoiseParams& noise)
+{
+    auto basis = sk.basisPtr();
+    params.validateFor(*basis);
+    HEAP_CHECK(msg.limbCount() == basis->size(),
+               "gadget message must be at the full basis");
+    HEAP_CHECK(msg.domain() == Domain::Coeff,
+               "gadget message must be in Coeff domain");
+    const size_t l = basis->size();
+    const int d = params.digitsPerLimb;
+
+    std::vector<Ciphertext> rows;
+    rows.reserve(l * d);
+    for (size_t i = 0; i < l; ++i) {
+        const uint64_t qi = basis->modulus(i);
+        for (int j = 0; j < d; ++j) {
+            Ciphertext row = encryptZero(sk, l, rng, noise);
+            // Add e_i * B^j * msg: only limb i receives a contribution
+            // because the CRT idempotent e_i vanishes mod q_k, k != i.
+            const uint64_t bPow =
+                math::powMod(1ULL << params.baseBits, j, qi);
+            std::vector<uint64_t> contrib(basis->n());
+            math::polyMulScalar(msg.limb(i), bPow, contrib, qi);
+            basis->ntt(i).forward(contrib);
+            math::polyAdd(row.b.limb(i), contrib, row.b.limb(i), qi);
+            rows.push_back(std::move(row));
+        }
+    }
+    return GadgetCiphertext(std::move(rows), params);
+}
+
+namespace {
+
+/**
+ * dst += digitEval (*) row, limb-by-limb over dst's active limbs.
+ * digitEval holds one evaluation-domain digit per limb; row is a
+ * full-basis Eval poly of which only the leading limbs are used.
+ */
+void
+accumulateProduct(math::RnsPoly& dst, const math::RnsPoly& digitEval,
+                  const math::RnsPoly& row)
+{
+    const auto& basis = dst.basis();
+    for (size_t k = 0; k < dst.limbCount(); ++k) {
+        const uint64_t q = basis.modulus(k);
+        const auto& red = basis.reducer(k);
+        auto out = dst.limb(k);
+        const auto dig = digitEval.limb(k);
+        const auto r = row.limb(k);
+        for (size_t t = 0; t < dst.n(); ++t) {
+            out[t] = math::addMod(out[t], red.mulMod(dig[t], r[t]), q);
+        }
+    }
+}
+
+} // namespace
+
+Ciphertext
+gadgetApply(const math::RnsPoly& x, const GadgetCiphertext& K)
+{
+    auto basis = x.basisPtr();
+    const size_t l = x.limbCount();
+    const int d = K.params().digitsPerLimb;
+    HEAP_CHECK(K.rowCount() >= l * static_cast<size_t>(d),
+               "gadget ciphertext has too few rows");
+
+    const auto digits = gadgetDecompose(x, K.params());
+
+    Ciphertext acc;
+    acc.a = math::RnsPoly(basis, l, Domain::Eval);
+    acc.b = math::RnsPoly(basis, l, Domain::Eval);
+
+    for (size_t i = 0; i < l; ++i) {
+        for (int j = 0; j < d; ++j) {
+            // Digit magnitudes are < B < every modulus; the (possibly
+            // signed) digit vector is reduced into every limb before
+            // the per-limb NTT.
+            const auto& dig = digits[i * d + j];
+            math::RnsPoly digitEval(basis, l, Domain::Coeff);
+            for (size_t k = 0; k < l; ++k) {
+                const uint64_t qk = basis->modulus(k);
+                auto lane = digitEval.limb(k);
+                for (size_t t = 0; t < dig.size(); ++t) {
+                    lane[t] = math::fromCentered(dig[t], qk);
+                }
+            }
+            digitEval.toEval();
+            const Ciphertext& row = K.row(i, j);
+            accumulateProduct(acc.a, digitEval, row.a);
+            accumulateProduct(acc.b, digitEval, row.b);
+        }
+    }
+    return acc;
+}
+
+GadgetCiphertext
+makeKeySwitchKey(const SecretKey& to, const math::RnsPoly& fromKeyCoeff,
+                 const GadgetParams& params, Rng& rng,
+                 const NoiseParams& noise)
+{
+    return gadgetEncrypt(to, fromKeyCoeff, params, rng, noise);
+}
+
+Ciphertext
+switchKey(const Ciphertext& ct, const GadgetCiphertext& ksk)
+{
+    math::RnsPoly aCoeff = ct.a;
+    aCoeff.toCoeff();
+    Ciphertext out = gadgetApply(aCoeff, ksk);
+    math::RnsPoly b = ct.b;
+    b.toEval();
+    out.b.addInPlace(b);
+    return out;
+}
+
+Ciphertext
+evalAuto(const Ciphertext& ct, uint64_t t, const GadgetCiphertext& key)
+{
+    Ciphertext c = ct;
+    c.toCoeff();
+    Ciphertext mapped = c.automorphism(t);
+    // mapped decrypts under psi_t(s); switch its a-component back.
+    Ciphertext out = switchKey(mapped, key);
+    out.toCoeff();
+    return out;
+}
+
+GadgetCiphertext
+makeAutomorphismKey(const SecretKey& sk, uint64_t t,
+                    const GadgetParams& params, Rng& rng,
+                    const NoiseParams& noise)
+{
+    auto basis = sk.basisPtr();
+    math::RnsPoly sCoeff =
+        math::rnsFromSigned(basis, basis->size(), sk.coeffs());
+    return makeKeySwitchKey(sk, sCoeff.automorphism(t), params, rng,
+                            noise);
+}
+
+RgswCiphertext
+rgswEncrypt(const SecretKey& sk, const math::RnsPoly& mu,
+            const GadgetParams& params, Rng& rng,
+            const NoiseParams& noise)
+{
+    HEAP_CHECK(mu.domain() == Domain::Coeff,
+               "RGSW message must be in Coeff domain");
+    RgswCiphertext out;
+    out.forB = gadgetEncrypt(sk, mu, params, rng, noise);
+    math::RnsPoly muS = mu;
+    muS.toEval();
+    muS.mulPointwiseInPlace(sk.eval());
+    muS.toCoeff();
+    out.forA = gadgetEncrypt(sk, muS, params, rng, noise);
+    return out;
+}
+
+RgswCiphertext
+rgswEncryptConstant(const SecretKey& sk, int64_t value,
+                    const GadgetParams& params, Rng& rng,
+                    const NoiseParams& noise)
+{
+    auto basis = sk.basisPtr();
+    std::vector<int64_t> coeffs(basis->n(), 0);
+    coeffs[0] = value;
+    const auto mu = math::rnsFromSigned(basis, basis->size(), coeffs);
+    return rgswEncrypt(sk, mu, params, rng, noise);
+}
+
+Ciphertext
+externalProduct(const Ciphertext& ct, const RgswCiphertext& C)
+{
+    math::RnsPoly b = ct.b;
+    b.toCoeff();
+    math::RnsPoly a = ct.a;
+    a.toCoeff();
+    Ciphertext out = gadgetApply(b, C.forB);
+    const Ciphertext fromA = gadgetApply(a, C.forA);
+    out.addInPlace(fromA);
+    return out;
+}
+
+RgswCiphertext
+internalProduct(const RgswCiphertext& A, const RgswCiphertext& B)
+{
+    auto transformHalf = [&](const GadgetCiphertext& half) {
+        std::vector<Ciphertext> rows;
+        rows.reserve(half.rowCount());
+        const int d = half.params().digitsPerLimb;
+        const size_t limbs = half.rowCount() / static_cast<size_t>(d);
+        for (size_t i = 0; i < limbs; ++i) {
+            for (int j = 0; j < d; ++j) {
+                Ciphertext out = externalProduct(
+                    half.row(i, static_cast<size_t>(j)), B);
+                out.toEval();
+                rows.push_back(std::move(out));
+            }
+        }
+        return GadgetCiphertext(std::move(rows), half.params());
+    };
+    RgswCiphertext out;
+    out.forB = transformHalf(A.forB);
+    out.forA = transformHalf(A.forA);
+    return out;
+}
+
+} // namespace heap::rlwe

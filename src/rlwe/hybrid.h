@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Hybrid key switching with special primes (Han-Ki [30], the
+ * "hybrid key-switching method" of the paper's related work, whose
+ * ModUp/ModDown basis conversions the HEAP datapath accelerates —
+ * Sections IV-A/IV-E).
+ *
+ * The basis's last `specialLimbs` primes form the special modulus P;
+ * the message limbs are partitioned into groups of `groupSize` limbs
+ * (dnum = ceil(L / groupSize) digits). A key has one row per group:
+ * row j encrypts P * e_j * s' where e_j is the CRT idempotent of the
+ * group modulus. Switching ModUps each group digit into the full QP
+ * basis (single-limb groups reduce exactly; larger groups use the
+ * exact fast-base-conversion of math/baseconv.h), accumulates against
+ * the rows modulo QP, and ModDowns by P.
+ *
+ * Noise ~ sigma * sqrt(N * dnum / 12) * Q_group / P, so the group
+ * product must not exceed the special modulus — checked at key
+ * generation. groupSize = 1 with one special prime (the default)
+ * needs dnum = L rows; larger groups need fewer rows (fewer NTTs, the
+ * paper's ModUp/ModDown traffic) at the price of more special primes.
+ */
+
+#ifndef HEAP_RLWE_HYBRID_H
+#define HEAP_RLWE_HYBRID_H
+
+#include "rlwe/rlwe.h"
+
+namespace heap::rlwe {
+
+/** Hybrid key-switching key: one RLWE row per limb group. */
+struct HybridKeySwitchKey {
+    std::vector<Ciphertext> rows; ///< row j: enc(P * e_j * s'), Eval
+    size_t groupSize = 1;         ///< limbs per digit (alpha)
+    size_t specialLimbs = 1;      ///< primes forming P
+};
+
+/**
+ * Builds the hybrid key from s' to `to`'s secret. The basis's last
+ * `specialLimbs` primes are the special modulus; keys span the full
+ * basis. @pre group product <= special product (noise containment).
+ */
+HybridKeySwitchKey makeHybridKeySwitchKey(const SecretKey& to,
+                                          const math::RnsPoly& fromCoeff,
+                                          Rng& rng,
+                                          const NoiseParams& noise = {},
+                                          size_t groupSize = 1,
+                                          size_t specialLimbs = 1);
+
+/**
+ * Core hybrid application: returns an encryption of x * s' (Eval
+ * domain, x's limb count). x must be in Coeff domain and must not
+ * occupy the special limbs.
+ */
+Ciphertext applyHybrid(const math::RnsPoly& x,
+                       const HybridKeySwitchKey& ksk);
+
+/**
+ * Hybrid key switch of ct = (a, b): returns a ciphertext under `to`'s
+ * secret with ct's limb count (Eval domain).
+ */
+Ciphertext switchKeyHybrid(const Ciphertext& ct,
+                           const HybridKeySwitchKey& ksk);
+
+/** Hybrid automorphism key for psi_t(s) -> s. */
+HybridKeySwitchKey makeHybridAutomorphismKey(
+    const SecretKey& sk, uint64_t t, Rng& rng,
+    const NoiseParams& noise = {}, size_t groupSize = 1,
+    size_t specialLimbs = 1);
+
+/** Homomorphic automorphism via hybrid switching (Coeff output). */
+Ciphertext evalAutoHybrid(const Ciphertext& ct, uint64_t t,
+                          const HybridKeySwitchKey& key);
+
+} // namespace heap::rlwe
+
+#endif // HEAP_RLWE_HYBRID_H

@@ -1,0 +1,220 @@
+#include "rlwe/rlwe.h"
+
+#include "common/check.h"
+#include "math/modarith.h"
+
+namespace heap::rlwe {
+
+SecretKey::SecretKey(std::shared_ptr<const RnsBasis> basis,
+                     std::vector<int64_t> coeffs)
+    : basis_(std::move(basis)), coeffs_(std::move(coeffs))
+{
+    HEAP_CHECK(coeffs_.size() == basis_->n(),
+               "secret key length must equal ring dimension");
+    eval_ = math::rnsFromSigned(basis_, basis_->size(), coeffs_);
+    eval_.toEval();
+}
+
+SecretKey
+SecretKey::sampleTernary(std::shared_ptr<const RnsBasis> basis, Rng& rng)
+{
+    auto coeffs = math::sampleTernary(basis->n(), rng);
+    return SecretKey(std::move(basis), std::move(coeffs));
+}
+
+SecretKey
+SecretKey::sampleTernaryHamming(std::shared_ptr<const RnsBasis> basis,
+                                size_t hamming, Rng& rng)
+{
+    auto coeffs = math::sampleTernaryHamming(basis->n(), hamming, rng);
+    return SecretKey(std::move(basis), std::move(coeffs));
+}
+
+const RnsPoly&
+SecretKey::evalSquared() const
+{
+    if (evalSquared_.empty()) {
+        evalSquared_ = eval_;
+        evalSquared_.mulPointwiseInPlace(eval_);
+    }
+    return evalSquared_;
+}
+
+void
+Ciphertext::toEval()
+{
+    a.toEval();
+    b.toEval();
+}
+
+void
+Ciphertext::toCoeff()
+{
+    a.toCoeff();
+    b.toCoeff();
+}
+
+void
+Ciphertext::addInPlace(const Ciphertext& other)
+{
+    a.addInPlace(other.a);
+    b.addInPlace(other.b);
+}
+
+void
+Ciphertext::subInPlace(const Ciphertext& other)
+{
+    a.subInPlace(other.a);
+    b.subInPlace(other.b);
+}
+
+void
+Ciphertext::negInPlace()
+{
+    a.negInPlace();
+    b.negInPlace();
+}
+
+void
+Ciphertext::mulScalarInPlace(uint64_t c)
+{
+    a.mulScalarInPlace(c);
+    b.mulScalarInPlace(c);
+}
+
+Ciphertext
+Ciphertext::monomialMul(uint64_t k) const
+{
+    return Ciphertext(a.monomialMul(k), b.monomialMul(k));
+}
+
+Ciphertext
+Ciphertext::automorphism(uint64_t t) const
+{
+    return Ciphertext(a.automorphism(t), b.automorphism(t));
+}
+
+void
+Ciphertext::rescaleLastLimb()
+{
+    a.rescaleLastLimb();
+    b.rescaleLastLimb();
+}
+
+void
+Ciphertext::dropLimbs(size_t count)
+{
+    a.dropLimbs(count);
+    b.dropLimbs(count);
+}
+
+Ciphertext
+encryptZero(const SecretKey& sk, size_t limbs, Rng& rng,
+            const NoiseParams& noise)
+{
+    auto basis = sk.basisPtr();
+    Ciphertext ct;
+    ct.a = math::sampleUniformRns(basis, limbs, Domain::Eval, rng);
+    // e in coefficient form, then to Eval.
+    auto e = math::sampleGaussian(basis->n(), noise.errorStdDev, rng);
+    ct.b = math::rnsFromSigned(basis, limbs, e);
+    ct.b.toEval();
+    // b = -a*s + e.
+    RnsPoly as = ct.a;
+    as.mulPointwiseInPlace(sk.eval().restrictedTo(limbs));
+    ct.b.subInPlace(as);
+    return ct;
+}
+
+Ciphertext
+encrypt(const SecretKey& sk, const RnsPoly& msg, Rng& rng,
+        const NoiseParams& noise)
+{
+    Ciphertext ct = encryptZero(sk, msg.limbCount(), rng, noise);
+    RnsPoly m = msg;
+    m.toEval();
+    ct.b.addInPlace(m);
+    return ct;
+}
+
+Ciphertext
+trivialEncrypt(RnsPoly msg)
+{
+    Ciphertext ct;
+    ct.a = RnsPoly(msg.basisPtr(), msg.limbCount(), msg.domain());
+    ct.b = std::move(msg);
+    return ct;
+}
+
+RnsPoly
+phase(const Ciphertext& ct, const SecretKey& sk)
+{
+    RnsPoly a = ct.a;
+    a.toEval();
+    a.mulPointwiseInPlace(sk.eval().restrictedTo(a.limbCount()));
+    RnsPoly b = ct.b;
+    b.toEval();
+    b.addInPlace(a);
+    b.toCoeff();
+    return b;
+}
+
+std::vector<int64_t>
+decryptSigned(const Ciphertext& ct, const SecretKey& sk)
+{
+    const RnsPoly p = phase(ct, sk);
+    const size_t l = p.limbCount();
+    const auto& allModuli = p.basis().moduli();
+    const std::vector<uint64_t> moduli(allModuli.begin(),
+                                       allModuli.begin() + l);
+    std::vector<int64_t> out(p.n());
+    std::vector<uint64_t> residues(l);
+    for (size_t j = 0; j < p.n(); ++j) {
+        for (size_t i = 0; i < l; ++i) {
+            residues[i] = p.limb(i)[j];
+        }
+        out[j] = math::crtToCenteredInt64(residues, moduli);
+    }
+    return out;
+}
+
+std::vector<long double>
+decryptCentered(const Ciphertext& ct, const SecretKey& sk)
+{
+    const RnsPoly p = phase(ct, sk);
+    const size_t l = p.limbCount();
+    const auto& allModuli = p.basis().moduli();
+    const std::vector<uint64_t> moduli(allModuli.begin(),
+                                       allModuli.begin() + l);
+    std::vector<long double> out(p.n());
+    std::vector<uint64_t> residues(l);
+    for (size_t j = 0; j < p.n(); ++j) {
+        for (size_t i = 0; i < l; ++i) {
+            residues[i] = p.limb(i)[j];
+        }
+        out[j] = math::crtToCenteredDouble(residues, moduli);
+    }
+    return out;
+}
+
+Ciphertext
+liftToLimbs(const Ciphertext& ct, size_t limbs)
+{
+    HEAP_CHECK(ct.limbCount() == 1, "lift expects a single-limb input");
+    HEAP_CHECK(ct.domain() == Domain::Coeff,
+               "lift expects Coeff domain");
+    auto basis = ct.a.basisPtr();
+    Ciphertext out;
+    out.a = RnsPoly(basis, limbs, Domain::Coeff);
+    out.b = RnsPoly(basis, limbs, Domain::Coeff);
+    for (size_t i = 0; i < limbs; ++i) {
+        const uint64_t qi = basis->modulus(i);
+        for (size_t j = 0; j < basis->n(); ++j) {
+            out.a.limb(i)[j] = ct.a.limb(0)[j] % qi;
+            out.b.limb(i)[j] = ct.b.limb(0)[j] % qi;
+        }
+    }
+    return out;
+}
+
+} // namespace heap::rlwe

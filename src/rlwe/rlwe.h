@@ -1,0 +1,139 @@
+/**
+ * @file
+ * RLWE ciphertexts and secret keys over an RNS basis.
+ *
+ * An RLWE ciphertext is the pair ct = (a, b) with decryption phase
+ * phi = b + a*s (mod Q_l). This type is shared between the CKKS side
+ * (where it carries a scale) and the TFHE side (blind-rotation
+ * accumulators, repacking) of the scheme-switching pipeline.
+ */
+
+#ifndef HEAP_RLWE_RLWE_H
+#define HEAP_RLWE_RLWE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "math/rns.h"
+#include "math/sampling.h"
+
+namespace heap::rlwe {
+
+using math::Domain;
+using math::RnsBasis;
+using math::RnsPoly;
+
+/**
+ * Ring secret key: small signed coefficients plus cached RNS
+ * evaluation-domain forms at the full basis.
+ */
+class SecretKey {
+  public:
+    /** Wraps signed coefficients (ternary or Gaussian) as a key. */
+    SecretKey(std::shared_ptr<const RnsBasis> basis,
+              std::vector<int64_t> coeffs);
+
+    /** Samples a uniform ternary secret. */
+    static SecretKey sampleTernary(std::shared_ptr<const RnsBasis> basis,
+                                   Rng& rng);
+
+    /** Samples a ternary secret with fixed Hamming weight. */
+    static SecretKey sampleTernaryHamming(
+        std::shared_ptr<const RnsBasis> basis, size_t hamming, Rng& rng);
+
+    const std::vector<int64_t>& coeffs() const { return coeffs_; }
+    std::shared_ptr<const RnsBasis> basisPtr() const { return basis_; }
+
+    /** Full-basis evaluation-domain form of s. */
+    const RnsPoly& eval() const { return eval_; }
+
+    /** Full-basis evaluation-domain form of s^2 (cached lazily). */
+    const RnsPoly& evalSquared() const;
+
+  private:
+    std::shared_ptr<const RnsBasis> basis_;
+    std::vector<int64_t> coeffs_;
+    RnsPoly eval_;
+    mutable RnsPoly evalSquared_;
+};
+
+/** An RLWE ciphertext (a, b); phase(ct) = b + a * s. */
+struct Ciphertext {
+    RnsPoly a;
+    RnsPoly b;
+
+    Ciphertext() = default;
+    Ciphertext(RnsPoly a_, RnsPoly b_)
+        : a(std::move(a_)), b(std::move(b_))
+    {
+    }
+
+    size_t limbCount() const { return b.limbCount(); }
+    Domain domain() const { return b.domain(); }
+
+    void toEval();
+    void toCoeff();
+    void addInPlace(const Ciphertext& other);
+    void subInPlace(const Ciphertext& other);
+    void negInPlace();
+    void mulScalarInPlace(uint64_t c);
+
+    /** Both components multiplied by X^k (Coeff domain). */
+    Ciphertext monomialMul(uint64_t k) const;
+
+    /** Both components mapped through X -> X^t (Coeff domain). */
+    Ciphertext automorphism(uint64_t t) const;
+
+    /** Rescales both components by the last limb and drops it. */
+    void rescaleLastLimb();
+
+    /** Drops trailing limbs without scaling. */
+    void dropLimbs(size_t count = 1);
+};
+
+/** Noise parameters used at encryption time. */
+struct NoiseParams {
+    double errorStdDev = math::kErrorStdDev;
+};
+
+/** Encryption of zero under s at the given limb count (Eval domain). */
+Ciphertext encryptZero(const SecretKey& sk, size_t limbs, Rng& rng,
+                       const NoiseParams& noise = {});
+
+/**
+ * Symmetric encryption: zero encryption plus the message.
+ * @param msg message polynomial; converted to Eval internally.
+ */
+Ciphertext encrypt(const SecretKey& sk, const RnsPoly& msg, Rng& rng,
+                   const NoiseParams& noise = {});
+
+/** Noiseless trivial encryption (0, msg). */
+Ciphertext trivialEncrypt(RnsPoly msg);
+
+/** Computes the decryption phase b + a*s in Coeff domain. */
+RnsPoly phase(const Ciphertext& ct, const SecretKey& sk);
+
+/**
+ * Decrypts to centered signed coefficients (exact CRT; values must be
+ * below 2^62 in magnitude).
+ */
+std::vector<int64_t> decryptSigned(const Ciphertext& ct,
+                                   const SecretKey& sk);
+
+/** Decrypts to centered long-double coefficients (large levels). */
+std::vector<long double> decryptCentered(const Ciphertext& ct,
+                                         const SecretKey& sk);
+
+/**
+ * Re-expresses a ciphertext whose entries live in the first limb of
+ * `basis` as a ciphertext modulo the first `limbs` limbs by lifting
+ * each entry r in [0, q_0) to the integer r (CKKS ModRaise; step 4 of
+ * Algorithm 2 adds the lifted ct' to the blind-rotated ct_kq).
+ */
+Ciphertext liftToLimbs(const Ciphertext& ct, size_t limbs);
+
+} // namespace heap::rlwe
+
+#endif // HEAP_RLWE_RLWE_H

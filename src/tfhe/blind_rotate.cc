@@ -1,0 +1,172 @@
+#include "tfhe/blind_rotate.h"
+
+#include "common/check.h"
+#include "math/modarith.h"
+
+namespace heap::tfhe {
+
+BlindRotateKey
+makeBlindRotateKey(const rlwe::SecretKey& sk,
+                   std::span<const int64_t> lweSecret,
+                   const rlwe::GadgetParams& gadget, Rng& rng,
+                   const rlwe::NoiseParams& noise)
+{
+    BlindRotateKey brk;
+    brk.gadget = gadget;
+    brk.plus.reserve(lweSecret.size());
+    brk.minus.reserve(lweSecret.size());
+    for (const int64_t s : lweSecret) {
+        HEAP_CHECK(s >= -1 && s <= 1,
+                   "blind-rotate keys require a ternary LWE secret");
+        brk.plus.push_back(
+            rlwe::rgswEncryptConstant(sk, s == 1 ? 1 : 0, gadget, rng,
+                                      noise));
+        brk.minus.push_back(
+            rlwe::rgswEncryptConstant(sk, s == -1 ? 1 : 0, gadget, rng,
+                                      noise));
+    }
+    return brk;
+}
+
+math::RnsPoly
+buildTestPoly(std::shared_ptr<const math::RnsBasis> basis, size_t limbs,
+              const std::function<int64_t(uint64_t)>& F)
+{
+    const size_t n = basis->n();
+    // constantCoeff(f * X^u) is f_0 at u = 0, -f_{N-u} for u in (0, N],
+    // and f_{2N-u} for u in (N, 2N). Inverting for u in [0, N):
+    //   f_0 = F(0),  f_j = -F(N - j)  for j in (0, N).
+    std::vector<int64_t> coeffs(n);
+    coeffs[0] = F(0);
+    for (size_t j = 1; j < n; ++j) {
+        coeffs[j] = -F(static_cast<uint64_t>(n - j));
+    }
+    return math::rnsFromSigned(std::move(basis), limbs, coeffs);
+}
+
+math::RnsPoly
+buildIdentityTestPoly(std::shared_ptr<const math::RnsBasis> basis,
+                      size_t limbs, uint64_t scale)
+{
+    const auto n = static_cast<int64_t>(basis->n());
+    const auto s = static_cast<int64_t>(scale);
+    return buildTestPoly(std::move(basis), limbs, [n, s](uint64_t u) {
+        const auto v = static_cast<int64_t>(u);
+        // Triangle wave: identity on |u| < N/2, folded beyond.
+        return v <= n / 2 ? s * v : s * (n - v);
+    });
+}
+
+rlwe::Ciphertext
+blindRotate(const lwe::LweCiphertext& lwe, const math::RnsPoly& testPoly,
+            const BlindRotateKey& brk)
+{
+    const size_t n = testPoly.n();
+    const uint64_t twoN = 2 * n;
+    HEAP_CHECK(lwe.modulus == twoN,
+               "blindRotate expects an LWE ciphertext modulo 2N = "
+                   << twoN << ", got " << lwe.modulus);
+    HEAP_CHECK(lwe.dimension() == brk.dimension(),
+               "LWE dimension does not match blind-rotate key");
+    HEAP_CHECK(testPoly.domain() == math::Domain::Coeff,
+               "test polynomial must be in Coeff domain");
+
+    // ACC <- (0, f * X^b).
+    rlwe::Ciphertext acc =
+        rlwe::trivialEncrypt(testPoly.monomialMul(lwe.b % twoN));
+
+    for (size_t i = 0; i < lwe.dimension(); ++i) {
+        const uint64_t ai = lwe.a[i] % twoN;
+        if (ai == 0) {
+            // (X^0 - 1) annihilates both terms exactly.
+            continue;
+        }
+        // Both external products read the *old* accumulator.
+        rlwe::Ciphertext epPlus = externalProduct(acc, brk.plus[i]);
+        rlwe::Ciphertext epMinus = externalProduct(acc, brk.minus[i]);
+        epPlus.toCoeff();
+        epMinus.toCoeff();
+
+        rlwe::Ciphertext termPlus = epPlus.monomialMul(ai);
+        termPlus.subInPlace(epPlus);
+        rlwe::Ciphertext termMinus = epMinus.monomialMul(twoN - ai);
+        termMinus.subInPlace(epMinus);
+
+        acc.addInPlace(termPlus);
+        acc.addInPlace(termMinus);
+    }
+    return acc;
+}
+
+std::vector<rlwe::Ciphertext>
+blindRotateBatch(std::span<const lwe::LweCiphertext> lwes,
+                 const math::RnsPoly& testPoly, const BlindRotateKey& brk)
+{
+    const size_t n = testPoly.n();
+    const uint64_t twoN = 2 * n;
+    HEAP_CHECK(testPoly.domain() == math::Domain::Coeff,
+               "test polynomial must be in Coeff domain");
+    std::vector<rlwe::Ciphertext> accs;
+    accs.reserve(lwes.size());
+    for (const auto& lwe : lwes) {
+        HEAP_CHECK(lwe.modulus == twoN && lwe.dimension()
+                       == brk.dimension(),
+                   "batch ciphertext shape mismatch");
+        accs.push_back(
+            rlwe::trivialEncrypt(testPoly.monomialMul(lwe.b % twoN)));
+    }
+    // Key-major loop: brk_i serves every accumulator before brk_{i+1}.
+    for (size_t i = 0; i < brk.dimension(); ++i) {
+        for (size_t c = 0; c < accs.size(); ++c) {
+            const uint64_t ai = lwes[c].a[i] % twoN;
+            if (ai == 0) {
+                continue;
+            }
+            rlwe::Ciphertext epPlus =
+                externalProduct(accs[c], brk.plus[i]);
+            rlwe::Ciphertext epMinus =
+                externalProduct(accs[c], brk.minus[i]);
+            epPlus.toCoeff();
+            epMinus.toCoeff();
+            rlwe::Ciphertext termPlus = epPlus.monomialMul(ai);
+            termPlus.subInPlace(epPlus);
+            rlwe::Ciphertext termMinus = epMinus.monomialMul(twoN - ai);
+            termMinus.subInPlace(epMinus);
+            accs[c].addInPlace(termPlus);
+            accs[c].addInPlace(termMinus);
+        }
+    }
+    return accs;
+}
+
+rlwe::Ciphertext
+cmux(const rlwe::RgswCiphertext& C, const rlwe::Ciphertext& ct0,
+     const rlwe::Ciphertext& ct1)
+{
+    rlwe::Ciphertext diff = ct1;
+    diff.subInPlace(ct0);
+    diff.toCoeff();
+    rlwe::Ciphertext out = externalProduct(diff, C);
+    rlwe::Ciphertext base = ct0;
+    base.toEval();
+    out.addInPlace(base);
+    return out;
+}
+
+lwe::LweCiphertext
+programmableBootstrap(const lwe::LweCiphertext& lwe,
+                      const std::function<int64_t(uint64_t)>& F,
+                      const BlindRotateKey& brk,
+                      std::shared_ptr<const math::RnsBasis> basis,
+                      size_t limbs)
+{
+    const uint64_t twoN = 2 * basis->n();
+    const auto switched = lwe::lweModSwitch(lwe, twoN);
+    const auto testPoly = buildTestPoly(basis, limbs, F);
+    rlwe::Ciphertext acc = blindRotate(switched, testPoly, brk);
+    acc.toCoeff();
+    return lwe::extractLwe(acc.a.limb(0), acc.b.limb(0), 0,
+                           basis->modulus(0));
+}
+
+} // namespace heap::tfhe

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * TFHE BlindRotate (Algorithm 1 of the paper) and programmable
+ * bootstrapping.
+ *
+ * BlindRotate homomorphically computes f * X^{phase(lwe)} for an LWE
+ * ciphertext with modulus 2N: the accumulator ACC starts at the
+ * trivial encryption (0, f * X^b) and is multiplied by X^{a_i s_i} for
+ * every mask element via the ternary-secret CMux
+ *
+ *   ACC <- ACC (x) [ RGSW(1) + (X^{a_i}-1) RGSW(s_i^+)
+ *                             + (X^{-a_i}-1) RGSW(s_i^-) ],
+ *
+ * which, by linearity of the external product, is evaluated as
+ * ACC + (X^{a_i}-1) * EP(ACC, brk_i^+) + (X^{-a_i}-1) * EP(ACC, brk_i^-).
+ * The constant coefficient of the result encodes F(u) where u is the
+ * (centered) LWE phase and F is the negacyclic lookup table encoded in
+ * the test polynomial f.
+ */
+
+#ifndef HEAP_TFHE_BLIND_ROTATE_H
+#define HEAP_TFHE_BLIND_ROTATE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lwe/lwe.h"
+#include "rlwe/gadget.h"
+#include "rlwe/rlwe.h"
+
+namespace heap::tfhe {
+
+/**
+ * BlindRotate keys: per LWE-secret element, RGSW encryptions of the
+ * +1 and -1 indicators (brk of Section II-B).
+ */
+struct BlindRotateKey {
+    std::vector<rlwe::RgswCiphertext> plus;
+    std::vector<rlwe::RgswCiphertext> minus;
+    rlwe::GadgetParams gadget;
+
+    size_t dimension() const { return plus.size(); }
+};
+
+/**
+ * Generates blind-rotate keys for the ternary LWE secret `lweSecret`
+ * under the RLWE key `sk`. RGSW(s_i^+) encrypts 1 iff s_i = +1 and 0
+ * otherwise; likewise RGSW(s_i^-) for s_i = -1.
+ */
+BlindRotateKey makeBlindRotateKey(const rlwe::SecretKey& sk,
+                                  std::span<const int64_t> lweSecret,
+                                  const rlwe::GadgetParams& gadget,
+                                  Rng& rng,
+                                  const rlwe::NoiseParams& noise = {});
+
+/**
+ * Builds the test polynomial encoding the negacyclic LUT F.
+ *
+ * @param F centered value of the LUT at u for u in [0, N); the
+ *          negacyclic identity F(u + N) = -F(u) extends it to all of
+ *          Z_{2N}. Values are embedded per-limb (|F| < 2^62).
+ * @return coefficient-domain polynomial f with
+ *         constantCoeff(f * X^u) = F(u mod 2N).
+ */
+math::RnsPoly buildTestPoly(std::shared_ptr<const math::RnsBasis> basis,
+                            size_t limbs,
+                            const std::function<int64_t(uint64_t)>& F);
+
+/**
+ * The triangle LUT F(u) = scale * u for centered |u| < N/2 (used by
+ * the scheme-switching bootstrap, where scale = q of the exhausted
+ * limb). Outside the valid window the negacyclic extension folds back.
+ */
+math::RnsPoly buildIdentityTestPoly(
+    std::shared_ptr<const math::RnsBasis> basis, size_t limbs,
+    uint64_t scale);
+
+/**
+ * Algorithm 1: returns an RLWE encryption of f * X^{phase(lwe)}.
+ *
+ * @param lwe   input with modulus exactly 2N and dimension matching brk
+ * @param testPoly coefficient-domain f (Qp limbs of the BR basis)
+ * @return RLWE ciphertext in Coeff domain with testPoly's limb count
+ */
+rlwe::Ciphertext blindRotate(const lwe::LweCiphertext& lwe,
+                             const math::RnsPoly& testPoly,
+                             const BlindRotateKey& brk);
+
+/**
+ * Batched BlindRotate with the paper's key-major schedule (Section
+ * IV-E): for each of the n_t blind-rotate keys, the corresponding
+ * iteration is applied to *every* accumulator before moving to the
+ * next key — "fetch one key at a time, perform the external product
+ * using the key, and then discard the key". Results are identical to
+ * per-ciphertext blindRotate(); only the loop order (and hence the
+ * key traffic) differs.
+ */
+std::vector<rlwe::Ciphertext> blindRotateBatch(
+    std::span<const lwe::LweCiphertext> lwes,
+    const math::RnsPoly& testPoly, const BlindRotateKey& brk);
+
+/**
+ * CMux(C, ct0, ct1) = ct0 + C (x) (ct1 - ct0): selects ct1 when C
+ * encrypts 1 and ct0 when C encrypts 0 (Section VII-A).
+ */
+rlwe::Ciphertext cmux(const rlwe::RgswCiphertext& C,
+                      const rlwe::Ciphertext& ct0,
+                      const rlwe::Ciphertext& ct1);
+
+/**
+ * Standalone-TFHE programmable bootstrapping: modulus-switches `lwe`
+ * to 2N, blind-rotates with the LUT F, and extracts the constant
+ * coefficient as a fresh LWE ciphertext modulo the first limb of the
+ * blind-rotate basis. The output is encrypted under the RLWE key's
+ * coefficient vector.
+ */
+lwe::LweCiphertext programmableBootstrap(
+    const lwe::LweCiphertext& lwe,
+    const std::function<int64_t(uint64_t)>& F, const BlindRotateKey& brk,
+    std::shared_ptr<const math::RnsBasis> basis, size_t limbs);
+
+} // namespace heap::tfhe
+
+#endif // HEAP_TFHE_BLIND_ROTATE_H

@@ -1,0 +1,154 @@
+#include "tfhe/gates.h"
+
+#include "common/check.h"
+#include "math/modarith.h"
+#include "math/primes.h"
+
+namespace heap::tfhe {
+
+using math::addMod;
+using math::fromCentered;
+using math::mulModNaive;
+
+BooleanContext::BooleanContext(const BooleanParams& params, uint64_t seed)
+    : params_(params), rng_(seed)
+{
+    basis_ = std::make_shared<math::RnsBasis>(
+        params.ringN,
+        math::generateNttPrimes(params.limbBits, params.ringN,
+                                params.limbs));
+    q_ = basis_->modulus(0);
+    mu_ = static_cast<int64_t>(q_ / 8);
+
+    ringKey_ = std::make_unique<rlwe::SecretKey>(
+        rlwe::SecretKey::sampleTernary(basis_, rng_));
+    lweKey_ = lwe::LweSecretKey::sampleTernary(params.lweDim, rng_);
+    brk_ = makeBlindRotateKey(*ringKey_, lweKey_.coeffs, params.gadget,
+                              rng_, rlwe::NoiseParams{params.errorStdDev});
+
+    // Sign LUT: F(u) = +q/8 on the positive half-period; the
+    // negacyclic extension supplies -q/8 on the negative one.
+    const int64_t amp = mu_;
+    signLut_ = buildTestPoly(basis_, params.limbs,
+                             [amp](uint64_t) { return amp; });
+
+    // Key switch from the ring key's coefficient vector back to the
+    // small LWE key, at the first limb's modulus.
+    ksk_ = lwe::makeLweKeySwitchKey(lweKey_,
+                                    lwe::LweSecretKey{ringKey_->coeffs()},
+                                    q_, params.ksBaseBits, rng_,
+                                    params.errorStdDev);
+}
+
+lwe::LweCiphertext
+BooleanContext::encrypt(bool bit) const
+{
+    return lwe::lweEncrypt(bit ? mu_ : -mu_, lweKey_, q_, rng_,
+                           params_.errorStdDev);
+}
+
+bool
+BooleanContext::decrypt(const lwe::LweCiphertext& ct) const
+{
+    return lwe::lweDecrypt(ct, lweKey_) > 0;
+}
+
+lwe::LweCiphertext
+BooleanContext::combine(const lwe::LweCiphertext& a, int64_t ca,
+                        const lwe::LweCiphertext& b, int64_t cb,
+                        int64_t constant) const
+{
+    HEAP_CHECK(a.modulus == q_ && b.modulus == q_,
+               "ciphertext modulus mismatch");
+    HEAP_CHECK(a.dimension() == b.dimension(), "dimension mismatch");
+    lwe::LweCiphertext out;
+    out.modulus = q_;
+    out.a.resize(a.dimension());
+    const uint64_t uca = fromCentered(ca, q_);
+    const uint64_t ucb = fromCentered(cb, q_);
+    for (size_t i = 0; i < a.dimension(); ++i) {
+        out.a[i] = addMod(mulModNaive(a.a[i], uca, q_),
+                          mulModNaive(b.a[i], ucb, q_), q_);
+    }
+    out.b = addMod(addMod(mulModNaive(a.b, uca, q_),
+                          mulModNaive(b.b, ucb, q_), q_),
+                   fromCentered(constant, q_), q_);
+    return out;
+}
+
+lwe::LweCiphertext
+BooleanContext::bootstrapToBit(const lwe::LweCiphertext& in) const
+{
+    ++bootstraps_;
+    const auto switched = lwe::lweModSwitch(in, 2 * params_.ringN);
+    rlwe::Ciphertext acc = blindRotate(switched, signLut_, brk_);
+    acc.toCoeff();
+    auto ringLwe =
+        lwe::extractLwe(acc.a.limb(0), acc.b.limb(0), 0, q_);
+    return lwe::lweKeySwitch(ringLwe, ksk_);
+}
+
+lwe::LweCiphertext
+BooleanContext::gateAnd(const lwe::LweCiphertext& a,
+                        const lwe::LweCiphertext& b) const
+{
+    return bootstrapToBit(combine(a, 1, b, 1, -mu_));
+}
+
+lwe::LweCiphertext
+BooleanContext::gateOr(const lwe::LweCiphertext& a,
+                       const lwe::LweCiphertext& b) const
+{
+    return bootstrapToBit(combine(a, 1, b, 1, mu_));
+}
+
+lwe::LweCiphertext
+BooleanContext::gateNand(const lwe::LweCiphertext& a,
+                         const lwe::LweCiphertext& b) const
+{
+    return bootstrapToBit(combine(a, -1, b, -1, mu_));
+}
+
+lwe::LweCiphertext
+BooleanContext::gateNor(const lwe::LweCiphertext& a,
+                        const lwe::LweCiphertext& b) const
+{
+    return bootstrapToBit(combine(a, -1, b, -1, -mu_));
+}
+
+lwe::LweCiphertext
+BooleanContext::gateXor(const lwe::LweCiphertext& a,
+                        const lwe::LweCiphertext& b) const
+{
+    return bootstrapToBit(combine(a, 2, b, 2, 2 * mu_));
+}
+
+lwe::LweCiphertext
+BooleanContext::gateXnor(const lwe::LweCiphertext& a,
+                         const lwe::LweCiphertext& b) const
+{
+    return bootstrapToBit(combine(a, -2, b, -2, -2 * mu_));
+}
+
+lwe::LweCiphertext
+BooleanContext::gateNot(const lwe::LweCiphertext& a) const
+{
+    lwe::LweCiphertext out = a;
+    for (auto& v : out.a) {
+        v = math::negMod(v, q_);
+    }
+    out.b = math::negMod(out.b, q_);
+    return out;
+}
+
+lwe::LweCiphertext
+BooleanContext::gateMux(const lwe::LweCiphertext& sel,
+                        const lwe::LweCiphertext& a,
+                        const lwe::LweCiphertext& b) const
+{
+    const auto pickA = gateAnd(sel, a);
+    const auto pickB = gateAnd(gateNot(sel), b);
+    return gateOr(pickA, pickB);
+}
+
+} // namespace heap::tfhe

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Standalone-TFHE boolean gate bootstrapping — the Section VII-A
+ * discussion made concrete: every HEAP primitive needed for the TFHE
+ * scheme (BlindRotate/PBS, Extract, LWE KeySwitch, ModulusSwitch) is
+ * already implemented, so boolean gates compose directly.
+ *
+ * Bits are LWE-encrypted as +-q/8 (the TFHE convention). A gate is a
+ * public linear combination of its input ciphertexts followed by a
+ * programmable bootstrap with the sign LUT, whose output is
+ * key-switched back to the small LWE key — so every gate output is a
+ * *fresh* ciphertext and circuits compose to any depth.
+ */
+
+#ifndef HEAP_TFHE_GATES_H
+#define HEAP_TFHE_GATES_H
+
+#include <memory>
+
+#include "tfhe/blind_rotate.h"
+
+namespace heap::tfhe {
+
+/** Parameters of the boolean context (demo-sized defaults). */
+struct BooleanParams {
+    size_t ringN = 256;     ///< blind-rotation ring dimension
+    int limbBits = 30;      ///< accumulator limb width
+    size_t limbs = 2;       ///< accumulator limbs
+    size_t lweDim = 32;     ///< small LWE dimension n_t
+    rlwe::GadgetParams gadget{.baseBits = 8, .digitsPerLimb = 4};
+    int ksBaseBits = 5;     ///< LWE key-switch digit base
+    double errorStdDev = 3.2;
+};
+
+/**
+ * Key material + gate evaluator for boolean TFHE. Owns the small LWE
+ * key (encryption side), the ring key, blind-rotate keys, and the
+ * ring-to-small LWE key-switching key.
+ */
+class BooleanContext {
+  public:
+    explicit BooleanContext(const BooleanParams& params,
+                            uint64_t seed = 1);
+
+    const BooleanParams& params() const { return params_; }
+    uint64_t modulus() const { return q_; }
+
+    /** Encrypts one bit under the small LWE key. */
+    lwe::LweCiphertext encrypt(bool bit) const;
+
+    /** Decrypts a (gate-output or fresh) ciphertext to a bit. */
+    bool decrypt(const lwe::LweCiphertext& ct) const;
+
+    // --- bootstrapped binary gates ----------------------------------
+    lwe::LweCiphertext gateAnd(const lwe::LweCiphertext& a,
+                               const lwe::LweCiphertext& b) const;
+    lwe::LweCiphertext gateOr(const lwe::LweCiphertext& a,
+                              const lwe::LweCiphertext& b) const;
+    lwe::LweCiphertext gateNand(const lwe::LweCiphertext& a,
+                                const lwe::LweCiphertext& b) const;
+    lwe::LweCiphertext gateNor(const lwe::LweCiphertext& a,
+                               const lwe::LweCiphertext& b) const;
+    lwe::LweCiphertext gateXor(const lwe::LweCiphertext& a,
+                               const lwe::LweCiphertext& b) const;
+    lwe::LweCiphertext gateXnor(const lwe::LweCiphertext& a,
+                                const lwe::LweCiphertext& b) const;
+
+    /** NOT is a free negation (no bootstrap). */
+    lwe::LweCiphertext gateNot(const lwe::LweCiphertext& a) const;
+
+    /** MUX(sel, a, b) = sel ? a : b (two bootstraps + one OR). */
+    lwe::LweCiphertext gateMux(const lwe::LweCiphertext& sel,
+                               const lwe::LweCiphertext& a,
+                               const lwe::LweCiphertext& b) const;
+
+    /** Bootstraps performed so far (cost accounting). */
+    size_t bootstrapCount() const { return bootstraps_; }
+
+  private:
+    /** a*ca + b*cb + constant, all mod q. */
+    lwe::LweCiphertext combine(const lwe::LweCiphertext& a, int64_t ca,
+                               const lwe::LweCiphertext& b, int64_t cb,
+                               int64_t constant) const;
+
+    /** Sign-LUT bootstrap + key switch back to the small key. */
+    lwe::LweCiphertext bootstrapToBit(const lwe::LweCiphertext& in) const;
+
+    BooleanParams params_;
+    uint64_t q_ = 0;
+    int64_t mu_ = 0; ///< q/8, the bit amplitude
+    mutable Rng rng_;
+    std::shared_ptr<const math::RnsBasis> basis_;
+    std::unique_ptr<rlwe::SecretKey> ringKey_;
+    lwe::LweSecretKey lweKey_;
+    BlindRotateKey brk_;
+    math::RnsPoly signLut_;
+    lwe::LweKeySwitchKey ksk_;
+    mutable size_t bootstraps_ = 0;
+};
+
+} // namespace heap::tfhe
+
+#endif // HEAP_TFHE_GATES_H

@@ -1,0 +1,99 @@
+#include "tfhe/repack.h"
+
+#include <bit>
+
+#include "common/check.h"
+#include "math/modarith.h"
+
+namespace heap::tfhe {
+
+PackingKeys
+makePackingKeys(const rlwe::SecretKey& sk, size_t maxCount,
+                const rlwe::GadgetParams& gadget, Rng& rng,
+                const rlwe::NoiseParams& noise)
+{
+    HEAP_CHECK(maxCount >= 2 && std::has_single_bit(maxCount),
+               "packing count must be a power of two >= 2");
+    PackingKeys keys;
+    for (size_t c = 2; c <= maxCount; c <<= 1) {
+        const uint64_t t = c + 1;
+        keys.autoKeys.emplace(
+            t, rlwe::makeAutomorphismKey(sk, t, gadget, rng, noise));
+    }
+    return keys;
+}
+
+namespace {
+
+rlwe::Ciphertext
+packRange(const std::vector<rlwe::Ciphertext>& cts, size_t start,
+          size_t stride, size_t count, const PackingKeys& keys)
+{
+    if (count == 1) {
+        rlwe::Ciphertext c = cts[start];
+        c.toCoeff();
+        return c;
+    }
+    const size_t n = cts[start].b.n();
+    rlwe::Ciphertext even =
+        packRange(cts, start, 2 * stride, count / 2, keys);
+    rlwe::Ciphertext odd =
+        packRange(cts, start + stride, 2 * stride, count / 2, keys);
+
+    const uint64_t shift = n / count;
+    rlwe::Ciphertext shifted = odd.monomialMul(shift);
+    rlwe::Ciphertext sum = even;
+    sum.addInPlace(shifted);
+    rlwe::Ciphertext diff = std::move(even);
+    diff.subInPlace(shifted);
+
+    const uint64_t t = count + 1;
+    const auto it = keys.autoKeys.find(t);
+    HEAP_CHECK(it != keys.autoKeys.end(),
+               "missing packing key for automorphism t=" << t);
+    rlwe::Ciphertext folded = rlwe::evalAuto(diff, t, it->second);
+    sum.addInPlace(folded);
+    return sum;
+}
+
+} // namespace
+
+rlwe::Ciphertext
+packRlwes(const std::vector<rlwe::Ciphertext>& cts,
+          const PackingKeys& keys)
+{
+    HEAP_CHECK(!cts.empty(), "nothing to pack");
+    HEAP_CHECK(std::has_single_bit(cts.size()),
+               "packing count must be a power of two");
+    HEAP_CHECK(cts.size() <= cts.front().b.n(),
+               "cannot pack more ciphertexts than coefficients");
+    return packRange(cts, 0, 1, cts.size(), keys);
+}
+
+rlwe::Ciphertext
+lweToRlwe(const lwe::LweCiphertext& lwe,
+          std::shared_ptr<const math::RnsBasis> basis, size_t limbs)
+{
+    const size_t n = basis->n();
+    HEAP_CHECK(lwe.dimension() == n,
+               "LWE dimension must equal the ring dimension");
+    HEAP_CHECK(lwe.modulus == basis->modulus(0),
+               "LWE modulus must be the first limb");
+    // Choose a(X) with (a * s)_0 = <a_vec, s>: a_0 = a_vec_0 and
+    // a_j = -a_vec_{N-j} for j >= 1 (inverse of Eq. 2 at index 0).
+    rlwe::Ciphertext out;
+    out.a = math::RnsPoly(basis, limbs, math::Domain::Coeff);
+    out.b = math::RnsPoly(basis, limbs, math::Domain::Coeff);
+    for (size_t i = 0; i < limbs; ++i) {
+        const uint64_t qi = basis->modulus(i);
+        auto dst = out.a.limb(i);
+        dst[0] = lwe.a[0] % qi;
+        for (size_t j = 1; j < n; ++j) {
+            dst[j] = math::negMod(lwe.a[n - j] % qi, qi);
+        }
+        out.b.limb(i)[0] = lwe.b % qi;
+    }
+    return out;
+}
+
+} // namespace heap::tfhe

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * LWE -> RLWE repacking via automorphisms (Chen et al. [11], adopted
+ * by the paper to merge the blind-rotated ciphertexts back into a
+ * single RLWE ciphertext on the primary FPGA).
+ *
+ * packRlwes combines `count` (a power of two) RLWE ciphertexts, each
+ * carrying its payload in the constant coefficient, into one RLWE
+ * ciphertext whose coefficient j*(N/count) equals count * m_j. The
+ * count factor is *not* divided out (doing so homomorphically would
+ * amplify noise); callers fold 1/count into the upstream payload, as
+ * the scheme-switching bootstrapper does with its test polynomial.
+ */
+
+#ifndef HEAP_TFHE_REPACK_H
+#define HEAP_TFHE_REPACK_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "lwe/lwe.h"
+#include "rlwe/gadget.h"
+#include "rlwe/rlwe.h"
+
+namespace heap::tfhe {
+
+/** Automorphism key-switching keys indexed by the Galois exponent t. */
+struct PackingKeys {
+    std::map<uint64_t, rlwe::GadgetCiphertext> autoKeys;
+};
+
+/**
+ * Generates keys for the automorphisms t = 2^j + 1 used when packing
+ * up to `maxCount` ciphertexts.
+ */
+PackingKeys makePackingKeys(const rlwe::SecretKey& sk, size_t maxCount,
+                            const rlwe::GadgetParams& gadget, Rng& rng,
+                            const rlwe::NoiseParams& noise = {});
+
+/**
+ * Packs `cts` (size a power of two, each in Coeff domain) into one
+ * ciphertext with payload_j at coefficient j*(N/count), scaled by
+ * count.
+ */
+rlwe::Ciphertext packRlwes(const std::vector<rlwe::Ciphertext>& cts,
+                           const PackingKeys& keys);
+
+/**
+ * LWE -> RLWE embedding: produces an RLWE ciphertext (over the first
+ * `limbs` limbs of `basis`) whose phase's constant coefficient equals
+ * the LWE phase. The LWE must be modulo the first limb and its
+ * dimension must equal N. Other coefficients carry garbage.
+ */
+rlwe::Ciphertext lweToRlwe(const lwe::LweCiphertext& lwe,
+                           std::shared_ptr<const math::RnsBasis> basis,
+                           size_t limbs);
+
+} // namespace heap::tfhe
+
+#endif // HEAP_TFHE_REPACK_H

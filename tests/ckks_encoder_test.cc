@@ -1,0 +1,285 @@
+/**
+ * @file
+ * CKKS encoder tests: round trips (dense and sparse packing), the
+ * canonical-embedding homomorphisms (ring multiplication <-> slotwise
+ * product; automorphism <-> slot rotation / conjugation), and scale
+ * handling.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ckks/encoder.h"
+#include "common/rng.h"
+#include "math/modarith.h"
+#include "math/ntt.h"
+#include "math/poly.h"
+#include "math/primes.h"
+
+namespace heap::ckks {
+namespace {
+
+std::vector<Complex>
+randomSlots(size_t count, Rng& rng, double bound = 1.0)
+{
+    std::vector<Complex> z(count);
+    for (auto& v : z) {
+        v = Complex((2 * rng.uniformReal() - 1) * bound,
+                    (2 * rng.uniformReal() - 1) * bound);
+    }
+    return z;
+}
+
+std::vector<long double>
+toLongDouble(const std::vector<int64_t>& v)
+{
+    return {v.begin(), v.end()};
+}
+
+double
+maxSlotError(const std::vector<Complex>& a, const std::vector<Complex>& b)
+{
+    double m = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        m = std::max(m, std::abs(a[i] - b[i]));
+    }
+    return m;
+}
+
+class EncoderRoundTrip
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(EncoderRoundTrip, EncodeDecodeIdentity)
+{
+    const auto [n, slots] = GetParam();
+    Encoder enc(n);
+    Rng rng(n + slots);
+    const double scale = std::pow(2.0, 30);
+    const auto z = randomSlots(slots, rng);
+    const auto coeffs = enc.encode(z, scale);
+    const auto back = enc.decode(toLongDouble(coeffs), scale, slots);
+    EXPECT_LT(maxSlotError(z, back), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EncoderRoundTrip,
+    ::testing::Values(std::make_tuple(64, 32), std::make_tuple(64, 8),
+                      std::make_tuple(256, 128),
+                      std::make_tuple(256, 1),
+                      std::make_tuple(1024, 512),
+                      std::make_tuple(1024, 64)));
+
+TEST(Encoder, MultiplicationIsSlotwise)
+{
+    // encode(z1) *ring* encode(z2) must decode (at scale^2) to the
+    // slotwise product — this uniquely pins the canonical embedding.
+    const size_t n = 128;
+    Encoder enc(n);
+    Rng rng(5);
+    const double scale = std::pow(2.0, 24);
+    const auto z1 = randomSlots(n / 2, rng);
+    const auto z2 = randomSlots(n / 2, rng);
+    const auto c1 = enc.encode(z1, scale);
+    const auto c2 = enc.encode(z2, scale);
+
+    // Negacyclic product over a prime large enough to avoid wrap.
+    const uint64_t q = math::generateNttPrimes(59, n, 1)[0];
+    std::vector<uint64_t> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = math::fromCentered(c1[i], q);
+        b[i] = math::fromCentered(c2[i], q);
+    }
+    const auto prod = math::negacyclicConvolveSchoolbook(a, b, q);
+    std::vector<long double> pc(n);
+    for (size_t i = 0; i < n; ++i) {
+        pc[i] = static_cast<long double>(math::toCentered(prod[i], q));
+    }
+    const auto got = enc.decode(pc, scale * scale, n / 2);
+    std::vector<Complex> want(n / 2);
+    for (size_t i = 0; i < n / 2; ++i) {
+        want[i] = z1[i] * z2[i];
+    }
+    EXPECT_LT(maxSlotError(got, want), 1e-4);
+}
+
+TEST(Encoder, AdditionIsSlotwise)
+{
+    const size_t n = 128;
+    Encoder enc(n);
+    Rng rng(6);
+    const double scale = std::pow(2.0, 24);
+    const auto z1 = randomSlots(n / 2, rng);
+    const auto z2 = randomSlots(n / 2, rng);
+    auto c1 = enc.encode(z1, scale);
+    const auto c2 = enc.encode(z2, scale);
+    for (size_t i = 0; i < n; ++i) {
+        c1[i] += c2[i];
+    }
+    const auto got = enc.decode(toLongDouble(c1), scale, n / 2);
+    std::vector<Complex> want(n / 2);
+    for (size_t i = 0; i < n / 2; ++i) {
+        want[i] = z1[i] + z2[i];
+    }
+    EXPECT_LT(maxSlotError(got, want), 1e-6);
+}
+
+TEST(Encoder, AutomorphismRotatesSlots)
+{
+    const size_t n = 128;
+    Encoder enc(n);
+    Rng rng(7);
+    const double scale = std::pow(2.0, 26);
+    const auto z = randomSlots(n / 2, rng);
+    const auto coeffs = enc.encode(z, scale);
+
+    for (int64_t r : {1LL, 2LL, 5LL, 31LL}) {
+        const uint64_t t = enc.rotationExponent(r);
+        // Apply sigma_t on plain coefficients over a big prime.
+        const uint64_t q = math::generateNttPrimes(59, n, 1)[0];
+        std::vector<uint64_t> a(n), out(n);
+        for (size_t i = 0; i < n; ++i) {
+            a[i] = math::fromCentered(coeffs[i], q);
+        }
+        math::polyAutomorphism(a, t, out, q);
+        std::vector<long double> oc(n);
+        for (size_t i = 0; i < n; ++i) {
+            oc[i] =
+                static_cast<long double>(math::toCentered(out[i], q));
+        }
+        const auto got = enc.decode(oc, scale, n / 2);
+        // Left rotation: slot i of the result is slot i+r of z.
+        std::vector<Complex> want(n / 2);
+        for (size_t i = 0; i < n / 2; ++i) {
+            want[i] = z[(i + static_cast<size_t>(r)) % (n / 2)];
+        }
+        EXPECT_LT(maxSlotError(got, want), 1e-5) << "r=" << r;
+    }
+}
+
+TEST(Encoder, ConjugationExponentConjugatesSlots)
+{
+    const size_t n = 64;
+    Encoder enc(n);
+    Rng rng(8);
+    const double scale = std::pow(2.0, 26);
+    const auto z = randomSlots(n / 2, rng);
+    const auto coeffs = enc.encode(z, scale);
+    const uint64_t t = enc.conjugationExponent();
+    const uint64_t q = math::generateNttPrimes(59, n, 1)[0];
+    std::vector<uint64_t> a(n), out(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = math::fromCentered(coeffs[i], q);
+    }
+    math::polyAutomorphism(a, t, out, q);
+    std::vector<long double> oc(n);
+    for (size_t i = 0; i < n; ++i) {
+        oc[i] = static_cast<long double>(math::toCentered(out[i], q));
+    }
+    const auto got = enc.decode(oc, scale, n / 2);
+    std::vector<Complex> want(n / 2);
+    for (size_t i = 0; i < n / 2; ++i) {
+        want[i] = std::conj(z[i]);
+    }
+    EXPECT_LT(maxSlotError(got, want), 1e-5);
+}
+
+TEST(Encoder, RealEncodeMatchesComplex)
+{
+    const size_t n = 64;
+    Encoder enc(n);
+    std::vector<double> vals = {1.5, -2.25, 0.0, 3.125};
+    const auto c = enc.encodeReal(vals, 1 << 20);
+    const auto back = enc.decode(toLongDouble(c), 1 << 20, 4);
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_NEAR(back[i].real(), vals[i], 1e-5);
+        EXPECT_NEAR(back[i].imag(), 0.0, 1e-5);
+    }
+}
+
+TEST(Encoder, Validation)
+{
+    Encoder enc(64);
+    std::vector<Complex> tooMany(64);
+    EXPECT_THROW(enc.encode(tooMany, 1 << 20), UserError);
+    std::vector<Complex> notPow2(3);
+    EXPECT_THROW(enc.encode(notPow2, 1 << 20), UserError);
+    std::vector<Complex> ok(4);
+    EXPECT_THROW(enc.encode(ok, -1.0), UserError);
+    EXPECT_THROW(Encoder(48), UserError);
+}
+
+TEST(Encoder, ParsevalEnergyRelation)
+{
+    // The canonical embedding scales energy by the slot count:
+    // sum|z_k|^2 = (N/2) * sum m_j^2 / scale^2 (within rounding).
+    const size_t n = 256;
+    Encoder enc(n);
+    Rng rng(9);
+    const double scale = std::pow(2.0, 28);
+    const auto z = randomSlots(n / 2, rng);
+    const auto coeffs = enc.encode(z, scale);
+    double slotEnergy = 0, coeffEnergy = 0;
+    for (const auto& v : z) {
+        slotEnergy += std::norm(v);
+    }
+    for (const int64_t c : coeffs) {
+        coeffEnergy += static_cast<double>(c) * static_cast<double>(c);
+    }
+    coeffEnergy /= scale * scale;
+    EXPECT_NEAR(slotEnergy / coeffEnergy, static_cast<double>(n) / 2,
+                0.01 * static_cast<double>(n));
+}
+
+TEST(Encoder, RealSlotsGiveConjugateSymmetricSpectrum)
+{
+    // Real slot vectors encode with zero imaginary half: coefficients
+    // j >= N/2 vanish only for special inputs, but decoding the
+    // conjugated input must equal the original (realness).
+    const size_t n = 128;
+    Encoder enc(n);
+    std::vector<double> vals(n / 2);
+    for (size_t i = 0; i < vals.size(); ++i) {
+        vals[i] = std::sin(0.2 * static_cast<double>(i));
+    }
+    const auto c = enc.encodeReal(vals, 1 << 24);
+    const auto back = enc.decode(toLongDouble(c), 1 << 24, n / 2);
+    for (size_t i = 0; i < n / 2; ++i) {
+        EXPECT_NEAR(back[i].imag(), 0.0, 1e-6) << "slot " << i;
+    }
+}
+
+TEST(Encoder, EncodingIsAdditivelyExactUpToRounding)
+{
+    const size_t n = 128;
+    Encoder enc(n);
+    Rng rng(10);
+    const double scale = std::pow(2.0, 26);
+    const auto z1 = randomSlots(n / 2, rng);
+    const auto z2 = randomSlots(n / 2, rng);
+    std::vector<Complex> sum(n / 2);
+    for (size_t i = 0; i < n / 2; ++i) {
+        sum[i] = z1[i] + z2[i];
+    }
+    const auto c1 = enc.encode(z1, scale);
+    const auto c2 = enc.encode(z2, scale);
+    const auto cs = enc.encode(sum, scale);
+    for (size_t j = 0; j < n; ++j) {
+        EXPECT_LE(std::abs(cs[j] - (c1[j] + c2[j])), 2)
+            << "coeff " << j;
+    }
+}
+
+TEST(Encoder, RotationExponentProperties)
+{
+    Encoder enc(256);
+    EXPECT_EQ(enc.rotationExponent(0), 1u);
+    EXPECT_EQ(enc.rotationExponent(1), 5u);
+    // Negative steps wrap: -1 == N/2 - 1 steps.
+    EXPECT_EQ(enc.rotationExponent(-1), enc.rotationExponent(127));
+    // Full cycle returns to identity.
+    EXPECT_EQ(enc.rotationExponent(128), 1u);
+}
+
+} // namespace
+} // namespace heap::ckks

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * End-to-end CKKS tests: encrypt/decrypt, Add/Sub/PtAdd, Mult with
+ * relinearization + Rescale, PtMult, Rotate, Conjugate, multiplicative
+ * depth chains, and level/scale management.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ckks/evaluator.h"
+
+namespace heap::ckks {
+namespace {
+
+CkksParams
+testParams()
+{
+    CkksParams p;
+    p.n = 256;
+    p.limbBits = 30;
+    p.levels = 3;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    return p;
+}
+
+struct CkksFixture : ::testing::Test {
+    Context ctx{testParams(), 99};
+    Evaluator ev{ctx};
+    Rng rng{1234};
+
+    std::vector<Complex>
+    randomSlots(size_t count, double bound = 1.0)
+    {
+        std::vector<Complex> z(count);
+        for (auto& v : z) {
+            v = Complex((2 * rng.uniformReal() - 1) * bound,
+                        (2 * rng.uniformReal() - 1) * bound);
+        }
+        return z;
+    }
+
+    double
+    maxErr(const std::vector<Complex>& a, const std::vector<Complex>& b)
+    {
+        double m = 0;
+        for (size_t i = 0; i < a.size(); ++i) {
+            m = std::max(m, std::abs(a[i] - b[i]));
+        }
+        return m;
+    }
+};
+
+TEST_F(CkksFixture, EncryptDecryptRoundTrip)
+{
+    const auto z = randomSlots(128);
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    EXPECT_EQ(ct.level(), 3u);
+    EXPECT_EQ(ct.slots, 128u);
+    const auto back = ctx.decrypt(ct);
+    EXPECT_LT(maxErr(z, back), 1e-3);
+}
+
+TEST_F(CkksFixture, SparseEncryptDecrypt)
+{
+    const auto z = randomSlots(16);
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    const auto back = ctx.decrypt(ct);
+    EXPECT_LT(maxErr(z, back), 1e-3);
+}
+
+TEST_F(CkksFixture, AddSub)
+{
+    const auto z1 = randomSlots(128);
+    const auto z2 = randomSlots(128);
+    const auto c1 = ctx.encrypt(std::span<const Complex>(z1));
+    const auto c2 = ctx.encrypt(std::span<const Complex>(z2));
+    const auto sum = ctx.decrypt(ev.add(c1, c2));
+    const auto dif = ctx.decrypt(ev.sub(c1, c2));
+    for (size_t i = 0; i < 128; ++i) {
+        EXPECT_LT(std::abs(sum[i] - (z1[i] + z2[i])), 2e-3);
+        EXPECT_LT(std::abs(dif[i] - (z1[i] - z2[i])), 2e-3);
+    }
+}
+
+TEST_F(CkksFixture, AddPlainSubPlain)
+{
+    const auto z1 = randomSlots(128);
+    const auto z2 = randomSlots(128);
+    const auto c1 = ctx.encrypt(std::span<const Complex>(z1));
+    const auto p2 = ev.makePlaintext(std::span<const Complex>(z2),
+                                     c1.scale, c1.level());
+    const auto sum = ctx.decrypt(ev.addPlain(c1, p2));
+    const auto dif = ctx.decrypt(ev.subPlain(c1, p2));
+    for (size_t i = 0; i < 128; ++i) {
+        EXPECT_LT(std::abs(sum[i] - (z1[i] + z2[i])), 2e-3);
+        EXPECT_LT(std::abs(dif[i] - (z1[i] - z2[i])), 2e-3);
+    }
+}
+
+TEST_F(CkksFixture, MultiplyRelinearizeRescale)
+{
+    const auto z1 = randomSlots(128);
+    const auto z2 = randomSlots(128);
+    const auto c1 = ctx.encrypt(std::span<const Complex>(z1));
+    const auto c2 = ctx.encrypt(std::span<const Complex>(z2));
+    auto prod = ev.multiply(c1, c2);
+    EXPECT_NEAR(prod.scale, c1.scale * c2.scale, 1.0);
+    ev.rescaleInPlace(prod);
+    EXPECT_EQ(prod.level(), 2u);
+    const auto got = ctx.decrypt(prod);
+    std::vector<Complex> want(128);
+    for (size_t i = 0; i < 128; ++i) {
+        want[i] = z1[i] * z2[i];
+    }
+    EXPECT_LT(maxErr(got, want), 5e-3);
+}
+
+TEST_F(CkksFixture, MultiplyPlain)
+{
+    const auto z1 = randomSlots(64);
+    const auto z2 = randomSlots(64);
+    const auto c1 = ctx.encrypt(std::span<const Complex>(z1));
+    const auto p2 = ev.makePlaintext(std::span<const Complex>(z2),
+                                     ctx.params().scale, c1.level());
+    auto prod = ev.multiplyPlain(c1, p2);
+    ev.rescaleInPlace(prod);
+    const auto got = ctx.decrypt(prod);
+    std::vector<Complex> want(64);
+    for (size_t i = 0; i < 64; ++i) {
+        want[i] = z1[i] * z2[i];
+    }
+    EXPECT_LT(maxErr(got, want), 5e-3);
+}
+
+TEST_F(CkksFixture, MultiplyScalar)
+{
+    const auto z = randomSlots(64);
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    auto scaled = ev.multiplyScalar(ct, -2.5);
+    ev.rescaleInPlace(scaled);
+    const auto got = ctx.decrypt(scaled);
+    for (size_t i = 0; i < 64; ++i) {
+        EXPECT_LT(std::abs(got[i] - z[i] * (-2.5)), 5e-3);
+    }
+}
+
+TEST_F(CkksFixture, DepthChainToLastLevel)
+{
+    // Squaring twice exhausts levels 3 -> 1 (the regime where
+    // bootstrapping becomes necessary).
+    const auto z = randomSlots(128, 0.9);
+    auto ct = ctx.encrypt(std::span<const Complex>(z));
+    ct = ev.multiplyRescale(ct, ct);
+    ct = ev.multiplyRescale(ct, ct);
+    EXPECT_EQ(ct.level(), 1u);
+    const auto got = ctx.decrypt(ct);
+    for (size_t i = 0; i < 128; ++i) {
+        const Complex want = std::pow(z[i], 4);
+        EXPECT_LT(std::abs(got[i] - want), 5e-2) << "slot " << i;
+    }
+    // A further multiply must be rejected for want of limbs.
+    EXPECT_THROW(ev.rescaleInPlace(ct), UserError);
+}
+
+TEST_F(CkksFixture, RotateLeftAndRight)
+{
+    ctx.makeRotationKeys(std::array<int64_t, 2>{1, -1});
+    const auto z = randomSlots(128);
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    const auto left = ctx.decrypt(ev.rotate(ct, 1));
+    const auto right = ctx.decrypt(ev.rotate(ct, -1));
+    for (size_t i = 0; i < 128; ++i) {
+        EXPECT_LT(std::abs(left[i] - z[(i + 1) % 128]), 2e-2);
+        EXPECT_LT(std::abs(right[i] - z[(i + 127) % 128]), 2e-2);
+    }
+}
+
+TEST_F(CkksFixture, RotateByZeroIsIdentity)
+{
+    const auto z = randomSlots(128);
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    const auto got = ctx.decrypt(ev.rotate(ct, 0));
+    EXPECT_LT(maxErr(got, z), 1e-3);
+}
+
+TEST_F(CkksFixture, RotateRequiresKey)
+{
+    const auto z = randomSlots(128);
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    EXPECT_THROW(ev.rotate(ct, 7), UserError);
+}
+
+TEST_F(CkksFixture, Conjugate)
+{
+    const auto z = randomSlots(128);
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    const auto got = ctx.decrypt(ev.conjugate(ct));
+    for (size_t i = 0; i < 128; ++i) {
+        EXPECT_LT(std::abs(got[i] - std::conj(z[i])), 5e-3);
+    }
+}
+
+TEST_F(CkksFixture, ScaleMismatchRejected)
+{
+    const auto z = randomSlots(32);
+    const auto c1 = ctx.encrypt(std::span<const Complex>(z));
+    auto c2 = ctx.encrypt(std::span<const Complex>(z));
+    c2.scale *= 2;
+    EXPECT_THROW(ev.add(c1, c2), UserError);
+}
+
+TEST_F(CkksFixture, LevelAlignment)
+{
+    const auto z = randomSlots(32);
+    auto c1 = ctx.encrypt(std::span<const Complex>(z));
+    auto c2 = ctx.encrypt(std::span<const Complex>(z));
+    ev.dropToLevel(c2, 2);
+    const auto sum = ev.add(c1, c2); // silently aligns to level 2
+    EXPECT_EQ(sum.level(), 2u);
+    const auto got = ctx.decrypt(sum);
+    for (size_t i = 0; i < 32; ++i) {
+        EXPECT_LT(std::abs(got[i] - 2.0 * z[i]), 5e-3);
+    }
+}
+
+TEST_F(CkksFixture, AddScalarShiftsEverySlot)
+{
+    const auto z = randomSlots(64);
+    const auto got = ctx.decrypt(
+        ev.addScalar(ctx.encrypt(std::span<const Complex>(z)), 0.75));
+    for (size_t i = 0; i < 64; ++i) {
+        EXPECT_LT(std::abs(got[i] - (z[i] + 0.75)), 5e-3);
+    }
+}
+
+TEST_F(CkksFixture, PowerMatchesRepeatedSquaring)
+{
+    const auto z = randomSlots(64, 0.9);
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    // k = 3 uses one square + one multiply (2 levels of 3).
+    const auto got = ctx.decrypt(ev.power(ct, 3));
+    for (size_t i = 0; i < 64; ++i) {
+        EXPECT_LT(std::abs(got[i] - std::pow(z[i], 3)), 5e-2);
+    }
+    EXPECT_THROW(ev.power(ct, 0), UserError);
+}
+
+TEST_F(CkksFixture, InnerSumFoldsWindows)
+{
+    ctx.makeRotationKeys(std::array<int64_t, 3>{1, 2, 4});
+    const auto z = randomSlots(128);
+    const auto got = ctx.decrypt(
+        ev.innerSum(ctx.encrypt(std::span<const Complex>(z)), 8));
+    for (size_t i = 0; i < 128; ++i) {
+        Complex want(0, 0);
+        for (size_t k = 0; k < 8; ++k) {
+            want += z[(i + k) % 128];
+        }
+        ASSERT_LT(std::abs(got[i] - want), 5e-2) << "slot " << i;
+    }
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    EXPECT_THROW(ev.innerSum(ct, 3), UserError);
+}
+
+TEST_F(CkksFixture, HammingWeightSecretOption)
+{
+    auto p = testParams();
+    p.secretHamming = 32;
+    Context ctx2(p, 7);
+    size_t nonzero = 0;
+    for (const auto c : ctx2.secretKey().coeffs()) {
+        nonzero += c != 0;
+    }
+    EXPECT_EQ(nonzero, 32u);
+    const auto z = randomSlots(16);
+    const auto back =
+        ctx2.decrypt(ctx2.encrypt(std::span<const Complex>(z)));
+    double m = 0;
+    for (size_t i = 0; i < z.size(); ++i) {
+        m = std::max(m, std::abs(z[i] - back[i]));
+    }
+    EXPECT_LT(m, 1e-3);
+}
+
+TEST_F(CkksFixture, PaperParamSetShape)
+{
+    const auto p = CkksParams::paperSet();
+    EXPECT_EQ(p.n, 8192u);
+    EXPECT_EQ(p.levels, 6u);
+    EXPECT_EQ(p.limbBits, 36);
+    EXPECT_EQ(p.gadget.digitsPerLimb, 2);
+    EXPECT_EQ(p.gadget.baseBits, 18);
+}
+
+} // namespace
+} // namespace heap::ckks

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Encrypted CNN inference tests: the conv matrix matches the direct
+ * convolution, the homomorphic forward pass tracks the plaintext one,
+ * and encrypted classification agrees with plaintext classification
+ * on the synthetic dataset.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "apps/cnn.h"
+
+namespace heap::apps {
+namespace {
+
+ckks::CkksParams
+cnnParams()
+{
+    ckks::CkksParams p;
+    p.n = 128; // 64 slots = 8x8 image
+    p.limbBits = 30;
+    p.levels = 4;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    return p;
+}
+
+struct CnnFixture : ::testing::Test {
+    Rng rng{44};
+    Dataset data = makeSyntheticMnist38(64, 64, rng);
+    SmallCnn cnn{8, 2};
+
+    CnnFixture() { cnn.calibrate(data); }
+};
+
+TEST_F(CnnFixture, ConvMatrixMatchesDirectConvolution)
+{
+    const auto M = cnn.convMatrix();
+    const auto& img = data.x[0];
+    // Matrix-vector product == infer's internal convolution, checked
+    // via the identity head trick: compare against a hand convolution.
+    std::vector<double> viaMatrix(64, 0.0);
+    for (size_t r = 0; r < 64; ++r) {
+        for (size_t c = 0; c < 64; ++c) {
+            viaMatrix[r] += M[r][c] * img[c];
+        }
+    }
+    // Interior pixel (3,3): direct stencil application.
+    double direct = 0;
+    const double k[3][3] = {{0.05, 0.10, 0.05},
+                            {0.10, 0.40, 0.10},
+                            {0.05, 0.10, 0.05}};
+    for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+            direct += k[dr + 1][dc + 1]
+                      * img[static_cast<size_t>((3 + dr) * 8 + 3 + dc)];
+        }
+    }
+    EXPECT_NEAR(viaMatrix[3 * 8 + 3], direct, 1e-12);
+    // Corner pixel: zero padding drops five taps.
+    EXPECT_LT(viaMatrix[0], 0.7 * 1.0 + 1e-9);
+}
+
+TEST_F(CnnFixture, PlainClassifierBeatsChance)
+{
+    Rng rng2(45);
+    const auto test = makeSyntheticMnist38(200, 64, rng2);
+    size_t correct = 0;
+    for (size_t i = 0; i < test.size(); ++i) {
+        correct += cnn.classify(test.x[i]) == test.y[i];
+    }
+    EXPECT_GT(static_cast<double>(correct)
+                  / static_cast<double>(test.size()),
+              0.8);
+}
+
+TEST_F(CnnFixture, EncryptedLogitsMatchPlain)
+{
+    ckks::Context ctx(cnnParams(), 4242);
+    EncryptedCnn enc(ctx, cnn);
+    for (size_t i = 0; i < 4; ++i) {
+        const auto ct = enc.encryptImage(data.x[i]);
+        const auto out = enc.infer(ct);
+        EXPECT_EQ(out.level(),
+                  ctx.maxLevel() - enc.levelsPerInference());
+        const auto got = enc.decryptLogits(out);
+        const auto want = cnn.infer(data.x[i]);
+        for (size_t k = 0; k < 2; ++k) {
+            EXPECT_NEAR(got[k], want[k], 0.05)
+                << "image " << i << " logit " << k;
+        }
+    }
+}
+
+TEST_F(CnnFixture, EncryptedClassificationMatchesPlain)
+{
+    ckks::Context ctx(cnnParams(), 4243);
+    EncryptedCnn enc(ctx, cnn);
+    Rng rng3(46);
+    const auto test = makeSyntheticMnist38(12, 64, rng3);
+    size_t agree = 0;
+    for (size_t i = 0; i < test.size(); ++i) {
+        const auto logits =
+            enc.decryptLogits(enc.infer(enc.encryptImage(test.x[i])));
+        const int encClass = logits[0] > logits[1] ? 1 : -1;
+        agree += encClass == cnn.classify(test.x[i]);
+    }
+    // CKKS noise may flip near-tie logits; require strong agreement.
+    EXPECT_GE(agree, test.size() - 1);
+}
+
+TEST_F(CnnFixture, Validation)
+{
+    EXPECT_THROW(SmallCnn(2, 2), UserError);
+    ckks::Context ctx(cnnParams(), 1);
+    SmallCnn wrongSize(16, 2); // 256 pixels != 64 slots
+    EXPECT_THROW(EncryptedCnn(ctx, wrongSize), UserError);
+}
+
+} // namespace
+} // namespace heap::apps

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the common utilities: RNG statistics/determinism, table
+ * rendering, and the check macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+namespace heap {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += a.next() == b.next();
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformBoundRespected)
+{
+    Rng rng(5);
+    for (uint64_t bound : {1ULL, 2ULL, 3ULL, 1000ULL, (1ULL << 40) + 7}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.uniform(bound), bound);
+        }
+    }
+    EXPECT_THROW(rng.uniform(0), UserError);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(6);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.uniformReal();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    Table t({"Op", "Time"});
+    t.addRow({"Add", "0.001"});
+    t.addRow({"Mult", "0.028"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("| Op   | Time  |"), std::string::npos);
+    EXPECT_NE(s.find("| Mult | 0.028 |"), std::string::npos);
+    // Three rules: top, after header, bottom.
+    size_t rules = 0, pos = 0;
+    while ((pos = s.find("\n+--", pos)) != std::string::npos) {
+        ++rules;
+        pos += 3;
+    }
+    // The top rule starts the string (no leading newline).
+    EXPECT_EQ(rules + 1, 3u);
+}
+
+TEST(Table, NumAndSpeedupFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::speedup(15.392), "15.39x");
+    EXPECT_EQ(Table::speedup(std::numeric_limits<double>::infinity()),
+              "-");
+}
+
+TEST(Table, ShortRowsArePadded)
+{
+    Table t({"A", "B", "C"});
+    t.addRow({"x"});
+    EXPECT_NE(t.render().find("| x |"), std::string::npos);
+}
+
+TEST(Check, MacrosThrowProperTypes)
+{
+    EXPECT_THROW(HEAP_CHECK(false, "user message " << 42), UserError);
+    EXPECT_THROW(HEAP_ASSERT(false, "bug"), InternalError);
+    EXPECT_NO_THROW(HEAP_CHECK(true, "ok"));
+    try {
+        HEAP_CHECK(1 == 2, "value was " << 7);
+        FAIL() << "should have thrown";
+    } catch (const UserError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+        EXPECT_NE(msg.find("value was 7"), std::string::npos);
+    }
+}
+
+TEST(Timer, MeasuresForwardTime)
+{
+    Timer t;
+    double sink = 0;
+    for (int i = 0; i < 100000; ++i) {
+        sink += i;
+    }
+    ASSERT_GT(sink, 0.0);
+    EXPECT_GE(t.seconds(), 0.0);
+    EXPECT_GE(t.millis(), 0.0);
+}
+
+} // namespace
+} // namespace heap

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the conventional CKKS bootstrapping baseline and its
+ * building blocks (homomorphic linear transforms, Chebyshev
+ * evaluation): the baseline that the paper's Algorithm 2 replaces.
+ */
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "boot/conventional.h"
+
+namespace heap::boot {
+namespace {
+
+ckks::CkksParams
+convParams()
+{
+    ckks::CkksParams p;
+    p.n = 64;
+    p.limbBits = 30;
+    p.levels = 11;
+    p.firstLimbBits = 32; // q0 close to Delta maximizes EvalMod SNR
+    p.auxLimbs = 1;       // special prime: rotations use hybrid KS
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    p.secretHamming = 8; // keeps |I| within the sine range K
+    return p;
+}
+
+struct ConvFixture : ::testing::Test {
+    ckks::Context ctx{convParams(), 31337};
+    ckks::Evaluator ev{ctx};
+};
+
+TEST(Chebyshev, FitAccuracy)
+{
+    auto f = [](double x) { return std::sin(3.0 * x); };
+    const auto coeffs = ckks::chebyshevFit(f, 25);
+    EXPECT_LT(ckks::chebyshevMaxError(f, coeffs), 1e-10);
+    // Low degree: visible error.
+    const auto rough = ckks::chebyshevFit(f, 3);
+    EXPECT_GT(ckks::chebyshevMaxError(f, rough), 1e-3);
+}
+
+TEST(Chebyshev, DepthFormula)
+{
+    EXPECT_EQ(ckks::chebyshevDepth(1), 1u);
+    EXPECT_EQ(ckks::chebyshevDepth(2), 2u);
+    EXPECT_EQ(ckks::chebyshevDepth(8), 4u);
+    EXPECT_EQ(ckks::chebyshevDepth(9), 5u);
+    EXPECT_EQ(ckks::chebyshevDepth(45), 7u);
+}
+
+TEST_F(ConvFixture, HomomorphicChebyshevMatchesPlain)
+{
+    auto f = [](double x) { return 0.5 + 0.25 * x - x * x * x * 0.125; };
+    const auto coeffs = ckks::chebyshevFit(f, 9);
+    ASSERT_LT(ckks::chebyshevMaxError(f, coeffs), 1e-9);
+
+    std::vector<double> xs;
+    for (size_t i = 0; i < 32; ++i) {
+        xs.push_back(-0.95 + 0.06 * static_cast<double>(i));
+    }
+    const auto ct = ctx.encrypt(std::span<const double>(xs));
+    const auto out = ckks::evalChebyshev(ev, ct, coeffs);
+    const auto got = ctx.decrypt(out);
+    for (size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_NEAR(got[i].real(), f(xs[i]), 5e-3) << "x=" << xs[i];
+    }
+}
+
+TEST_F(ConvFixture, LinearTransformPlainVsBsgs)
+{
+    const size_t slots = 32;
+    Rng rng(17);
+    ckks::SlotMatrix M(slots, std::vector<ckks::Complex>(slots));
+    for (auto& row : M) {
+        for (auto& e : row) {
+            e = ckks::Complex(2 * rng.uniformReal() - 1,
+                              2 * rng.uniformReal() - 1) * 0.2;
+        }
+    }
+    ckks::LinearTransform plain(ctx, M, false);
+    ckks::LinearTransform bsgs(ctx, M, true);
+    EXPECT_LT(bsgs.rotationCount(), plain.rotationCount());
+    ctx.makeRotationKeys(plain.requiredRotations());
+    ctx.makeRotationKeys(bsgs.requiredRotations());
+
+    std::vector<ckks::Complex> z(slots);
+    for (auto& v : z) {
+        v = ckks::Complex(2 * rng.uniformReal() - 1,
+                          2 * rng.uniformReal() - 1);
+    }
+    const auto ct = ctx.encrypt(std::span<const ckks::Complex>(z));
+    const auto out1 = ctx.decrypt(plain.apply(ev, ct));
+    const auto out2 = ctx.decrypt(bsgs.apply(ev, ct));
+
+    for (size_t k = 0; k < slots; ++k) {
+        ckks::Complex want(0, 0);
+        for (size_t j = 0; j < slots; ++j) {
+            want += M[k][j] * z[j];
+        }
+        EXPECT_LT(std::abs(out1[k] - want), 2e-2) << "plain k=" << k;
+        EXPECT_LT(std::abs(out2[k] - want), 2e-2) << "bsgs k=" << k;
+    }
+}
+
+TEST_F(ConvFixture, ConventionalBootstrapRoundTrip)
+{
+    ConventionalBootParams bp;
+    bp.sineDegree = 45;
+    bp.rangeK = 4.0;
+    ConventionalBootstrapper boot(ctx, bp);
+    EXPECT_LT(boot.sineFitError(), 1e-6);
+    EXPECT_GT(boot.rotationCount(), 0u);
+
+    // Small messages (|m| << q0) as the scaled-sine regime requires.
+    std::vector<ckks::Complex> z(32);
+    for (size_t i = 0; i < 32; ++i) {
+        z[i] = ckks::Complex(0.4 * std::cos(0.5 * static_cast<double>(i)),
+                             0.4 * std::sin(0.7 * static_cast<double>(i)));
+    }
+    auto ct = ctx.encrypt(std::span<const ckks::Complex>(z));
+    ev.dropToLevel(ct, 1);
+
+    const auto boosted = boot.bootstrap(ct);
+    EXPECT_GE(boosted.level(), 2u);
+    const auto back = ctx.decrypt(boosted);
+    double worst = 0;
+    for (size_t i = 0; i < 32; ++i) {
+        worst = std::max(worst, std::abs(back[i] - z[i]));
+    }
+    EXPECT_LT(worst, 2e-2);
+}
+
+TEST_F(ConvFixture, ConventionalBootstrapDepthAccounting)
+{
+    ConventionalBootParams bp;
+    bp.sineDegree = 45;
+    bp.rangeK = 4.0;
+    ConventionalBootstrapper boot(ctx, bp);
+    // depth = 2 DFT levels + chebyshev depth.
+    EXPECT_EQ(boot.depth(), 2u + ckks::chebyshevDepth(45));
+    // A context without enough levels must be rejected.
+    auto small = convParams();
+    small.levels = 4;
+    ckks::Context tiny(small, 1);
+    EXPECT_THROW(ConventionalBootstrapper(tiny, bp), UserError);
+}
+
+} // namespace
+} // namespace heap::boot

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for RNS base conversion (ModUp/ModDown's core) and hybrid
+ * key switching with a special prime: correctness at every level,
+ * and the order-of-magnitude noise advantage over the digit gadget.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/baseconv.h"
+#include "math/primes.h"
+#include "rlwe/gadget.h"
+#include "rlwe/hybrid.h"
+
+namespace heap {
+namespace {
+
+TEST(BaseConverter, ExactConversionOfSmallValues)
+{
+    const auto src = math::generateNttPrimes(30, 64, 3);
+    const auto dst = math::generateNttPrimes(36, 64, 2);
+    const math::BaseConverter bc(src, dst);
+
+    Rng rng(1);
+    for (int iter = 0; iter < 200; ++iter) {
+        // Values below the source product round-trip exactly in
+        // exact mode.
+        const uint64_t x = rng.next() >> 4; // < 2^60 < P ~ 2^90
+        std::vector<uint64_t> in(3), out(2);
+        for (size_t i = 0; i < 3; ++i) {
+            in[i] = x % src[i];
+        }
+        bc.convertCoeff(in, out, /*exact=*/true);
+        for (size_t j = 0; j < 2; ++j) {
+            ASSERT_EQ(out[j], x % dst[j]) << "x=" << x;
+        }
+    }
+}
+
+TEST(BaseConverter, FastConversionOffByMultipleOfP)
+{
+    const auto src = math::generateNttPrimes(30, 64, 2);
+    const auto dst = math::generateNttPrimes(36, 64, 1);
+    const math::BaseConverter bc(src, dst);
+    const math::uint128 bigP =
+        static_cast<math::uint128>(src[0]) * src[1];
+
+    Rng rng(2);
+    for (int iter = 0; iter < 200; ++iter) {
+        const uint64_t x = rng.next() >> 6;
+        std::vector<uint64_t> in = {x % src[0], x % src[1]};
+        std::vector<uint64_t> out(1);
+        bc.convertCoeff(in, out, /*exact=*/false);
+        // out = (x + alpha * P) mod t for some alpha in {0, 1}.
+        const uint64_t t = dst[0];
+        const uint64_t exact = x % t;
+        const uint64_t pModT = static_cast<uint64_t>(bigP % t);
+        bool ok = false;
+        for (uint64_t alpha = 0; alpha < 2; ++alpha) {
+            if (out[0] == math::addMod(
+                              exact,
+                              math::mulModNaive(alpha, pModT, t), t)) {
+                ok = true;
+            }
+        }
+        ASSERT_TRUE(ok) << "x=" << x;
+    }
+}
+
+TEST(BaseConverter, RejectsOverlappingBases)
+{
+    const auto p = math::generateNttPrimes(30, 64, 2);
+    EXPECT_THROW(math::BaseConverter(p, p), UserError);
+}
+
+struct HybridFixture : ::testing::Test {
+    static constexpr size_t kN = 128;
+    // Message limbs 30-bit; the last 36-bit prime is the special P.
+    std::shared_ptr<const math::RnsBasis> basis = [] {
+        auto q = math::generateNttPrimes(30, kN, 3);
+        q.push_back(math::generateNttPrimes(36, kN, 1)[0]);
+        return std::make_shared<math::RnsBasis>(kN, std::move(q));
+    }();
+    Rng rng{606};
+    rlwe::SecretKey sk = rlwe::SecretKey::sampleTernary(basis, rng);
+    rlwe::SecretKey sk2 = rlwe::SecretKey::sampleTernary(basis, rng);
+
+    std::vector<int64_t>
+    message()
+    {
+        std::vector<int64_t> m(kN);
+        for (auto& v : m) {
+            v = static_cast<int64_t>(rng.uniform(1 << 21)) - (1 << 20);
+        }
+        return m;
+    }
+
+    double
+    rmsError(const std::vector<int64_t>& got,
+             const std::vector<int64_t>& want)
+    {
+        double s = 0;
+        for (size_t i = 0; i < got.size(); ++i) {
+            const double d = static_cast<double>(got[i] - want[i]);
+            s += d * d;
+        }
+        return std::sqrt(s / static_cast<double>(got.size()));
+    }
+};
+
+TEST_F(HybridFixture, SwitchPreservesMessageAtTopLevel)
+{
+    const auto m = message();
+    const auto ct =
+        rlwe::encrypt(sk2, math::rnsFromSigned(basis, 3, m), rng);
+    const auto fromCoeff =
+        math::rnsFromSigned(basis, basis->size(), sk2.coeffs());
+    const auto ksk = rlwe::makeHybridKeySwitchKey(sk, fromCoeff, rng);
+    const auto out = rlwe::switchKeyHybrid(ct, ksk);
+    EXPECT_EQ(out.limbCount(), 3u);
+    // Hybrid noise ~ sigma * sqrt(N l / 12): tens, not thousands.
+    EXPECT_LT(rmsError(rlwe::decryptSigned(out, sk), m), 200.0);
+}
+
+TEST_F(HybridFixture, SwitchWorksAtLowerLevels)
+{
+    const auto fromCoeff =
+        math::rnsFromSigned(basis, basis->size(), sk2.coeffs());
+    const auto ksk = rlwe::makeHybridKeySwitchKey(sk, fromCoeff, rng);
+    for (const size_t level : {1u, 2u}) {
+        const auto m = message();
+        const auto ct = rlwe::encrypt(
+            sk2, math::rnsFromSigned(basis, level, m), rng);
+        const auto out = rlwe::switchKeyHybrid(ct, ksk);
+        EXPECT_EQ(out.limbCount(), level);
+        EXPECT_LT(rmsError(rlwe::decryptSigned(out, sk), m), 200.0)
+            << "level " << level;
+    }
+}
+
+TEST_F(HybridFixture, QuieterThanDigitGadget)
+{
+    const auto m = message();
+    const auto ct =
+        rlwe::encrypt(sk2, math::rnsFromSigned(basis, 3, m), rng);
+    const auto fromCoeff =
+        math::rnsFromSigned(basis, basis->size(), sk2.coeffs());
+
+    Rng kr(7);
+    const auto hybrid = rlwe::makeHybridKeySwitchKey(sk, fromCoeff, kr);
+    const double hybridNoise = rmsError(
+        rlwe::decryptSigned(rlwe::switchKeyHybrid(ct, hybrid), sk), m);
+
+    Rng kr2(7);
+    const rlwe::GadgetParams g{.baseBits = 12, .digitsPerLimb = 3};
+    const auto gadget = rlwe::makeKeySwitchKey(sk, fromCoeff, g, kr2);
+    const double gadgetNoise = rmsError(
+        rlwe::decryptSigned(rlwe::switchKey(ct, gadget), sk), m);
+
+    EXPECT_LT(hybridNoise * 10.0, gadgetNoise)
+        << "hybrid " << hybridNoise << " vs gadget " << gadgetNoise;
+}
+
+struct GroupedHybridFixture : ::testing::Test {
+    static constexpr size_t kN = 128;
+    // Four 30-bit message limbs + two 36-bit special primes:
+    // groupSize 2 gives dnum = 2 digits under a 72-bit P.
+    std::shared_ptr<const math::RnsBasis> basis = [] {
+        auto q = math::generateNttPrimes(30, kN, 4);
+        const auto specials = math::generateNttPrimes(36, kN, 2);
+        q.insert(q.end(), specials.begin(), specials.end());
+        return std::make_shared<math::RnsBasis>(kN, std::move(q));
+    }();
+    Rng rng{707};
+    rlwe::SecretKey sk = rlwe::SecretKey::sampleTernary(basis, rng);
+    rlwe::SecretKey sk2 = rlwe::SecretKey::sampleTernary(basis, rng);
+};
+
+TEST_F(GroupedHybridFixture, TwoLimbGroupsSwitchCorrectly)
+{
+    const auto fromCoeff =
+        math::rnsFromSigned(basis, basis->size(), sk2.coeffs());
+    const auto ksk = rlwe::makeHybridKeySwitchKey(
+        sk, fromCoeff, rng, {}, /*groupSize=*/2, /*specialLimbs=*/2);
+    EXPECT_EQ(ksk.rows.size(), 2u); // dnum = ceil(4/2)
+
+    for (const size_t level : {1u, 2u, 3u, 4u}) {
+        std::vector<int64_t> m(kN);
+        for (auto& v : m) {
+            v = static_cast<int64_t>(rng.uniform(1 << 21)) - (1 << 20);
+        }
+        const auto ct = rlwe::encrypt(
+            sk2, math::rnsFromSigned(basis, level, m), rng);
+        const auto out = rlwe::switchKeyHybrid(ct, ksk);
+        EXPECT_EQ(out.limbCount(), level);
+        const auto dec = rlwe::decryptSigned(out, sk);
+        double worst = 0;
+        for (size_t i = 0; i < kN; ++i) {
+            worst = std::max(worst,
+                             std::abs(static_cast<double>(dec[i] - m[i])));
+        }
+        // Noise ~ sigma * Q_group/P * sqrt(N * dnum / 3): small.
+        EXPECT_LT(worst, 2e3) << "level " << level;
+    }
+}
+
+TEST_F(GroupedHybridFixture, RejectsOversizedGroups)
+{
+    const auto fromCoeff =
+        math::rnsFromSigned(basis, basis->size(), sk2.coeffs());
+    // Four 30-bit limbs in one group (120 bits) cannot hide under a
+    // 72-bit special modulus.
+    EXPECT_THROW(rlwe::makeHybridKeySwitchKey(sk, fromCoeff, rng, {},
+                                              /*groupSize=*/4,
+                                              /*specialLimbs=*/2),
+                 UserError);
+}
+
+TEST_F(HybridFixture, RejectsFullBasisCiphertext)
+{
+    const auto m = message();
+    const auto ct = rlwe::encrypt(
+        sk2, math::rnsFromSigned(basis, basis->size(), m), rng);
+    const auto fromCoeff =
+        math::rnsFromSigned(basis, basis->size(), sk2.coeffs());
+    const auto ksk = rlwe::makeHybridKeySwitchKey(sk, fromCoeff, rng);
+    EXPECT_THROW(rlwe::switchKeyHybrid(ct, ksk), UserError);
+}
+
+} // namespace
+} // namespace heap

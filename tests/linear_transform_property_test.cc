@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Property tests for homomorphic linear transforms: structured
+ * matrices with known semantics (identity, cyclic shift, averaging,
+ * projection) must act exactly as their plaintext counterparts, in
+ * both plain-diagonal and BSGS scheduling.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ckks/linear_transform.h"
+
+namespace heap::ckks {
+namespace {
+
+constexpr size_t kSlots = 64;
+
+CkksParams
+ltParams()
+{
+    CkksParams p;
+    p.n = 2 * kSlots;
+    p.limbBits = 30;
+    p.levels = 3;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    return p;
+}
+
+class LtStructured : public ::testing::TestWithParam<bool> {
+  protected:
+    Context ctx{ltParams(), 77};
+    Evaluator ev{ctx};
+    Rng rng{88};
+
+    std::vector<Complex>
+    randomSlots()
+    {
+        std::vector<Complex> z(kSlots);
+        for (auto& v : z) {
+            v = Complex(2 * rng.uniformReal() - 1,
+                        2 * rng.uniformReal() - 1);
+        }
+        return z;
+    }
+
+    std::vector<Complex>
+    applyHom(const SlotMatrix& M, const std::vector<Complex>& z)
+    {
+        LinearTransform lt(ctx, M, GetParam());
+        ctx.makeRotationKeys(lt.requiredRotations());
+        const auto ct = ctx.encrypt(std::span<const Complex>(z));
+        return ctx.decrypt(lt.apply(ev, ct));
+    }
+};
+
+TEST_P(LtStructured, IdentityMatrix)
+{
+    SlotMatrix M(kSlots, std::vector<Complex>(kSlots, Complex(0, 0)));
+    for (size_t i = 0; i < kSlots; ++i) {
+        M[i][i] = Complex(1, 0);
+    }
+    const auto z = randomSlots();
+    const auto got = applyHom(M, z);
+    for (size_t i = 0; i < kSlots; ++i) {
+        ASSERT_LT(std::abs(got[i] - z[i]), 1e-3);
+    }
+}
+
+TEST_P(LtStructured, CyclicShiftMatrixEqualsRotation)
+{
+    // M z = z rotated left by 5.
+    SlotMatrix M(kSlots, std::vector<Complex>(kSlots, Complex(0, 0)));
+    for (size_t i = 0; i < kSlots; ++i) {
+        M[i][(i + 5) % kSlots] = Complex(1, 0);
+    }
+    const auto z = randomSlots();
+    const auto got = applyHom(M, z);
+    for (size_t i = 0; i < kSlots; ++i) {
+        ASSERT_LT(std::abs(got[i] - z[(i + 5) % kSlots]), 1e-3);
+    }
+}
+
+TEST_P(LtStructured, AveragingMatrix)
+{
+    SlotMatrix M(kSlots,
+                 std::vector<Complex>(kSlots,
+                                      Complex(1.0 / kSlots, 0)));
+    const auto z = randomSlots();
+    Complex mean(0, 0);
+    for (const auto& v : z) {
+        mean += v;
+    }
+    mean /= static_cast<double>(kSlots);
+    const auto got = applyHom(M, z);
+    for (size_t i = 0; i < kSlots; ++i) {
+        ASSERT_LT(std::abs(got[i] - mean), 2e-3);
+    }
+}
+
+TEST_P(LtStructured, ProjectionIsIdempotentUpToNoise)
+{
+    // Projector onto even slots.
+    SlotMatrix M(kSlots, std::vector<Complex>(kSlots, Complex(0, 0)));
+    for (size_t i = 0; i < kSlots; i += 2) {
+        M[i][i] = Complex(1, 0);
+    }
+    const auto z = randomSlots();
+    const auto once = applyHom(M, z);
+    for (size_t i = 0; i < kSlots; ++i) {
+        const Complex want = (i % 2 == 0) ? z[i] : Complex(0, 0);
+        ASSERT_LT(std::abs(once[i] - want), 1e-3);
+    }
+}
+
+TEST_P(LtStructured, ComplexDiagonalActsSlotwise)
+{
+    SlotMatrix M(kSlots, std::vector<Complex>(kSlots, Complex(0, 0)));
+    std::vector<Complex> d(kSlots);
+    for (size_t i = 0; i < kSlots; ++i) {
+        d[i] = Complex(std::cos(0.1 * static_cast<double>(i)),
+                       std::sin(0.1 * static_cast<double>(i)));
+        M[i][i] = d[i];
+    }
+    const auto z = randomSlots();
+    const auto got = applyHom(M, z);
+    for (size_t i = 0; i < kSlots; ++i) {
+        ASSERT_LT(std::abs(got[i] - d[i] * z[i]), 1e-3);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scheduling, LtStructured,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                             return info.param ? "bsgs" : "plain";
+                         });
+
+TEST(LtValidation, RejectsBadShapes)
+{
+    Context ctx(ltParams(), 3);
+    SlotMatrix notSquare(kSlots, std::vector<Complex>(kSlots - 1));
+    EXPECT_THROW(LinearTransform(ctx, notSquare, false), UserError);
+    SlotMatrix sparsePack(kSlots / 2,
+                          std::vector<Complex>(kSlots / 2));
+    EXPECT_THROW(LinearTransform(ctx, sparsePack, false), UserError);
+}
+
+} // namespace
+} // namespace heap::ckks

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * LWE layer tests: encryption round trips, sample extraction against
+ * the RLWE phase oracle, modulus switching error bounds, and LWE key
+ * switching.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lwe/lwe.h"
+#include "math/modarith.h"
+#include "math/primes.h"
+#include "math/rns.h"
+#include "math/sampling.h"
+#include "rlwe/rlwe.h"
+
+namespace heap::lwe {
+namespace {
+
+TEST(Lwe, EncryptDecryptRoundTrip)
+{
+    Rng rng(31);
+    const uint64_t q = 1ULL << 30;
+    const auto sk = LweSecretKey::sampleTernary(512, rng);
+    for (int64_t m : {0LL, 1000LL, -1000LL, 1LL << 25, -(1LL << 25)}) {
+        const auto ct = lweEncrypt(m, sk, q, rng);
+        EXPECT_NEAR(static_cast<double>(lweDecrypt(ct, sk)),
+                    static_cast<double>(m), 20.0);
+    }
+}
+
+TEST(Lwe, PhaseIsLinear)
+{
+    Rng rng(32);
+    const uint64_t q = (1ULL << 40) - 87; // any modulus works
+    const auto sk = LweSecretKey::sampleTernary(128, rng);
+    const auto c1 = lweEncrypt(5000, sk, q, rng);
+    auto c2 = lweEncrypt(-3000, sk, q, rng);
+    // Manual addition.
+    LweCiphertext sum;
+    sum.modulus = q;
+    sum.b = math::addMod(c1.b, c2.b, q);
+    sum.a.resize(c1.a.size());
+    for (size_t i = 0; i < c1.a.size(); ++i) {
+        sum.a[i] = math::addMod(c1.a[i], c2.a[i], q);
+    }
+    EXPECT_NEAR(static_cast<double>(lweDecrypt(sum, sk)), 2000.0, 40.0);
+}
+
+class ExtractTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ExtractTest, MatchesRlwePhaseCoefficient)
+{
+    // The LWE extracted at index i must have exactly the phase of the
+    // i-th coefficient of the RLWE phase polynomial.
+    const size_t n = 64;
+    Rng rng(33);
+    const auto basis = std::make_shared<math::RnsBasis>(
+        n, math::generateNttPrimes(30, n, 1));
+    const uint64_t q = basis->modulus(0);
+    const auto rsk = rlwe::SecretKey::sampleTernary(basis, rng);
+    std::vector<int64_t> m(n);
+    for (auto& v : m) {
+        v = static_cast<int64_t>(rng.uniform(1 << 20)) - (1 << 19);
+    }
+    auto ct = rlwe::encrypt(rsk, math::rnsFromSigned(basis, 1, m), rng);
+    ct.toCoeff();
+    const auto phasePoly = rlwe::phase(ct, rsk);
+
+    const LweSecretKey lsk{rsk.coeffs()};
+    const size_t idx = GetParam();
+    const auto lct = extractLwe(ct.a.limb(0), ct.b.limb(0), idx, q);
+    const int64_t lphase = lwePhase(lct, lsk);
+    EXPECT_EQ(lphase, math::toCentered(phasePoly.limb(0)[idx], q));
+}
+
+INSTANTIATE_TEST_SUITE_P(Indices, ExtractTest,
+                         ::testing::Values<size_t>(0, 1, 31, 62, 63));
+
+TEST(Lwe, ModSwitchKeepsScaledPhase)
+{
+    Rng rng(34);
+    const uint64_t q = 1ULL << 32;
+    const uint64_t q2 = 1ULL << 11; // 2N for N = 1024
+    const size_t dim = 256;
+    const auto sk = LweSecretKey::sampleTernary(dim, rng);
+    // Message encoded in the high bits so it survives the switch.
+    const int64_t m = 37LL << 22; // 37 * q / 2^10
+    const auto ct = lweEncrypt(m, sk, q, rng);
+    const auto sw = lweModSwitch(ct, q2);
+    EXPECT_EQ(sw.modulus, q2);
+    const int64_t got = lwePhase(sw, sk);
+    const double want = static_cast<double>(m) * static_cast<double>(q2)
+                        / static_cast<double>(q);
+    // Rounding error ~ sqrt(dim)/2 per the modulus-switch analysis.
+    EXPECT_NEAR(static_cast<double>(got), want,
+                3.0 * std::sqrt(static_cast<double>(dim)));
+}
+
+TEST(Lwe, KeySwitchToShorterKey)
+{
+    Rng rng(35);
+    const uint64_t q = 1ULL << 30;
+    const auto skLong = LweSecretKey::sampleTernary(512, rng);
+    const auto skShort = LweSecretKey::sampleTernary(128, rng);
+    const auto ksk = makeLweKeySwitchKey(skShort, skLong, q, 5, rng);
+    EXPECT_EQ(ksk.digits, 6);
+
+    const int64_t m = 123LL << 20;
+    const auto ct = lweEncrypt(m, skLong, q, rng);
+    const auto sw = lweKeySwitch(ct, ksk);
+    EXPECT_EQ(sw.dimension(), 128u);
+    // KS noise ~ B * sigma * sqrt(srcDim * digits) ~ 2^5*3.2*sqrt(3072).
+    EXPECT_NEAR(static_cast<double>(lweDecrypt(sw, skShort)),
+                static_cast<double>(m), 1e5);
+}
+
+TEST(Lwe, KeySwitchRejectsDimensionMismatch)
+{
+    Rng rng(36);
+    const uint64_t q = 1ULL << 30;
+    const auto skLong = LweSecretKey::sampleTernary(64, rng);
+    const auto skShort = LweSecretKey::sampleTernary(32, rng);
+    const auto ksk = makeLweKeySwitchKey(skShort, skLong, q, 4, rng);
+    const auto ct = lweEncrypt(0, skShort, q, rng); // wrong dim (32)
+    EXPECT_THROW(lweKeySwitch(ct, ksk), UserError);
+}
+
+class LweModuliSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LweModuliSweep, RoundTripAndKeySwitchAcrossModuli)
+{
+    // The LWE layer must work at power-of-two and prime moduli alike
+    // (2N for blind rotation, q0 for the gate pipeline).
+    const uint64_t q = GetParam();
+    Rng rng(q ^ 0xabcdef);
+    const auto skLong = LweSecretKey::sampleTernary(128, rng);
+    const auto skShort = LweSecretKey::sampleTernary(48, rng);
+    const int64_t m = static_cast<int64_t>(q / 16);
+
+    const auto ct = lweEncrypt(m, skLong, q, rng);
+    EXPECT_NEAR(static_cast<double>(lweDecrypt(ct, skLong)),
+                static_cast<double>(m), 20.0);
+
+    const auto ksk = makeLweKeySwitchKey(skShort, skLong, q, 4, rng);
+    const auto sw = lweKeySwitch(ct, ksk);
+    // KS noise ~ B sigma sqrt(srcDim * digits) stays far below q/16.
+    EXPECT_NEAR(static_cast<double>(lweDecrypt(sw, skShort)),
+                static_cast<double>(m),
+                static_cast<double>(q) / 64.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Moduli, LweModuliSweep,
+    ::testing::Values(1ULL << 20, 1ULL << 30, 1ULL << 40,
+                      (1ULL << 30) + 3393, 786433ULL));
+
+TEST(Lwe, ExtractValidation)
+{
+    std::vector<uint64_t> a(8, 0), b(7, 0);
+    EXPECT_THROW(extractLwe(a, b, 0, 97), UserError);
+    b.resize(8);
+    EXPECT_THROW(extractLwe(a, b, 8, 97), UserError);
+}
+
+} // namespace
+} // namespace heap::lwe

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit and property tests for scalar modular arithmetic: the Barrett
+ * reducer and Shoup constant multiplication are validated against the
+ * __int128 reference across a range of modulus widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/modarith.h"
+
+namespace heap::math {
+namespace {
+
+TEST(ModArith, AddSubNegBasics)
+{
+    const uint64_t q = 17;
+    EXPECT_EQ(addMod(16, 16, q), 15u);
+    EXPECT_EQ(addMod(0, 0, q), 0u);
+    EXPECT_EQ(subMod(3, 5, q), 15u);
+    EXPECT_EQ(subMod(5, 5, q), 0u);
+    EXPECT_EQ(negMod(0, q), 0u);
+    EXPECT_EQ(negMod(1, q), 16u);
+}
+
+TEST(ModArith, PowMod)
+{
+    EXPECT_EQ(powMod(2, 10, 1000003), 1024u);
+    EXPECT_EQ(powMod(3, 0, 7), 1u);
+    // Fermat: a^(p-1) = 1 mod p.
+    const uint64_t p = 1152921504606830593ULL; // 60-bit prime
+    EXPECT_EQ(powMod(12345, p - 1, p), 1u);
+}
+
+TEST(ModArith, InvMod)
+{
+    const uint64_t q = 65537;
+    for (uint64_t a : {1ULL, 2ULL, 3ULL, 65536ULL, 12345ULL}) {
+        const uint64_t inv = invMod(a, q);
+        EXPECT_EQ(mulModNaive(a, inv, q), 1u) << "a=" << a;
+    }
+    EXPECT_THROW(invMod(0, 17), UserError);
+}
+
+TEST(ModArith, CenteredRoundTrip)
+{
+    const uint64_t q = 101;
+    for (uint64_t a = 0; a < q; ++a) {
+        const int64_t c = toCentered(a, q);
+        EXPECT_GE(c, -static_cast<int64_t>(q) / 2 - 1);
+        EXPECT_LE(c, static_cast<int64_t>(q) / 2);
+        EXPECT_EQ(fromCentered(c, q), a);
+    }
+}
+
+class BarrettParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrettParamTest, MatchesNaiveReduction)
+{
+    const int bits = GetParam();
+    Rng rng(42 + static_cast<uint64_t>(bits));
+    // Pick an odd modulus of the requested width (primality not needed
+    // for Barrett correctness).
+    const uint64_t q =
+        ((static_cast<uint64_t>(1) << (bits - 1)) | rng.next() >> (65 - bits))
+        | 1;
+    const BarrettReducer red(q);
+    ASSERT_EQ(red.modulus(), q);
+    for (int iter = 0; iter < 2000; ++iter) {
+        const uint64_t a = rng.next();
+        const uint64_t b = rng.next();
+        const uint128 x = static_cast<uint128>(a) * b;
+        EXPECT_EQ(red.reduce(x), static_cast<uint64_t>(x % q));
+    }
+    // Edge values.
+    EXPECT_EQ(red.reduce(0), 0u);
+    EXPECT_EQ(red.reduce(q), 0u);
+    EXPECT_EQ(red.reduce(q - 1), q - 1);
+    const uint128 maxProd = static_cast<uint128>(~0ULL) * (~0ULL);
+    EXPECT_EQ(red.reduce(maxProd), static_cast<uint64_t>(maxProd % q));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BarrettParamTest,
+                         ::testing::Values(20, 30, 36, 45, 50, 59, 62));
+
+TEST(ModArith, BarrettRejectsBadModulus)
+{
+    EXPECT_THROW(BarrettReducer(1), UserError);
+    EXPECT_THROW(BarrettReducer(static_cast<uint64_t>(1) << 62), UserError);
+}
+
+TEST(ModArith, ShoupMatchesNaive)
+{
+    Rng rng(7);
+    for (int bits : {30, 36, 50, 60}) {
+        const uint64_t q =
+            ((static_cast<uint64_t>(1) << (bits - 1)) |
+             rng.next() >> (65 - bits)) | 1;
+        for (int iter = 0; iter < 500; ++iter) {
+            const uint64_t w = rng.uniform(q);
+            const uint64_t ws = shoupPrecompute(w, q);
+            const uint64_t a = rng.uniform(q);
+            EXPECT_EQ(mulModShoup(a, w, ws, q), mulModNaive(a, w, q));
+            // Lazy input in [q, 2q) must also reduce correctly.
+            const uint64_t lazy = a + q;
+            if (lazy >= q) {
+                EXPECT_EQ(mulModShoup(lazy, w, ws, q),
+                          mulModNaive(lazy % q, w, q));
+            }
+        }
+    }
+}
+
+TEST(ModArith, MulHi64)
+{
+    EXPECT_EQ(mulHi64(0, ~0ULL), 0u);
+    EXPECT_EQ(mulHi64(~0ULL, ~0ULL), ~0ULL - 1);
+    EXPECT_EQ(mulHi64(1ULL << 32, 1ULL << 32), 1u);
+}
+
+} // namespace
+} // namespace heap::math

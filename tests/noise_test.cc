@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Validates the analytic noise estimator against measured decryption
+ * errors: every prediction must land within a small factor of the
+ * empirical standard deviation across the primitive operations.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ckks/evaluator.h"
+#include "ckks/noise.h"
+
+namespace heap::ckks {
+namespace {
+
+CkksParams
+noiseParams()
+{
+    CkksParams p;
+    p.n = 256;
+    p.limbBits = 30;
+    p.levels = 3;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    return p;
+}
+
+struct NoiseFixture : ::testing::Test {
+    Context ctx{noiseParams(), 777};
+    Evaluator ev{ctx};
+    NoiseEstimator est{ctx};
+    Rng rng{31};
+
+    std::vector<Complex>
+    randomSlots(size_t count, double bound = 1.0)
+    {
+        std::vector<Complex> z(count);
+        for (auto& v : z) {
+            v = Complex((2 * rng.uniformReal() - 1) * bound,
+                        (2 * rng.uniformReal() - 1) * bound);
+        }
+        return z;
+    }
+
+    static void
+    expectWithinFactor(double measured, double predicted, double factor)
+    {
+        EXPECT_GT(measured, predicted / factor)
+            << "measured " << measured << " vs predicted " << predicted;
+        EXPECT_LT(measured, predicted * factor)
+            << "measured " << measured << " vs predicted " << predicted;
+    }
+};
+
+TEST_F(NoiseFixture, FreshPublicKeyNoise)
+{
+    const auto z = randomSlots(128);
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    const double measured = est.measure(ct, z);
+    expectWithinFactor(measured, est.freshPublic(), 4.0);
+}
+
+TEST_F(NoiseFixture, AdditionNoise)
+{
+    const auto z1 = randomSlots(128);
+    const auto z2 = randomSlots(128);
+    const auto sum = ev.add(ctx.encrypt(std::span<const Complex>(z1)),
+                            ctx.encrypt(std::span<const Complex>(z2)));
+    std::vector<Complex> want(128);
+    for (size_t i = 0; i < 128; ++i) {
+        want[i] = z1[i] + z2[i];
+    }
+    const double measured = est.measure(sum, want);
+    const double e = est.freshPublic();
+    expectWithinFactor(measured, est.afterAdd(e, e), 4.0);
+}
+
+TEST_F(NoiseFixture, RotationNoiseMatchesActiveKeySwitch)
+{
+    ctx.makeRotationKeys(std::array<int64_t, 1>{1});
+    const auto z = randomSlots(128);
+    const auto rot = ev.rotate(ctx.encrypt(std::span<const Complex>(z)),
+                               1);
+    std::vector<Complex> want(128);
+    for (size_t i = 0; i < 128; ++i) {
+        want[i] = z[(i + 1) % 128];
+    }
+    const double measured = est.measure(rot, want);
+    expectWithinFactor(measured, est.afterRotate(est.freshPublic()),
+                       4.0);
+    // This context has a special prime, so rotations take the quiet
+    // hybrid path — orders of magnitude below the digit gadget.
+    EXPECT_LT(100.0 * est.hybridNoise(ctx.maxLevel()),
+              est.gadgetNoise(ctx.maxLevel(), ctx.params().gadget));
+}
+
+TEST_F(NoiseFixture, MultiplicationNoise)
+{
+    const auto z1 = randomSlots(128, 1.0);
+    const auto z2 = randomSlots(128, 1.0);
+    const auto prod =
+        ev.multiply(ctx.encrypt(std::span<const Complex>(z1)),
+                    ctx.encrypt(std::span<const Complex>(z2)));
+    std::vector<Complex> want(128);
+    for (size_t i = 0; i < 128; ++i) {
+        want[i] = z1[i] * z2[i];
+    }
+    const double measured = est.measure(prod, want);
+    // Slot RMS of uniform complex in the unit box ~ sqrt(2/3).
+    const double rms =
+        est.messageRms(std::sqrt(2.0 / 3.0), ctx.params().scale);
+    const double e = est.freshPublic();
+    expectWithinFactor(measured, est.afterMultiply(e, e, rms, rms),
+                       5.0);
+}
+
+TEST_F(NoiseFixture, RescaleRoundingFloor)
+{
+    // Rescaling a fresh ciphertext: the divided noise vanishes below
+    // the rounding floor ~sqrt(rho N / 12).
+    const auto z = randomSlots(128, 0.5);
+    auto ct = ctx.encrypt(std::span<const Complex>(z));
+    auto scaled = ev.multiplyScalar(ct, 1.0);
+    ev.rescaleInPlace(scaled);
+    const double predicted =
+        est.afterRescale(est.freshPublic(), ct.level() - 1);
+    // The scalar multiply adds its own encoding rounding; stay
+    // within an order of magnitude.
+    const double measured = est.measure(scaled, z);
+    EXPECT_LT(measured, 50.0 * predicted);
+    EXPECT_GT(measured, predicted / 50.0);
+}
+
+TEST_F(NoiseFixture, BalancedGadgetPredictionRatio)
+{
+    rlwe::GadgetParams bal = ctx.params().gadget;
+    bal.balanced = true;
+    rlwe::GadgetParams uns = bal;
+    uns.balanced = false;
+    const double ratio = est.gadgetNoise(3, uns) / est.gadgetNoise(3, bal);
+    EXPECT_NEAR(ratio, 2.0, 0.1);
+}
+
+TEST_F(NoiseFixture, GadgetNoiseScalesWithBase)
+{
+    rlwe::GadgetParams small{.baseBits = 5, .digitsPerLimb = 6};
+    rlwe::GadgetParams large{.baseBits = 10, .digitsPerLimb = 3};
+    const double ratio =
+        est.gadgetNoise(3, large) / est.gadgetNoise(3, small);
+    // 2^5x larger base, half the digits: ~ 32/sqrt(2).
+    EXPECT_NEAR(ratio, 32.0 / std::sqrt(2.0), 2.0);
+}
+
+} // namespace
+} // namespace heap::ckks

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Negacyclic NTT correctness: round trips, linearity, and agreement of
+ * the NTT-based product with the schoolbook negacyclic convolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/ntt.h"
+#include "math/primes.h"
+
+namespace heap::math {
+namespace {
+
+std::vector<uint64_t>
+randomPoly(size_t n, uint64_t q, Rng& rng)
+{
+    std::vector<uint64_t> p(n);
+    for (auto& v : p) {
+        v = rng.uniform(q);
+    }
+    return p;
+}
+
+class NttParamTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(NttParamTest, ForwardInverseRoundTrip)
+{
+    const auto [n, bits] = GetParam();
+    const uint64_t q = generateNttPrimes(bits, n, 1)[0];
+    const NttTables ntt(n, q);
+    Rng rng(n * 1000 + static_cast<uint64_t>(bits));
+    auto a = randomPoly(n, q, rng);
+    const auto orig = a;
+    ntt.forward(a);
+    ntt.inverse(a);
+    EXPECT_EQ(a, orig);
+}
+
+TEST_P(NttParamTest, ProductMatchesSchoolbook)
+{
+    const auto [n, bits] = GetParam();
+    const uint64_t q = generateNttPrimes(bits, n, 1)[0];
+    const NttTables ntt(n, q);
+    Rng rng(n * 77 + static_cast<uint64_t>(bits));
+    auto a = randomPoly(n, q, rng);
+    auto b = randomPoly(n, q, rng);
+    const auto expected = negacyclicConvolveSchoolbook(a, b, q);
+
+    ntt.forward(a);
+    ntt.forward(b);
+    std::vector<uint64_t> c(n);
+    const BarrettReducer red(q);
+    for (size_t i = 0; i < n; ++i) {
+        c[i] = red.mulMod(a[i], b[i]);
+    }
+    ntt.inverse(c);
+    EXPECT_EQ(c, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, NttParamTest,
+    ::testing::Combine(::testing::Values<size_t>(4, 16, 64, 256, 1024),
+                       ::testing::Values(28, 36, 59)));
+
+TEST_P(NttParamTest, OnTheFlyMatchesTableDriven)
+{
+    const auto [n, bits] = GetParam();
+    const uint64_t q = math::generateNttPrimes(bits, n, 1)[0];
+    const NttTables ntt(n, q);
+    Rng rng(n * 5 + static_cast<uint64_t>(bits));
+    auto a = randomPoly(n, q, rng);
+    auto b = a;
+    ntt.forward(a);
+    ntt.forwardOnTheFly(b);
+    // Section IV-D: the control-signal switch between stored and
+    // generated twiddles must be bit-identical.
+    EXPECT_EQ(a, b);
+}
+
+TEST(Ntt, NegacyclicWrapSign)
+{
+    // (X^{n-1}) * X = X^n = -1: the product of the top monomial with X
+    // must be the constant -1.
+    const size_t n = 16;
+    const uint64_t q = generateNttPrimes(28, n, 1)[0];
+    const NttTables ntt(n, q);
+    std::vector<uint64_t> a(n, 0), b(n, 0);
+    a[n - 1] = 1;
+    b[1] = 1;
+    ntt.forward(a);
+    ntt.forward(b);
+    std::vector<uint64_t> c(n);
+    for (size_t i = 0; i < n; ++i) {
+        c[i] = mulModNaive(a[i], b[i], q);
+    }
+    ntt.inverse(c);
+    EXPECT_EQ(c[0], q - 1);
+    for (size_t i = 1; i < n; ++i) {
+        EXPECT_EQ(c[i], 0u);
+    }
+}
+
+TEST(Ntt, Linearity)
+{
+    const size_t n = 128;
+    const uint64_t q = generateNttPrimes(36, n, 1)[0];
+    const NttTables ntt(n, q);
+    Rng rng(5);
+    auto a = randomPoly(n, q, rng);
+    auto b = randomPoly(n, q, rng);
+    std::vector<uint64_t> sum(n);
+    for (size_t i = 0; i < n; ++i) {
+        sum[i] = addMod(a[i], b[i], q);
+    }
+    ntt.forward(a);
+    ntt.forward(b);
+    ntt.forward(sum);
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(sum[i], addMod(a[i], b[i], q));
+    }
+}
+
+TEST(Ntt, ConstantPolynomialMapsToConstantSpectrum)
+{
+    const size_t n = 64;
+    const uint64_t q = generateNttPrimes(30, n, 1)[0];
+    const NttTables ntt(n, q);
+    std::vector<uint64_t> a(n, 0);
+    a[0] = 42;
+    ntt.forward(a);
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(a[i], 42u);
+    }
+}
+
+} // namespace
+} // namespace heap::math

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for Miller-Rabin primality, NTT-prime generation, and
+ * primitive-root search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "math/modarith.h"
+#include "math/primes.h"
+
+namespace heap::math {
+namespace {
+
+TEST(Primes, SmallKnownValues)
+{
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_FALSE(isPrime(4));
+    EXPECT_TRUE(isPrime(65537));
+    EXPECT_FALSE(isPrime(65536));
+    // Carmichael numbers must be rejected.
+    EXPECT_FALSE(isPrime(561));
+    EXPECT_FALSE(isPrime(41041));
+    EXPECT_FALSE(isPrime(825265));
+}
+
+TEST(Primes, LargeKnownValues)
+{
+    EXPECT_TRUE(isPrime(1152921504606830593ULL));
+    EXPECT_TRUE(isPrime(4611686018427387847ULL)); // 2^62 - 57
+    EXPECT_FALSE(isPrime(1152921504606830593ULL * 3));
+}
+
+TEST(Primes, BruteForceAgreementUpTo10k)
+{
+    auto slow = [](uint64_t n) {
+        if (n < 2) return false;
+        for (uint64_t d = 2; d * d <= n; ++d) {
+            if (n % d == 0) return false;
+        }
+        return true;
+    };
+    for (uint64_t n = 0; n < 10000; ++n) {
+        ASSERT_EQ(isPrime(n), slow(n)) << "n=" << n;
+    }
+}
+
+class NttPrimeTest
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(NttPrimeTest, GeneratedPrimesAreNttFriendly)
+{
+    const auto [bits, n] = GetParam();
+    const auto primes = generateNttPrimes(bits, n, 4);
+    ASSERT_EQ(primes.size(), 4u);
+    for (const uint64_t q : primes) {
+        EXPECT_TRUE(isPrime(q));
+        EXPECT_EQ((q - 1) % (2 * n), 0u) << "q=" << q;
+        EXPECT_GE(q, static_cast<uint64_t>(1) << (bits - 1));
+        EXPECT_LE(q, static_cast<uint64_t>(1) << bits);
+    }
+    // Distinct.
+    for (size_t i = 0; i < primes.size(); ++i) {
+        for (size_t j = i + 1; j < primes.size(); ++j) {
+            EXPECT_NE(primes[i], primes[j]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, NttPrimeTest,
+    ::testing::Combine(::testing::Values(28, 36, 45),
+                       ::testing::Values<size_t>(256, 1024, 8192)));
+
+TEST(Primes, PrimitiveRootHasFullOrder)
+{
+    for (const uint64_t q : {65537ULL, 786433ULL}) {
+        const uint64_t g = primitiveRoot(q);
+        // g^((q-1)/f) != 1 for each prime factor f of q-1; spot check
+        // with f = 2 and f = 3 where applicable.
+        EXPECT_NE(powMod(g, (q - 1) / 2, q), 1u);
+        if ((q - 1) % 3 == 0) {
+            EXPECT_NE(powMod(g, (q - 1) / 3, q), 1u);
+        }
+        EXPECT_EQ(powMod(g, q - 1, q), 1u);
+    }
+}
+
+TEST(Primes, Primitive2NthRoot)
+{
+    const size_t n = 512;
+    const uint64_t q = generateNttPrimes(30, n, 1)[0];
+    const uint64_t psi = minimalPrimitiveRoot2N(q, n);
+    // psi^n = -1 and psi^{2n} = 1 characterize a primitive 2n-th root.
+    EXPECT_EQ(powMod(psi, n, q), q - 1);
+    EXPECT_EQ(powMod(psi, 2 * n, q), 1u);
+}
+
+} // namespace
+} // namespace heap::math

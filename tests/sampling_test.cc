@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Statistical sanity tests for the lattice samplers.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/primes.h"
+#include "math/sampling.h"
+
+namespace heap::math {
+namespace {
+
+TEST(Sampling, TernaryValuesAndBalance)
+{
+    Rng rng(11);
+    const auto v = sampleTernary(100000, rng);
+    size_t zeros = 0, pos = 0, neg = 0;
+    for (const int64_t x : v) {
+        ASSERT_GE(x, -1);
+        ASSERT_LE(x, 1);
+        zeros += x == 0;
+        pos += x == 1;
+        neg += x == -1;
+    }
+    EXPECT_NEAR(static_cast<double>(zeros) / v.size(), 0.5, 0.02);
+    EXPECT_NEAR(static_cast<double>(pos) / v.size(), 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(neg) / v.size(), 0.25, 0.02);
+}
+
+TEST(Sampling, TernaryHammingExactWeight)
+{
+    Rng rng(12);
+    for (size_t h : {0u, 1u, 17u, 64u}) {
+        const auto v = sampleTernaryHamming(64, h, rng);
+        size_t nonzero = 0;
+        for (const int64_t x : v) {
+            nonzero += x != 0;
+        }
+        EXPECT_EQ(nonzero, h);
+    }
+    EXPECT_THROW(sampleTernaryHamming(8, 9, rng), UserError);
+}
+
+TEST(Sampling, GaussianMomentsMatch)
+{
+    Rng rng(13);
+    const double sigma = 3.2;
+    const auto v = sampleGaussian(200000, sigma, rng);
+    double mean = 0, var = 0;
+    for (const int64_t x : v) {
+        mean += static_cast<double>(x);
+    }
+    mean /= static_cast<double>(v.size());
+    for (const int64_t x : v) {
+        var += (x - mean) * (x - mean);
+    }
+    var /= static_cast<double>(v.size());
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), sigma, 0.1);
+    // Rounded Gaussians at sigma=3.2 should essentially never exceed
+    // 8 sigma.
+    for (const int64_t x : v) {
+        ASSERT_LT(std::abs(x), static_cast<int64_t>(8 * sigma) + 1);
+    }
+}
+
+TEST(Sampling, UniformRnsInRangeAndSpread)
+{
+    const size_t n = 256;
+    const auto basis = std::make_shared<RnsBasis>(
+        n, generateNttPrimes(30, n, 2));
+    Rng rng(14);
+    const auto p = sampleUniformRns(basis, 2, Domain::Coeff, rng);
+    for (size_t i = 0; i < 2; ++i) {
+        const uint64_t q = basis->modulus(i);
+        double mean = 0;
+        for (const uint64_t c : p.limb(i)) {
+            ASSERT_LT(c, q);
+            mean += static_cast<double>(c);
+        }
+        mean /= static_cast<double>(n);
+        // Mean of U[0, q) is q/2 within ~q/(2 sqrt(3 n)).
+        EXPECT_NEAR(mean / static_cast<double>(q), 0.5, 0.12);
+    }
+}
+
+TEST(Sampling, Deterministic)
+{
+    Rng a(99), b(99);
+    EXPECT_EQ(sampleTernary(64, a), sampleTernary(64, b));
+    EXPECT_EQ(sampleGaussian(64, 3.2, a), sampleGaussian(64, 3.2, b));
+}
+
+} // namespace
+} // namespace heap::math

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Security-estimation tests: exact table lookups, monotonicity, the
+ * paper's parameter point, and the Qp observation recorded in
+ * EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "math/security.h"
+
+namespace heap::math {
+namespace {
+
+TEST(Security, StandardTableAnchors)
+{
+    EXPECT_EQ(maxLogQForSecurity(8192, 128), 218u);
+    EXPECT_EQ(maxLogQForSecurity(8192, 192), 152u);
+    EXPECT_EQ(maxLogQForSecurity(8192, 256), 118u);
+    EXPECT_EQ(maxLogQForSecurity(32768, 128), 881u);
+    EXPECT_EQ(maxLogQForSecurity(1024, 128), 27u);
+    EXPECT_EQ(maxLogQForSecurity(512, 128), 0u);
+}
+
+TEST(Security, AnchorsEstimateAtTheirLevel)
+{
+    for (const size_t n : {2048u, 8192u, 32768u}) {
+        EXPECT_NEAR(estimateSecurityBits(
+                        n, static_cast<double>(
+                               maxLogQForSecurity(n, 128))),
+                    128.0, 1.0)
+            << "n=" << n;
+        EXPECT_NEAR(estimateSecurityBits(
+                        n, static_cast<double>(
+                               maxLogQForSecurity(n, 192))),
+                    192.0, 1.0);
+    }
+}
+
+TEST(Security, MonotoneInModulusAndDimension)
+{
+    // Larger modulus => less security; larger ring => more.
+    EXPECT_GT(estimateSecurityBits(8192, 150),
+              estimateSecurityBits(8192, 218));
+    EXPECT_GT(estimateSecurityBits(8192, 218),
+              estimateSecurityBits(8192, 300));
+    EXPECT_GT(estimateSecurityBits(16384, 218),
+              estimateSecurityBits(8192, 218));
+}
+
+TEST(Security, PaperParameterPoint)
+{
+    // Section III-C: N = 2^13, log Q = 216 => 128-bit (just inside
+    // the standard's 218-bit budget).
+    EXPECT_TRUE(meetsSecurity(8192, 216, 128));
+    // Reproduction observation: the bootstrapping basis Qp
+    // (216 + 36 = 252 bits) exceeds that budget at the same ring,
+    // landing below 128 bits under the standard's accounting.
+    EXPECT_FALSE(meetsSecurity(8192, 252, 128));
+    EXPECT_GT(estimateSecurityBits(8192, 252), 100.0);
+}
+
+TEST(Security, DemoParametersOfferNoSecurity)
+{
+    EXPECT_LT(estimateSecurityBits(64, 96), 10.0);
+    EXPECT_LT(estimateSecurityBits(256, 126), 10.0);
+}
+
+TEST(Security, Validation)
+{
+    EXPECT_THROW(maxLogQForSecurity(8192, 100), heap::UserError);
+    EXPECT_THROW(estimateSecurityBits(1000, 27), heap::UserError);
+    EXPECT_THROW(estimateSecurityBits(1024, 0), heap::UserError);
+}
+
+} // namespace
+} // namespace heap::math

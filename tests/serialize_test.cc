@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Serialization tests: byte-level primitives, ciphertext/key round
+ * trips (including use-after-load), and rejection of corrupt,
+ * truncated, or parameter-mismatched data.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ckks/evaluator.h"
+#include "ckks/serialize.h"
+
+namespace heap::ckks {
+namespace {
+
+TEST(ByteIo, PrimitivesRoundTrip)
+{
+    ByteWriter w;
+    w.u64(0);
+    w.u64(~0ULL);
+    w.i64(-12345);
+    w.f64(3.14159);
+    w.u64Span(std::vector<uint64_t>{1, 2, 3});
+
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.u64(), 0u);
+    EXPECT_EQ(r.u64(), ~0ULL);
+    EXPECT_EQ(r.i64(), -12345);
+    EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+    EXPECT_EQ(r.u64Vec(), (std::vector<uint64_t>{1, 2, 3}));
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteIo, TruncationThrows)
+{
+    ByteWriter w;
+    w.u64(7);
+    ByteReader r(std::span<const uint8_t>(w.bytes().data(), 5));
+    EXPECT_THROW(r.u64(), UserError);
+}
+
+CkksParams
+serParams()
+{
+    CkksParams p;
+    p.n = 128;
+    p.limbBits = 30;
+    p.levels = 3;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    return p;
+}
+
+struct SerFixture : ::testing::Test {
+    Context ctx{serParams(), 2525};
+    Evaluator ev{ctx};
+    Rng rng{4};
+
+    std::vector<Complex>
+    slots()
+    {
+        std::vector<Complex> z(64);
+        for (auto& v : z) {
+            v = Complex(2 * rng.uniformReal() - 1,
+                        2 * rng.uniformReal() - 1);
+        }
+        return z;
+    }
+};
+
+TEST_F(SerFixture, CiphertextRoundTripAndUse)
+{
+    const auto z = slots();
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    const auto bytes = saveCiphertext(ct);
+    const auto back = loadCiphertext(bytes, ctx);
+
+    EXPECT_EQ(back.level(), ct.level());
+    EXPECT_EQ(back.slots, ct.slots);
+    EXPECT_DOUBLE_EQ(back.scale, ct.scale);
+
+    // The loaded ciphertext decrypts AND computes.
+    const auto dec = ctx.decrypt(back);
+    double worst = 0;
+    for (size_t i = 0; i < z.size(); ++i) {
+        worst = std::max(worst, std::abs(dec[i] - z[i]));
+    }
+    EXPECT_LT(worst, 1e-3);
+    const auto sq = ctx.decrypt(ev.multiplyRescale(back, back));
+    for (size_t i = 0; i < z.size(); ++i) {
+        EXPECT_LT(std::abs(sq[i] - z[i] * z[i]), 1e-2);
+    }
+}
+
+TEST_F(SerFixture, EvalDomainCiphertextRoundTrip)
+{
+    const auto z = slots();
+    auto ct = ctx.encrypt(std::span<const Complex>(z));
+    ct.ct.toCoeff(); // exercise the Coeff-domain path
+    const auto back = loadCiphertext(saveCiphertext(ct), ctx);
+    EXPECT_EQ(back.ct.domain(), math::Domain::Coeff);
+    const auto dec = ctx.decrypt(back);
+    for (size_t i = 0; i < z.size(); ++i) {
+        ASSERT_LT(std::abs(dec[i] - z[i]), 1e-3);
+    }
+}
+
+TEST_F(SerFixture, GadgetKeyRoundTripAndUse)
+{
+    ctx.makeRotationKeys(std::array<int64_t, 1>{1});
+    const auto bytes = saveGadget(ctx.rotationKey(1));
+    const auto key = loadGadget(bytes, ctx);
+
+    // Rotate using the reloaded key directly.
+    const auto z = slots();
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    const uint64_t t = ctx.encoder().rotationExponent(1);
+    Ciphertext rot = ct;
+    rot.ct = rlwe::evalAuto(ct.ct, t, key);
+    const auto dec = ctx.decrypt(rot);
+    for (size_t i = 0; i < z.size(); ++i) {
+        ASSERT_LT(std::abs(dec[i] - z[(i + 1) % z.size()]), 2e-2);
+    }
+}
+
+TEST_F(SerFixture, RejectsCorruption)
+{
+    const auto z = slots();
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    auto bytes = saveCiphertext(ct);
+
+    // Bad magic.
+    auto bad = bytes;
+    bad[0] ^= 0xff;
+    EXPECT_THROW(loadCiphertext(bad, ctx), UserError);
+
+    // Truncated.
+    EXPECT_THROW(loadCiphertext(
+                     std::span<const uint8_t>(bytes.data(),
+                                              bytes.size() / 2),
+                     ctx),
+                 UserError);
+
+    // Trailing garbage.
+    auto padded = bytes;
+    padded.push_back(0);
+    for (int i = 0; i < 7; ++i) {
+        padded.push_back(0);
+    }
+    EXPECT_THROW(loadCiphertext(padded, ctx), UserError);
+
+    // Out-of-range coefficient.
+    auto tampered = bytes;
+    // Flip high bits somewhere inside the coefficient payload.
+    tampered[tampered.size() - 3] = 0xff;
+    EXPECT_THROW(loadCiphertext(tampered, ctx), UserError);
+}
+
+TEST_F(SerFixture, RejectsParameterMismatch)
+{
+    const auto z = slots();
+    const auto bytes =
+        saveCiphertext(ctx.encrypt(std::span<const Complex>(z)));
+    auto other = serParams();
+    other.n = 256;
+    Context ctx2(other, 1);
+    EXPECT_THROW(loadCiphertext(bytes, ctx2), UserError);
+
+    auto other2 = serParams();
+    other2.limbBits = 32;
+    other2.gadget = rlwe::GadgetParams{.baseBits = 10, .digitsPerLimb = 4};
+    Context ctx3(other2, 1);
+    EXPECT_THROW(loadCiphertext(bytes, ctx3), UserError);
+}
+
+} // namespace
+} // namespace heap::ckks

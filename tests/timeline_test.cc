@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for the Section V schedule timeline: event accounting, lane
+ * utilization, Gantt rendering, and the bootstrap schedule's
+ * structural properties (staggered distribution, idle-free compute
+ * window, unsaturated links).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "hw/timeline.h"
+
+namespace heap::hw {
+namespace {
+
+TEST(Timeline, EventAccountingAndRendering)
+{
+    ScheduleTimeline tl;
+    tl.add("a", 0, 1, '#');
+    tl.add("a", 2, 4, '#');
+    tl.add("b", 1, 2, '>');
+    EXPECT_DOUBLE_EQ(tl.spanMs(), 4.0);
+    EXPECT_DOUBLE_EQ(tl.utilization("a"), 0.75);
+    EXPECT_DOUBLE_EQ(tl.utilization("b"), 0.25);
+
+    const std::string g = tl.render(40);
+    EXPECT_NE(g.find("a |"), std::string::npos);
+    EXPECT_NE(g.find('#'), std::string::npos);
+    EXPECT_NE(g.find('>'), std::string::npos);
+    EXPECT_NE(g.find("75%"), std::string::npos);
+
+    EXPECT_THROW(tl.add("c", 2, 1, '#'), heap::UserError);
+    ScheduleTimeline empty;
+    EXPECT_THROW(empty.render(), heap::UserError);
+}
+
+TEST(Timeline, BootstrapScheduleShape)
+{
+    const FpgaConfig cfg;
+    const HeapParams params;
+    const BootstrapModel bm(cfg, params, 8);
+    const auto tl = buildBootstrapTimeline(bm, 4096);
+
+    // The schedule covers at least the modeled bootstrap latency.
+    EXPECT_GE(tl.spanMs(), bm.bootstrap(4096).totalMs * 0.9);
+    // The primary is the busiest lane; the links are far from
+    // saturated (Section V's overlap claim).
+    EXPECT_GT(tl.utilization("fpga0 (primary)"), 0.9);
+    EXPECT_LT(tl.utilization("link out"), 0.5);
+    EXPECT_LT(tl.utilization("link in"), 0.5);
+    // Every secondary spends the same blind-rotate time.
+    const double u1 = tl.utilization("fpga1");
+    for (int j = 2; j < 8; ++j) {
+        EXPECT_NEAR(tl.utilization("fpga" + std::to_string(j)), u1,
+                    0.02);
+    }
+}
+
+TEST(Timeline, FewerSlotsShrinkTheSchedule)
+{
+    const FpgaConfig cfg;
+    const HeapParams params;
+    const BootstrapModel bm(cfg, params, 8);
+    EXPECT_LT(buildBootstrapTimeline(bm, 256).spanMs(),
+              buildBootstrapTimeline(bm, 4096).spanMs());
+}
+
+} // namespace
+} // namespace heap::hw

@@ -3,8 +3,11 @@
  * Ablation: blind-rotation fan-out across worker threads — the
  * paper's hardware-agnostic parallelism claim ("can be mapped to any
  * system with multiple compute nodes", Section I) demonstrated on the
- * functional library. Outputs are bit-identical regardless of the
- * worker count; wall-clock scales with available cores.
+ * functional library, side by side with the hardware model's
+ * predicted multi-FPGA scaling of the same fan-out. Outputs are
+ * bit-identical regardless of the worker count
+ * (tests/parallel_equivalence_test.cc); wall-clock scales with
+ * available cores. HEAP_THREADS caps the process-wide pool.
  */
 
 #include <cmath>
@@ -12,7 +15,9 @@
 
 #include "bench_util.h"
 #include "boot/scheme_switch.h"
+#include "common/parallel.h"
 #include "common/timer.h"
+#include "hw/bootstrap_model.h"
 
 int
 main()
@@ -23,7 +28,8 @@ main()
     bench::banner(
         "Ablation: bootstrap worker scaling (functional library)",
         "One scheme-switching bootstrap at N=64; the N blind "
-        "rotations are data-independent jobs on a thread pool.");
+        "rotations are data-independent jobs on the process-wide "
+        "thread pool (size HEAP_THREADS or hardware_concurrency).");
 
     CkksParams p;
     p.n = 64;
@@ -42,10 +48,18 @@ main()
     auto ct = ctx.encrypt(std::span<const Complex>(z));
     ev.dropToLevel(ct, 1);
 
-    std::printf("hardware threads available: %u\n\n",
-                std::thread::hardware_concurrency());
+    // The hardware model's prediction for the same fan-out over k
+    // FPGAs: BlindRotate stage time scales with ceil(n_br / k).
+    const hw::FpgaConfig cfg;
+    const hw::HeapParams hp;
+    const double modelBase =
+        hw::BootstrapModel(cfg, hp, 1).bootstrap(4096).blindRotateMs;
+
+    std::printf("hardware threads available: %u (pool size %zu)\n\n",
+                std::thread::hardware_concurrency(),
+                ThreadPool::global().size());
     Table t({"workers", "total (ms)", "blind-rotate (ms)",
-             "speedup vs 1"});
+             "speedup vs 1", "model: k-FPGA speedup"});
     double base = 0;
     for (const size_t w : {1u, 2u, 4u, 8u}) {
         boot.setWorkers(w);
@@ -55,14 +69,19 @@ main()
         if (w == 1) {
             base = ms;
         }
+        const double modelK = hw::BootstrapModel(cfg, hp, w)
+                                  .bootstrap(4096)
+                                  .blindRotateMs;
         t.addRow({std::to_string(w), Table::num(ms, 0),
                   Table::num(boot.lastStepTimes().blindRotateMs, 0),
-                  Table::speedup(base / ms)});
+                  Table::speedup(base / ms),
+                  Table::speedup(modelBase / modelK)});
     }
     t.print();
-    std::printf("\n(On this machine's core count the curve flattens "
-                "accordingly; the paper's 8-FPGA deployment of the "
-                "same fan-out is modeled in "
-                "examples/multi_fpga_sim.)\n");
+    std::printf(
+        "\n(Measured speedup saturates at this machine's core count; "
+        "the model column is the paper's Section V scaling of the "
+        "identical fan-out over k FPGAs. The 8-FPGA deployment is "
+        "modeled end-to-end in examples/multi_fpga_sim.)\n");
     return 0;
 }

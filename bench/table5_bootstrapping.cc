@@ -6,7 +6,11 @@
  * of a single scheme-switching bootstrap.
  */
 
+#include <cmath>
+
 #include "bench_util.h"
+#include "boot/scheme_switch.h"
+#include "common/timer.h"
 #include "hw/bootstrap_model.h"
 #include "hw/fab_model.h"
 #include "hw/reference.h"
@@ -75,5 +79,48 @@ main()
         "= %.2f ms, 256 slots = %.2f ms (8 FPGAs).\n",
         BootstrapModel(cfg, params, 1).bootstrap(4096).totalMs,
         bm.bootstrap(1024).totalMs, bm.bootstrap(256).totalMs);
+
+    // Measured vs. modeled parallelism: the functional library runs
+    // the same Section V fan-out on host threads (common/parallel.h);
+    // the model column is the predicted k-FPGA BlindRotate scaling.
+    std::printf("\nMeasured host-thread scaling (functional bootstrap, "
+                "N=64) vs. modeled k-FPGA scaling:\n");
+    ckks::CkksParams fp;
+    fp.n = 64;
+    fp.limbBits = 30;
+    fp.levels = 2;
+    fp.auxLimbs = 1;
+    fp.scale = std::pow(2.0, 30);
+    fp.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    fp.secretHamming = 16;
+    ckks::Context fctx(fp, 5);
+    ckks::Evaluator fev(fctx);
+    boot::SchemeSwitchBootstrapper fboot(
+        fctx, rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6});
+    std::vector<ckks::Complex> z(fp.n / 2, ckks::Complex(0.3, 0.1));
+    auto fct = fctx.encrypt(std::span<const ckks::Complex>(z));
+    fev.dropToLevel(fct, 1);
+
+    const double modelBrBase =
+        BootstrapModel(cfg, params, 1).bootstrap(4096).blindRotateMs;
+    Table scaling({"threads / FPGAs", "measured BR (ms)",
+                   "measured speedup", "modeled BR (ms)",
+                   "modeled speedup"});
+    double measuredBase = 0;
+    for (const size_t k : {1u, 2u, 4u, 8u}) {
+        fboot.setWorkers(k);
+        (void)fboot.bootstrap(fct);
+        const double brMs = fboot.lastStepTimes().blindRotateMs;
+        if (k == 1) {
+            measuredBase = brMs;
+        }
+        const double modelBr =
+            BootstrapModel(cfg, params, k).bootstrap(4096).blindRotateMs;
+        scaling.addRow({std::to_string(k), Table::num(brMs, 1),
+                        Table::speedup(measuredBase / brMs),
+                        Table::num(modelBr, 4),
+                        Table::speedup(modelBrBase / modelBr)});
+    }
+    scaling.print();
     return 0;
 }

@@ -2,6 +2,7 @@
 
 #include "ckks/serialize.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "lwe/serialize.h"
 
 namespace heap::boot {
@@ -9,6 +10,7 @@ namespace heap::boot {
 void
 SimulatedLink::send(std::vector<uint8_t> message)
 {
+    std::lock_guard<std::mutex> lock(m_);
     bytes_ += message.size();
     ++messages_;
     queue_.push_back(std::move(message));
@@ -17,6 +19,7 @@ SimulatedLink::send(std::vector<uint8_t> message)
 std::vector<uint8_t>
 SimulatedLink::receive()
 {
+    std::lock_guard<std::mutex> lock(m_);
     HEAP_CHECK(!queue_.empty(), "receive on an empty link");
     auto msg = std::move(queue_.front());
     queue_.erase(queue_.begin());
@@ -45,7 +48,7 @@ SecondaryNode::processBatch(std::span<const uint8_t> batch) const
     HEAP_CHECK(r.atEnd(), "trailing bytes in batch");
 
     const auto accs = tfhe::blindRotateBatch(lwes, *testPoly_, *brk_);
-    processed_ += lwes.size();
+    processed_.fetch_add(lwes.size(), std::memory_order_relaxed);
 
     ByteWriter w;
     w.u64(accs.size());
@@ -80,8 +83,17 @@ DistributedBootstrapper::DistributedBootstrapper(
         nodes_.push_back(std::make_unique<SecondaryNode>(
             ctx.basis(), &brk_, &testPoly_));
     }
-    out_.resize(secondaries);
-    in_.resize(secondaries);
+    // Assignment rather than resize: SimulatedLink owns a mutex and
+    // is therefore not move-insertable.
+    out_ = std::vector<SimulatedLink>(secondaries);
+    in_ = std::vector<SimulatedLink>(secondaries);
+}
+
+void
+DistributedBootstrapper::setWorkers(size_t workers)
+{
+    HEAP_CHECK(workers >= 1 && workers <= 256, "bad worker count");
+    workers_ = workers;
 }
 
 ckks::Ciphertext
@@ -133,21 +145,30 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
         }
     }
 
-    // Secondaries process and stream results back.
-    for (size_t s = 0; s < nodes_.size(); ++s) {
+    // Secondaries process and stream results back, concurrently when
+    // workers_ > 1 (the paper's nodes are physically parallel). Each
+    // index touches only its own links and its own slice of rotated;
+    // the shared byte totals accumulate through atomics, so the
+    // traffic accounting is exact for every worker count.
+    const size_t nsec = nodes_.size();
+    const size_t grain = (nsec + workers_ - 1) / workers_;
+    std::atomic<size_t> lweBytesOut{0};
+    parallelFor(0, nsec, grain, [&](size_t s) {
         if (out_[s].empty()) {
-            continue;
+            return;
         }
         const auto batch = out_[s].receive();
-        traffic_.lweBytesOut += batch.size();
+        lweBytesOut.fetch_add(batch.size(), std::memory_order_relaxed);
         in_[s].send(nodes_[s]->processBatch(batch));
-    }
-    for (size_t s = 0; s < nodes_.size(); ++s) {
+    });
+    traffic_.lweBytesOut = lweBytesOut.load();
+    std::atomic<size_t> accBytesIn{0};
+    parallelFor(0, nsec, grain, [&](size_t s) {
         if (in_[s].empty()) {
-            continue;
+            return;
         }
         const auto reply = in_[s].receive();
-        traffic_.accBytesIn += reply.size();
+        accBytesIn.fetch_add(reply.size(), std::memory_order_relaxed);
         ByteReader r(reply);
         const uint64_t count = r.u64();
         const size_t begin = std::min(n, (s + 1) * share);
@@ -155,7 +176,8 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
             rotated[begin + i] = ckks::loadRlwe(r, basis);
         }
         HEAP_CHECK(r.atEnd(), "trailing bytes in reply");
-    }
+    });
+    traffic_.accBytesIn = accBytesIn.load();
 
     // Repack + finish on the primary.
     rlwe::Ciphertext ctKq = tfhe::packRlwes(rotated, packKeys_);

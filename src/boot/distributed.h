@@ -13,7 +13,9 @@
 #ifndef HEAP_BOOT_DISTRIBUTED_H
 #define HEAP_BOOT_DISTRIBUTED_H
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 
 #include "boot/algorithm2.h"
 #include "tfhe/blind_rotate.h"
@@ -21,17 +23,40 @@
 
 namespace heap::boot {
 
-/** One-directional byte-counting message channel (a CMAC link). */
+/**
+ * One-directional byte-counting message channel (a CMAC link).
+ * Thread-safe: concurrent senders/receivers serialize on an internal
+ * mutex, so the byte accounting stays exact under the parallel batch
+ * schedule.
+ */
 class SimulatedLink {
   public:
     void send(std::vector<uint8_t> message);
     std::vector<uint8_t> receive();
 
-    size_t bytesTransferred() const { return bytes_; }
-    size_t messageCount() const { return messages_; }
-    bool empty() const { return queue_.empty(); }
+    size_t
+    bytesTransferred() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return bytes_;
+    }
+
+    size_t
+    messageCount() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return messages_;
+    }
+
+    bool
+    empty() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return queue_.empty();
+    }
 
   private:
+    mutable std::mutex m_;
     std::vector<std::vector<uint8_t>> queue_;
     size_t bytes_ = 0;
     size_t messages_ = 0;
@@ -54,13 +79,19 @@ class SecondaryNode {
         std::span<const uint8_t> batch) const;
 
     /** LWE ciphertexts processed so far. */
-    size_t processed() const { return processed_; }
+    size_t
+    processed() const
+    {
+        return processed_.load(std::memory_order_relaxed);
+    }
 
   private:
     std::shared_ptr<const math::RnsBasis> basis_;
     const tfhe::BlindRotateKey* brk_;
     const math::RnsPoly* testPoly_;
-    mutable size_t processed_ = 0;
+    // Atomic: processBatch runs concurrently for different batches
+    // when the primary drives the protocol with multiple workers.
+    mutable std::atomic<size_t> processed_{0};
 };
 
 /** Per-bootstrap communication accounting. */
@@ -86,6 +117,14 @@ class DistributedBootstrapper {
      *  the secondaries (the primary keeps an equal share). */
     ckks::Ciphertext bootstrap(const ckks::Ciphertext& in) const;
 
+    /**
+     * Number of host threads driving secondary batches concurrently
+     * (default 1 = the serial reference schedule). Traffic counters
+     * and outputs are identical for every worker count.
+     */
+    void setWorkers(size_t workers);
+    size_t workers() const { return workers_; }
+
     size_t secondaryCount() const { return nodes_.size(); }
     const DistributedTraffic& lastTraffic() const { return traffic_; }
     const SecondaryNode& node(size_t i) const { return *nodes_[i]; }
@@ -96,6 +135,7 @@ class DistributedBootstrapper {
     tfhe::PackingKeys packKeys_;
     math::RnsPoly testPoly_;
     std::vector<std::unique_ptr<SecondaryNode>> nodes_;
+    size_t workers_ = 1;
     mutable std::vector<SimulatedLink> out_, in_;
     mutable DistributedTraffic traffic_;
 };

@@ -2,9 +2,8 @@
 
 #include "boot/algorithm2.h"
 
-#include <thread>
-
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "math/modarith.h"
 
@@ -92,11 +91,9 @@ SchemeSwitchBootstrapper::bootstrap(const ckks::Ciphertext& in) const
     const RnsPoly testPoly = makeBootstrapTestPoly(basis);
 
     std::vector<rlwe::Ciphertext> rotated(n);
-    auto worker = [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-            const auto lwe = lwe::extractLwe(aMs, bMs, i, twoN);
-            rotated[i] = tfhe::blindRotate(lwe, testPoly, brk_);
-        }
+    auto rotateOne = [&](size_t i) {
+        const auto lwe = lwe::extractLwe(aMs, bMs, i, twoN);
+        rotated[i] = tfhe::blindRotate(lwe, testPoly, brk_);
     };
     if (schedule_ == Schedule::KeyMajor) {
         // Section IV-E: one key fetch serves every ciphertext.
@@ -107,22 +104,15 @@ SchemeSwitchBootstrapper::bootstrap(const ckks::Ciphertext& in) const
         }
         rotated = tfhe::blindRotateBatch(lwes, testPoly, brk_);
     } else if (workers_ <= 1) {
-        worker(0, n);
+        for (size_t i = 0; i < n; ++i) {
+            rotateOne(i);
+        }
     } else {
-        // The paper's multi-node fan-out: coefficients are
-        // distributed evenly (Section V); here nodes are threads.
-        std::vector<std::thread> pool;
-        const size_t chunk = (n + workers_ - 1) / workers_;
-        for (size_t w = 0; w < workers_; ++w) {
-            const size_t begin = w * chunk;
-            const size_t end = std::min(n, begin + chunk);
-            if (begin < end) {
-                pool.emplace_back(worker, begin, end);
-            }
-        }
-        for (auto& t : pool) {
-            t.join();
-        }
+        // The paper's multi-node fan-out: coefficients are split into
+        // `workers_` contiguous shares (Section V); here nodes are
+        // pool threads. Deterministic: rotateOne draws no randomness
+        // and writes only rotated[i].
+        parallelFor(0, n, (n + workers_ - 1) / workers_, rotateOne);
     }
     times_.blindRotateMs = timer.millis();
     timer.reset();

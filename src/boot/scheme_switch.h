@@ -71,7 +71,11 @@ class SchemeSwitchBootstrapper {
      */
     ckks::Ciphertext bootstrap(const ckks::Ciphertext& ct) const;
 
-    /** Number of parallel blind-rotate workers (default 1). */
+    /**
+     * Number of parallel blind-rotate shares (default 1 = serial).
+     * Shares execute on the process-wide pool (common/parallel.h);
+     * results are byte-identical for every worker count.
+     */
     void setWorkers(size_t workers);
     size_t workers() const { return workers_; }
 

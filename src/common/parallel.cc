@@ -1,0 +1,210 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "common/check.h"
+
+namespace heap {
+
+namespace {
+
+// Distinguishes pool workers so nested parallelFor calls run inline
+// instead of deadlocking on a fully-occupied pool.
+thread_local bool tlsPoolWorker = false;
+
+thread_local int tlsSerialDepth = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    HEAP_CHECK(threads >= 1 && threads <= 256,
+               "thread pool size " << threads << " out of [1, 256]");
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        HEAP_CHECK(!stop_, "post on a stopped thread pool");
+        tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tlsPoolWorker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                return; // stop_ set and queue drained
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+ThreadPool&
+ThreadPool::global()
+{
+    static ThreadPool pool(defaultThreadCount());
+    return pool;
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tlsPoolWorker;
+}
+
+size_t
+defaultThreadCount()
+{
+    if (const char* env = std::getenv("HEAP_THREADS")) {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1 && v <= 256) {
+            return v;
+        }
+        // Unparseable values fall through to the hardware default.
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+SerialSection::SerialSection()
+{
+    ++tlsSerialDepth;
+}
+
+SerialSection::~SerialSection()
+{
+    --tlsSerialDepth;
+}
+
+bool
+serialForced()
+{
+    return tlsSerialDepth > 0;
+}
+
+namespace {
+
+// Shared by the caller and its pool helpers; heap-allocated so a
+// helper that wakes after the caller returned (all chunks already
+// claimed) still touches live memory.
+struct ForState {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t grain = 1;
+    size_t chunks = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::atomic<size_t> nextChunk{0};
+    std::atomic<bool> abort{false};
+    std::mutex m;
+    std::condition_variable cv;
+    size_t doneChunks = 0;
+    std::exception_ptr error;
+};
+
+void
+runChunks(const std::shared_ptr<ForState>& st)
+{
+    for (;;) {
+        const size_t c = st->nextChunk.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        if (c >= st->chunks) {
+            return;
+        }
+        if (!st->abort.load(std::memory_order_relaxed)) {
+            try {
+                const size_t lo = st->begin + c * st->grain;
+                const size_t hi = std::min(st->end, lo + st->grain);
+                for (size_t i = lo; i < hi; ++i) {
+                    (*st->fn)(i);
+                }
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(st->m);
+                if (st->error == nullptr) {
+                    st->error = std::current_exception();
+                }
+                st->abort.store(true, std::memory_order_relaxed);
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(st->m);
+            if (++st->doneChunks == st->chunks) {
+                st->cv.notify_all();
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+parallelFor(size_t begin, size_t end, size_t grain,
+            const std::function<void(size_t)>& fn)
+{
+    if (end <= begin) {
+        return;
+    }
+    HEAP_CHECK(grain >= 1, "parallelFor grain must be >= 1");
+    const size_t count = end - begin;
+    const size_t chunks = (count + grain - 1) / grain;
+    if (chunks <= 1 || serialForced() || ThreadPool::onWorkerThread()) {
+        for (size_t i = begin; i < end; ++i) {
+            fn(i);
+        }
+        return;
+    }
+
+    auto st = std::make_shared<ForState>();
+    st->begin = begin;
+    st->end = end;
+    st->grain = grain;
+    st->chunks = chunks;
+    st->fn = &fn;
+
+    ThreadPool& pool = ThreadPool::global();
+    // The calling thread works too, so chunks - 1 helpers suffice.
+    const size_t helpers = std::min(pool.size(), chunks - 1);
+    for (size_t h = 0; h < helpers; ++h) {
+        pool.post([st] { runChunks(st); });
+    }
+    runChunks(st);
+
+    std::unique_lock<std::mutex> lock(st->m);
+    st->cv.wait(lock, [&] { return st->doneChunks == st->chunks; });
+    if (st->error != nullptr) {
+        std::rethrow_exception(st->error);
+    }
+}
+
+} // namespace heap

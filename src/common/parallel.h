@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Host-side parallel execution for the HEAP library.
+ *
+ * The paper's central claim is that scheme-switching bootstrapping is
+ * embarrassingly parallel: after Extract, the N blind rotations are
+ * data-independent and fan out across compute nodes (Section V,
+ * Algorithm 2). This header provides the software analogue — a
+ * lazily-started process-wide ThreadPool plus a chunked parallelFor —
+ * so the fan-out actually executes concurrently on host threads.
+ *
+ * Determinism contract: bodies passed to parallelFor must not draw
+ * from `heap::Rng` (sampling order would then depend on scheduling)
+ * and must write only to per-index state. Blind rotation, NTT, and
+ * repacking satisfy this — they are pure functions of pre-sampled
+ * inputs — so serial and parallel execution produce byte-identical
+ * results, which tests/parallel_equivalence_test.cc asserts exactly.
+ */
+
+#ifndef HEAP_COMMON_PARALLEL_H
+#define HEAP_COMMON_PARALLEL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace heap {
+
+/**
+ * A fixed-size pool of worker threads consuming a FIFO task queue.
+ * Most callers never touch this directly: parallelFor() dispatches
+ * onto the process-wide instance returned by global().
+ */
+class ThreadPool {
+  public:
+    /** Starts `threads` workers. @pre 1 <= threads <= 256. */
+    explicit ThreadPool(size_t threads);
+
+    /** Drains queued tasks, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    size_t size() const { return workers_.size(); }
+
+    /** Enqueues a task for any idle worker. */
+    void post(std::function<void()> task);
+
+    /**
+     * The process-wide pool, started on first use with
+     * defaultThreadCount() workers. HEAP_THREADS is read once, here;
+     * changing the environment afterwards has no effect on the
+     * already-running pool.
+     */
+    static ThreadPool& global();
+
+    /** True when called from any ThreadPool's worker thread. */
+    static bool onWorkerThread();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> tasks_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/**
+ * Worker count for the global pool: the HEAP_THREADS environment
+ * variable when it parses to an integer in [1, 256], otherwise
+ * std::thread::hardware_concurrency() (minimum 1).
+ */
+size_t defaultThreadCount();
+
+/**
+ * RAII override forcing parallelFor calls on the current thread to
+ * run inline (serially) while any instance is alive. Used by tests
+ * to obtain a serial reference execution without a separate API.
+ */
+class SerialSection {
+  public:
+    SerialSection();
+    ~SerialSection();
+
+    SerialSection(const SerialSection&) = delete;
+    SerialSection& operator=(const SerialSection&) = delete;
+};
+
+/** True while a SerialSection is alive on the current thread. */
+bool serialForced();
+
+/**
+ * Applies fn(i) for every i in [begin, end), splitting the range into
+ * contiguous chunks of at most `grain` indices executed across the
+ * global pool (the calling thread participates). Concurrency is
+ * bounded by the chunk count, so callers cap their parallelism by
+ * choosing grain = ceil(count / maxWorkers).
+ *
+ * Runs inline — same semantics, no pool — when the range fits one
+ * chunk, a SerialSection is active, or the caller is itself a pool
+ * worker (nested calls therefore cannot deadlock).
+ *
+ * Every index is visited exactly once. If any invocation throws, the
+ * first exception is rethrown on the calling thread after all started
+ * chunks finish; unstarted chunks are skipped.
+ */
+void parallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn);
+
+} // namespace heap
+
+#endif // HEAP_COMMON_PARALLEL_H

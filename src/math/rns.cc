@@ -3,10 +3,19 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "math/poly.h"
 #include "math/primes.h"
 
 namespace heap::math {
+
+namespace {
+
+// Below this ring dimension a single NTT is cheaper than one task
+// dispatch, so the limb loop stays serial.
+constexpr size_t kParallelNttMinN = 1024;
+
+} // namespace
 
 RnsBasis::RnsBasis(size_t n, std::vector<uint64_t> moduli)
     : n_(n), moduli_(std::move(moduli))
@@ -76,8 +85,14 @@ RnsPoly::toEval()
     if (domain_ == Domain::Eval) {
         return;
     }
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        basis_->ntt(i).forward(limbs_[i]);
+    // Limbs transform independently (distinct tables, distinct data).
+    if (limbs_.size() >= 2 && basis_->n() >= kParallelNttMinN) {
+        parallelFor(0, limbs_.size(), 1,
+                    [this](size_t i) { basis_->ntt(i).forward(limbs_[i]); });
+    } else {
+        for (size_t i = 0; i < limbs_.size(); ++i) {
+            basis_->ntt(i).forward(limbs_[i]);
+        }
     }
     domain_ = Domain::Eval;
 }
@@ -88,8 +103,13 @@ RnsPoly::toCoeff()
     if (domain_ == Domain::Coeff) {
         return;
     }
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        basis_->ntt(i).inverse(limbs_[i]);
+    if (limbs_.size() >= 2 && basis_->n() >= kParallelNttMinN) {
+        parallelFor(0, limbs_.size(), 1,
+                    [this](size_t i) { basis_->ntt(i).inverse(limbs_[i]); });
+    } else {
+        for (size_t i = 0; i < limbs_.size(); ++i) {
+            basis_->ntt(i).inverse(limbs_[i]);
+        }
     }
     domain_ = Domain::Coeff;
 }

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "math/modarith.h"
 
 namespace heap::tfhe {
@@ -25,26 +26,23 @@ makePackingKeys(const rlwe::SecretKey& sk, size_t maxCount,
 
 namespace {
 
+/**
+ * Merges the even/odd halves of one packing node: interprets `even`
+ * as the packing of offsets {s, s+2d, ...} and `odd` as offsets
+ * {s+d, s+3d, ...}, producing the packing of all of them. `count` is
+ * the number of leaves under the merged node (selects the
+ * automorphism t = count + 1 and the monomial shift N / count).
+ */
 rlwe::Ciphertext
-packRange(const std::vector<rlwe::Ciphertext>& cts, size_t start,
-          size_t stride, size_t count, const PackingKeys& keys)
+mergePair(const rlwe::Ciphertext& even, const rlwe::Ciphertext& odd,
+          size_t count, const PackingKeys& keys)
 {
-    if (count == 1) {
-        rlwe::Ciphertext c = cts[start];
-        c.toCoeff();
-        return c;
-    }
-    const size_t n = cts[start].b.n();
-    rlwe::Ciphertext even =
-        packRange(cts, start, 2 * stride, count / 2, keys);
-    rlwe::Ciphertext odd =
-        packRange(cts, start + stride, 2 * stride, count / 2, keys);
-
+    const size_t n = even.b.n();
     const uint64_t shift = n / count;
     rlwe::Ciphertext shifted = odd.monomialMul(shift);
     rlwe::Ciphertext sum = even;
     sum.addInPlace(shifted);
-    rlwe::Ciphertext diff = std::move(even);
+    rlwe::Ciphertext diff = even;
     diff.subInPlace(shifted);
 
     const uint64_t t = count + 1;
@@ -67,7 +65,27 @@ packRlwes(const std::vector<rlwe::Ciphertext>& cts,
                "packing count must be a power of two");
     HEAP_CHECK(cts.size() <= cts.front().b.n(),
                "cannot pack more ciphertexts than coefficients");
-    return packRange(cts, 0, 1, cts.size(), keys);
+    const size_t total = cts.size();
+
+    // Bottom-up traversal of the packing tree. cur[s] holds the node
+    // for leaf offsets {s, s+stride, s+2*stride, ...}; each level
+    // halves the stride by merging cur[s] with cur[s+stride]. The
+    // merges within a level are independent, so they fan out across
+    // the pool — and each mergePair is the same pure function the old
+    // recursion evaluated, so the result is byte-identical to the
+    // serial (and recursive) order.
+    std::vector<rlwe::Ciphertext> cur(total);
+    parallelFor(0, total, 8, [&](size_t s) {
+        cur[s] = cts[s];
+        cur[s].toCoeff();
+    });
+    for (size_t stride = total / 2; stride >= 1; stride /= 2) {
+        const size_t count = total / stride;
+        parallelFor(0, stride, 1, [&](size_t s) {
+            cur[s] = mergePair(cur[s], cur[s + stride], count, keys);
+        });
+    }
+    return std::move(cur[0]);
 }
 
 rlwe::Ciphertext

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Serial/parallel equivalence for the bootstrapping fan-out. The
+ * determinism contract (DESIGN.md "Host parallelism") says parallel
+ * bodies touch only pre-sampled data, so thread count must not change
+ * a single bit of any output — asserted here by serializing whole
+ * ciphertexts and comparing bytes, and by checking that the
+ * distributed protocol's traffic accounting is identical under 1, 2,
+ * and 8 worker threads.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "boot/distributed.h"
+#include "boot/scheme_switch.h"
+#include "ckks/serialize.h"
+
+namespace heap::boot {
+namespace {
+
+ckks::CkksParams
+smallParams()
+{
+    ckks::CkksParams p;
+    p.n = 64;
+    p.limbBits = 30;
+    p.levels = 2;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    p.secretHamming = 16;
+    return p;
+}
+
+constexpr rlwe::GadgetParams kBrGadget{.baseBits = 6, .digitsPerLimb = 6};
+
+std::vector<ckks::Complex>
+testMessage(size_t slots)
+{
+    std::vector<ckks::Complex> z;
+    for (size_t i = 0; i < slots; ++i) {
+        z.emplace_back(0.7 * std::cos(0.5 * static_cast<double>(i)),
+                       0.4 * std::sin(0.3 * static_cast<double>(i)));
+    }
+    return z;
+}
+
+TEST(ParallelEquivalence, SchemeSwitchBootstrapIsByteIdentical)
+{
+    ckks::Context ctx(smallParams(), 4242);
+    ckks::Evaluator ev(ctx);
+    SchemeSwitchBootstrapper boot(ctx, kBrGadget);
+
+    const auto z = testMessage(32);
+    auto ct = ctx.encrypt(std::span<const ckks::Complex>(z));
+    ev.dropToLevel(ct, 1);
+
+    // bootstrap() draws no randomness, so the same bootstrapper can
+    // serve as its own serial reference.
+    boot.setWorkers(1);
+    const auto serialBytes = ckks::saveCiphertext(boot.bootstrap(ct));
+    for (const size_t workers : {2ul, 4ul, 8ul}) {
+        boot.setWorkers(workers);
+        const auto parallelBytes =
+            ckks::saveCiphertext(boot.bootstrap(ct));
+        EXPECT_TRUE(serialBytes == parallelBytes)
+            << "output differs at " << workers << " workers";
+    }
+
+    // And the result is a valid bootstrap, not just a stable one.
+    boot.setWorkers(4);
+    const auto out = boot.bootstrap(ct);
+    EXPECT_EQ(out.level(), ctx.maxLevel());
+    const auto back = ctx.decrypt(out);
+    double worst = 0;
+    for (size_t i = 0; i < z.size(); ++i) {
+        worst = std::max(worst, std::abs(back[i] - z[i]));
+    }
+    EXPECT_LT(worst, 5e-2);
+}
+
+TEST(ParallelEquivalence, DistributedTrafficIsExactUnderAllWorkerCounts)
+{
+    ckks::Context ctx(smallParams(), 777);
+    ckks::Evaluator ev(ctx);
+    DistributedBootstrapper dist(ctx, 5, kBrGadget);
+
+    const auto z = testMessage(16);
+    auto ct = ctx.encrypt(std::span<const ckks::Complex>(z));
+    ev.dropToLevel(ct, 1);
+
+    dist.setWorkers(1);
+    const auto refBytes = ckks::saveCiphertext(dist.bootstrap(ct));
+    const DistributedTraffic ref = dist.lastTraffic();
+    EXPECT_GT(ref.lweBytesOut, 0u);
+    EXPECT_GT(ref.accBytesIn, 0u);
+    EXPECT_EQ(ref.batches, 5u);
+
+    std::vector<size_t> processedAfterRef(dist.secondaryCount());
+    for (size_t s = 0; s < dist.secondaryCount(); ++s) {
+        processedAfterRef[s] = dist.node(s).processed();
+    }
+
+    for (const size_t workers : {2ul, 8ul}) {
+        dist.setWorkers(workers);
+        const auto bytes = ckks::saveCiphertext(dist.bootstrap(ct));
+        EXPECT_TRUE(bytes == refBytes)
+            << "output differs at " << workers << " workers";
+        const DistributedTraffic& t = dist.lastTraffic();
+        EXPECT_EQ(t.lweBytesOut, ref.lweBytesOut) << workers;
+        EXPECT_EQ(t.accBytesIn, ref.accBytesIn) << workers;
+        EXPECT_EQ(t.batches, ref.batches) << workers;
+    }
+
+    // Every run pushed the same share through every secondary.
+    for (size_t s = 0; s < dist.secondaryCount(); ++s) {
+        EXPECT_EQ(dist.node(s).processed(), 3 * processedAfterRef[s])
+            << "node " << s;
+    }
+}
+
+} // namespace
+} // namespace heap::boot

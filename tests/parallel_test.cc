@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the host parallel-execution layer (common/parallel.h):
+ * ThreadPool lifecycle, parallelFor index coverage and chunking,
+ * exception propagation, nested-call safety, the SerialSection
+ * override, and the HEAP_THREADS environment knob.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace heap {
+namespace {
+
+TEST(ThreadPool, LifecycleRunsEveryPostedTask)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.size(), 4u);
+        for (int i = 0; i < 100; ++i) {
+            pool.post([&ran] { ran.fetch_add(1); });
+        }
+        // The destructor drains the queue before joining, so by the
+        // end of this scope every task has executed.
+    }
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, RejectsBadSizes)
+{
+    EXPECT_THROW(ThreadPool(0), UserError);
+    EXPECT_THROW(ThreadPool(257), UserError);
+}
+
+TEST(ThreadPool, GlobalIsASingleton)
+{
+    ThreadPool& a = ThreadPool::global();
+    ThreadPool& b = ThreadPool::global();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.size(), 1u);
+}
+
+TEST(ThreadPool, OnWorkerThreadIsVisibleOnlyToWorkers)
+{
+    EXPECT_FALSE(ThreadPool::onWorkerThread());
+    ThreadPool pool(1);
+    std::mutex m;
+    std::condition_variable cv;
+    std::optional<bool> seen;
+    pool.post([&] {
+        const bool onWorker = ThreadPool::onWorkerThread();
+        std::lock_guard<std::mutex> lock(m);
+        seen = onWorker;
+        cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return seen.has_value(); });
+    EXPECT_TRUE(*seen);
+    EXPECT_FALSE(ThreadPool::onWorkerThread());
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    constexpr size_t kCount = 1000;
+    for (const size_t grain : {1ul, 7ul, 64ul, kCount, 2 * kCount}) {
+        auto hits = std::make_unique<std::atomic<int>[]>(kCount);
+        parallelFor(0, kCount, grain,
+                    [&](size_t i) { hits[i].fetch_add(1); });
+        for (size_t i = 0; i < kCount; ++i) {
+            ASSERT_EQ(hits[i].load(), 1)
+                << "index " << i << " grain " << grain;
+        }
+    }
+}
+
+TEST(ParallelFor, RespectsBeginOffset)
+{
+    auto hits = std::make_unique<std::atomic<int>[]>(50);
+    parallelFor(10, 35, 4, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < 50; ++i) {
+        ASSERT_EQ(hits[i].load(), (i >= 10 && i < 35) ? 1 : 0)
+            << "index " << i;
+    }
+}
+
+TEST(ParallelFor, EmptyRangeCallsNothing)
+{
+    std::atomic<int> calls{0};
+    parallelFor(5, 5, 1, [&](size_t) { calls.fetch_add(1); });
+    parallelFor(9, 3, 1, [&](size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, ZeroGrainIsRejected)
+{
+    EXPECT_THROW(parallelFor(0, 10, 0, [](size_t) {}), UserError);
+}
+
+TEST(ParallelFor, PropagatesTheBodyException)
+{
+    std::atomic<int> calls{0};
+    EXPECT_THROW(parallelFor(0, 100, 3,
+                             [&](size_t i) {
+                                 calls.fetch_add(1);
+                                 if (i == 37) {
+                                     throw UserError("index 37 refuses");
+                                 }
+                             }),
+                 UserError);
+    // No index ran twice: at most one call per index even under abort.
+    EXPECT_LE(calls.load(), 100);
+    EXPECT_GE(calls.load(), 1);
+}
+
+TEST(ParallelFor, NestedCallsAreSafe)
+{
+    constexpr size_t kOuter = 8;
+    constexpr size_t kInner = 100;
+    auto hits = std::make_unique<std::atomic<int>[]>(kOuter * kInner);
+    parallelFor(0, kOuter, 1, [&](size_t o) {
+        // Inner calls from pool workers must run inline rather than
+        // deadlock waiting for occupied pool threads.
+        parallelFor(0, kInner, 10, [&](size_t i) {
+            hits[o * kInner + i].fetch_add(1);
+        });
+    });
+    for (size_t i = 0; i < kOuter * kInner; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "cell " << i;
+    }
+}
+
+TEST(ParallelFor, SerialSectionForcesInlineExecution)
+{
+    const std::thread::id self = std::this_thread::get_id();
+    std::vector<std::thread::id> ids(64);
+    SerialSection serial;
+    EXPECT_TRUE(serialForced());
+    parallelFor(0, ids.size(), 1, [&](size_t i) {
+        ids[i] = std::this_thread::get_id();
+    });
+    for (size_t i = 0; i < ids.size(); ++i) {
+        ASSERT_EQ(ids[i], self) << "index " << i;
+    }
+}
+
+TEST(ParallelFor, SerialSectionLiftsAtScopeExit)
+{
+    {
+        SerialSection serial;
+        EXPECT_TRUE(serialForced());
+        {
+            SerialSection nested;
+            EXPECT_TRUE(serialForced());
+        }
+        EXPECT_TRUE(serialForced());
+    }
+    EXPECT_FALSE(serialForced());
+}
+
+/** Restores the prior HEAP_THREADS value at scope exit. */
+class EnvGuard {
+  public:
+    EnvGuard()
+    {
+        const char* prev = std::getenv("HEAP_THREADS");
+        if (prev != nullptr) {
+            saved_ = prev;
+        }
+    }
+
+    ~EnvGuard()
+    {
+        if (saved_.has_value()) {
+            setenv("HEAP_THREADS", saved_->c_str(), 1);
+        } else {
+            unsetenv("HEAP_THREADS");
+        }
+    }
+
+  private:
+    std::optional<std::string> saved_;
+};
+
+TEST(DefaultThreadCount, HonorsHeapThreadsOverride)
+{
+    EnvGuard guard;
+    setenv("HEAP_THREADS", "1", 1);
+    EXPECT_EQ(defaultThreadCount(), 1u);
+    setenv("HEAP_THREADS", "17", 1);
+    EXPECT_EQ(defaultThreadCount(), 17u);
+    // A pool sized from the override really is that small.
+    setenv("HEAP_THREADS", "1", 1);
+    ThreadPool pool(defaultThreadCount());
+    EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(DefaultThreadCount, FallsBackOnInvalidValues)
+{
+    EnvGuard guard;
+    const unsigned hw = std::thread::hardware_concurrency();
+    const size_t fallback = hw == 0 ? 1 : hw;
+    for (const char* bad : {"", "zonk", "0", "-3", "4cores", "999"}) {
+        setenv("HEAP_THREADS", bad, 1);
+        EXPECT_EQ(defaultThreadCount(), fallback) << "value '" << bad
+                                                  << "'";
+    }
+    unsetenv("HEAP_THREADS");
+    EXPECT_EQ(defaultThreadCount(), fallback);
+}
+
+} // namespace
+} // namespace heap

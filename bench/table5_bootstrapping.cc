@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "bench_util.h"
+#include "boot/distributed.h"
 #include "boot/scheme_switch.h"
 #include "common/timer.h"
 #include "hw/bootstrap_model.h"
@@ -122,5 +123,51 @@ main()
                         Table::speedup(modelBrBase / modelBr)});
     }
     scaling.print();
+
+    // Fault tolerance: the same functional fan-out over injected-fault
+    // links. Goodput is the application bytes the protocol delivers;
+    // effective (wire) bytes include every retransmitted, duplicated,
+    // or NACKed frame the retry layer paid for. The hw-model column is
+    // the analytic counterpart: comm bytes inflated by 1 / (1 - p).
+    std::printf("\nFault tolerance (functional protocol, N=64, "
+                "3 secondaries):\n");
+    boot::FaultSpec lossy;
+    lossy.drop = 0.25;
+    lossy.bitflip = 0.15;
+    lossy.duplicate = 0.1;
+    lossy.seed = 36; // a seed whose stream exhibits all three faults
+    Table faults({"links", "goodput out+in (B)", "wire out+in (B)",
+                  "retransmits", "nacks", "corrupt", "reclaims"});
+    for (const bool faulty : {false, true}) {
+        ckks::Context dctx(fp, 5);
+        ckks::Evaluator dev(dctx);
+        boot::DistributedBootstrapper dist(
+            dctx, 3,
+            rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6});
+        if (faulty) {
+            dist.setFaults(lossy);
+        }
+        auto dct = dctx.encrypt(std::span<const ckks::Complex>(z));
+        dev.dropToLevel(dct, 1);
+        (void)dist.bootstrap(dct);
+        const auto& tr = dist.lastTraffic();
+        faults.addRow(
+            {faulty ? "lossy (drop=.25 flip=.15 dup=.1)" : "reliable",
+             std::to_string(tr.lweBytesOut + tr.accBytesIn),
+             std::to_string(tr.wireBytesOut + tr.wireBytesIn),
+             std::to_string(tr.retransmits), std::to_string(tr.nacks),
+             std::to_string(tr.corruptFrames),
+             std::to_string(tr.reclaimedBatches)});
+    }
+    faults.print();
+
+    BootstrapModel lossyBm(cfg, params, 8);
+    lossyBm.setLinkLossRate(0.1);
+    const auto lb = lossyBm.bootstrap(4096);
+    std::printf("Hw model at 10%% link loss: comm %.0f B goodput -> "
+                "%.0f B on the wire, non-overlapped comm %.4f ms "
+                "(reliable: %.4f ms).\n",
+                lb.commGoodputBytes, lb.commWireBytes, lb.commMs,
+                b.commMs);
     return 0;
 }

@@ -1,5 +1,8 @@
 #include "boot/distributed.h"
 
+#include <algorithm>
+#include <map>
+
 #include "ckks/serialize.h"
 #include "common/check.h"
 #include "common/parallel.h"
@@ -7,13 +10,72 @@
 
 namespace heap::boot {
 
+namespace {
+
+/** splitmix64 step: derives per-link fault-stream seeds. */
+uint64_t
+mixSeed(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
 void
 SimulatedLink::send(std::vector<uint8_t> message)
 {
     std::lock_guard<std::mutex> lock(m_);
     bytes_ += message.size();
     ++messages_;
-    queue_.push_back(std::move(message));
+    if (!haveFaults_) {
+        queue_.push_back(Pending{std::move(message), 0});
+        return;
+    }
+    // One fixed block of draws per send: the fault stream is a
+    // function of the message ordinal on this link alone, never of
+    // which faults fire or of cross-link scheduling, so fault patterns
+    // (and hence retransmit counts) reproduce across worker counts.
+    const double uDrop = faultRng_.uniformReal();
+    const double uTruncate = faultRng_.uniformReal();
+    const double uFlip = faultRng_.uniformReal();
+    const double uDup = faultRng_.uniformReal();
+    const double uReorder = faultRng_.uniformReal();
+    const double uDelay = faultRng_.uniformReal();
+    const uint64_t rTruncate = faultRng_.next();
+    const uint64_t rFlip = faultRng_.next();
+    const uint64_t rDelay = faultRng_.next();
+
+    if (uDrop < faults_.drop) {
+        return; // lost on the wire; the sender still paid the bytes
+    }
+    if (uTruncate < faults_.truncate && message.size() > 1) {
+        message.resize(1 + rTruncate % (message.size() - 1));
+    }
+    if (uFlip < faults_.bitflip && !message.empty()) {
+        const size_t bit = rFlip % (message.size() * 8);
+        message[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    size_t delay = 0;
+    if (uDelay < faults_.delay && faults_.maxDelayPolls > 0) {
+        delay = 1 + rDelay % faults_.maxDelayPolls;
+    }
+    const bool dup = uDup < faults_.duplicate;
+    if (dup) {
+        // The duplicate crosses the wire too.
+        bytes_ += message.size();
+        ++messages_;
+    }
+    if (uReorder < faults_.reorder && !queue_.empty()) {
+        queue_.insert(queue_.begin(), Pending{message, delay});
+    } else {
+        queue_.push_back(Pending{message, delay});
+    }
+    if (dup) {
+        queue_.push_back(Pending{std::move(message), delay});
+    }
 }
 
 std::vector<uint8_t>
@@ -21,9 +83,52 @@ SimulatedLink::receive()
 {
     std::lock_guard<std::mutex> lock(m_);
     HEAP_CHECK(!queue_.empty(), "receive on an empty link");
-    auto msg = std::move(queue_.front());
+    auto msg = std::move(queue_.front().bytes);
     queue_.erase(queue_.begin());
     return msg;
+}
+
+std::optional<std::vector<uint8_t>>
+SimulatedLink::tryReceive()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (auto& p : queue_) {
+        if (p.delay > 0) {
+            --p.delay;
+        }
+    }
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->delay == 0) {
+            auto msg = std::move(it->bytes);
+            queue_.erase(it);
+            return msg;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+SimulatedLink::setFaults(const FaultSpec& spec, uint64_t seed)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    faults_ = spec;
+    haveFaults_ = spec.enabled();
+    faultRng_ = Rng(seed);
+}
+
+void
+SimulatedLink::clearFaults()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    faults_ = FaultSpec{};
+    haveFaults_ = false;
+}
+
+void
+SimulatedLink::clear()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    queue_.clear();
 }
 
 SecondaryNode::SecondaryNode(std::shared_ptr<const math::RnsBasis> basis,
@@ -40,14 +145,35 @@ SecondaryNode::processBatch(std::span<const uint8_t> batch) const
     const uint64_t count = r.u64();
     HEAP_CHECK(count >= 1 && count <= basis_->n(),
                "corrupt batch header");
+    const uint64_t twoN = 2 * basis_->n();
     std::vector<lwe::LweCiphertext> lwes;
     lwes.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
-        lwes.push_back(lwe::loadLwe(r));
+        lwe::LweCiphertext ct;
+        try {
+            ct = lwe::loadLwe(r);
+        } catch (const UserError& e) {
+            HEAP_FATAL("bad LWE at batch offset " << i << ": "
+                                                  << e.what());
+        }
+        HEAP_CHECK(ct.modulus == twoN,
+                   "batch offset " << i << ": LWE modulus "
+                                   << ct.modulus
+                                   << " does not match this node's 2N = "
+                                   << twoN);
+        HEAP_CHECK(ct.a.size() == basis_->n(),
+                   "batch offset " << i << ": LWE dimension "
+                                   << ct.a.size()
+                                   << " does not match this node's N = "
+                                   << basis_->n());
+        lwes.push_back(std::move(ct));
     }
     HEAP_CHECK(r.atEnd(), "trailing bytes in batch");
 
     const auto accs = tfhe::blindRotateBatch(lwes, *testPoly_, *brk_);
+    HEAP_ASSERT(accs.size() == count,
+                "reply holds " << accs.size() << " accumulators for a "
+                               << count << "-ciphertext batch");
     processed_.fetch_add(lwes.size(), std::memory_order_relaxed);
 
     ByteWriter w;
@@ -56,6 +182,30 @@ SecondaryNode::processBatch(std::span<const uint8_t> batch) const
         ckks::saveRlwe(acc, w);
     }
     return w.bytes();
+}
+
+std::vector<rlwe::Ciphertext>
+loadAccumulatorReply(std::span<const uint8_t> payload,
+                     size_t expectedCount,
+                     std::shared_ptr<const math::RnsBasis> basis)
+{
+    ByteReader r(payload);
+    const uint64_t count = r.u64();
+    HEAP_CHECK(count == expectedCount,
+               "reply declares " << count << " accumulators, batch had "
+                                 << expectedCount);
+    std::vector<rlwe::Ciphertext> accs;
+    accs.reserve(expectedCount);
+    for (uint64_t i = 0; i < count; ++i) {
+        try {
+            accs.push_back(ckks::loadRlwe(r, basis));
+        } catch (const UserError& e) {
+            HEAP_FATAL("bad accumulator at batch offset " << i << ": "
+                                                          << e.what());
+        }
+    }
+    HEAP_CHECK(r.atEnd(), "trailing bytes in reply");
+    return accs;
 }
 
 DistributedBootstrapper::DistributedBootstrapper(
@@ -83,6 +233,7 @@ DistributedBootstrapper::DistributedBootstrapper(
         nodes_.push_back(std::make_unique<SecondaryNode>(
             ctx.basis(), &brk_, &testPoly_));
     }
+    faultSpecs_.resize(secondaries);
     // Assignment rather than resize: SimulatedLink owns a mutex and
     // is therefore not move-insertable.
     out_ = std::vector<SimulatedLink>(secondaries);
@@ -96,9 +247,178 @@ DistributedBootstrapper::setWorkers(size_t workers)
     workers_ = workers;
 }
 
+void
+DistributedBootstrapper::setFaults(const FaultSpec& spec)
+{
+    for (auto& s : faultSpecs_) {
+        s = spec;
+    }
+}
+
+void
+DistributedBootstrapper::setSecondaryFaults(size_t s,
+                                            const FaultSpec& spec)
+{
+    HEAP_CHECK(s < faultSpecs_.size(), "bad secondary index " << s);
+    faultSpecs_[s] = spec;
+}
+
+void
+DistributedBootstrapper::setRetryPolicy(const RetryPolicy& policy)
+{
+    HEAP_CHECK(policy.basePolls >= 1 && policy.maxPolls >= policy.basePolls,
+               "bad retry policy: polls");
+    HEAP_CHECK(policy.maxRetries <= 64, "bad retry policy: cap");
+    retry_ = policy;
+}
+
+/**
+ * One batch exchange with secondary `s`, playing both protocol roles
+ * over the faulty links (the secondary's engine runs when the primary
+ * pumps its inbound link, as the paper's nodes run when frames hit
+ * their CMACs). Touches only this secondary's links, node, stats, and
+ * rotated[begin, end), so exchanges for different secondaries are
+ * data-race-free and the per-link fault streams see identical message
+ * sequences for every worker count.
+ */
+void
+DistributedBootstrapper::runExchange(size_t s, size_t begin, size_t end,
+                                     std::span<const uint8_t> payload,
+                                     const ModSwitched& ms, uint64_t twoN,
+                                     std::vector<rlwe::Ciphertext>& rotated,
+                                     ExchangeStats& st) const
+{
+    const size_t outBytesBefore = out_[s].bytesTransferred();
+    const size_t inBytesBefore = in_[s].bytesTransferred();
+    const size_t expected = end - begin;
+    const uint64_t seq = s + 1; // nonzero: seq 0 marks "frame unreadable"
+    const auto framed = frameMessage(FrameType::Batch, seq, payload);
+
+    // The secondary's protocol state for this bootstrap: framed
+    // replies cached by sequence number, so duplicated or NACKed
+    // batches are answered without recomputing (processed() stays
+    // exact under faults).
+    std::map<uint64_t, std::vector<uint8_t>> replyCache;
+    bool accepted = false;
+
+    auto pumpSecondary = [&] {
+        while (auto msg = out_[s].tryReceive()) {
+            Frame f;
+            try {
+                f = parseFrame(*msg);
+            } catch (const UserError&) {
+                ++st.corruptFrames;
+                ++st.nacks;
+                in_[s].send(frameMessage(FrameType::Nack, 0, {}));
+                continue;
+            }
+            if (f.type == FrameType::Nack) {
+                // The primary saw a corrupt reply: resend the cached
+                // frame rather than recomputing the rotation.
+                if (auto it = replyCache.find(f.seq);
+                    it != replyCache.end()) {
+                    in_[s].send(it->second);
+                }
+                continue;
+            }
+            if (f.type != FrameType::Batch) {
+                ++st.duplicateFrames;
+                continue;
+            }
+            if (auto it = replyCache.find(f.seq);
+                it != replyCache.end()) {
+                ++st.duplicateFrames;
+                in_[s].send(it->second);
+                continue;
+            }
+            std::vector<uint8_t> reply;
+            try {
+                reply = nodes_[s]->processBatch(f.payload);
+            } catch (const UserError&) {
+                // Cleared the CRC but failed validation: ask for a
+                // resend instead of crashing the node.
+                ++st.nacks;
+                in_[s].send(frameMessage(FrameType::Nack, f.seq, {}));
+                continue;
+            }
+            auto framedReply = frameMessage(FrameType::Acc, f.seq, reply);
+            replyCache.emplace(f.seq, framedReply);
+            in_[s].send(std::move(framedReply));
+        }
+    };
+
+    for (size_t attempt = 0;
+         attempt <= retry_.maxRetries && !accepted; ++attempt) {
+        if (attempt > 0) {
+            ++st.retransmits;
+        }
+        out_[s].send(framed);
+        const size_t shift = std::min<size_t>(attempt, 16);
+        const size_t polls =
+            std::min(retry_.maxPolls, retry_.basePolls << shift);
+        bool resendNow = false;
+        for (size_t p = 0; p < polls && !accepted && !resendNow; ++p) {
+            pumpSecondary();
+            while (auto msg = in_[s].tryReceive()) {
+                Frame f;
+                try {
+                    f = parseFrame(*msg);
+                } catch (const UserError&) {
+                    // Corrupt reply: NACK so the secondary resends its
+                    // cached copy.
+                    ++st.corruptFrames;
+                    ++st.nacks;
+                    out_[s].send(frameMessage(FrameType::Nack, seq, {}));
+                    continue;
+                }
+                if (f.type == FrameType::Nack) {
+                    // The secondary could not read our batch.
+                    resendNow = true;
+                    break;
+                }
+                if (f.type != FrameType::Acc || f.seq != seq
+                    || accepted) {
+                    ++st.duplicateFrames;
+                    continue;
+                }
+                auto accs = loadAccumulatorReply(f.payload, expected,
+                                                 ctx_->basis());
+                st.accBytesIn += msg->size();
+                for (size_t i = 0; i < accs.size(); ++i) {
+                    rotated[begin + i] = std::move(accs[i]);
+                }
+                accepted = true;
+            }
+        }
+    }
+
+    if (accepted) {
+        st.lweBytesOut += framed.size();
+    } else {
+        // Retries exhausted: the secondary is dead for this bootstrap.
+        // Reclaim its share on the primary — correct result, slower
+        // wall-clock — exactly as a lost FPGA would be absorbed.
+        st.dead = true;
+        std::vector<lwe::LweCiphertext> mine;
+        mine.reserve(expected);
+        for (size_t i = begin; i < end; ++i) {
+            mine.push_back(lwe::extractLwe(ms.aMs, ms.bMs, i, twoN));
+        }
+        auto accs = tfhe::blindRotateBatch(mine, testPoly_, brk_);
+        for (size_t i = 0; i < accs.size(); ++i) {
+            rotated[begin + i] = std::move(accs[i]);
+        }
+    }
+    st.wireOut = out_[s].bytesTransferred() - outBytesBefore;
+    st.wireIn = in_[s].bytesTransferred() - inBytesBefore;
+}
+
 ckks::Ciphertext
 DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
 {
+    // Links, traffic counters, and fault RNG streams are per-object
+    // state: concurrent bootstrap() calls serialize here.
+    std::lock_guard<std::mutex> bootLock(bootMutex_);
     HEAP_CHECK(in.level() == 1,
                "bootstrap expects a level-1 (single limb) ciphertext");
     const auto basis = ctx_->basis();
@@ -110,14 +430,40 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
     ct.toCoeff();
     const ModSwitched ms = modSwitchSplit(ct, *basis);
 
+    // Fresh protocol run: drop anything a previous run left queued
+    // (late duplicates, delayed frames) and restart the per-link fault
+    // streams from seeds derived off the spec seed, the link index,
+    // and the run ordinal.
+    ++runCounter_;
+    const size_t nsec = nodes_.size();
+    for (size_t s = 0; s < nsec; ++s) {
+        out_[s].clear();
+        in_[s].clear();
+        if (faultSpecs_[s].enabled()) {
+            const uint64_t base =
+                faultSpecs_[s].seed ^ (runCounter_ * 0x10001ULL);
+            out_[s].setFaults(faultSpecs_[s], mixSeed(base + 2 * s));
+            in_[s].setFaults(faultSpecs_[s], mixSeed(base + 2 * s + 1));
+        } else {
+            out_[s].clearFaults();
+            in_[s].clearFaults();
+        }
+    }
+
     // Partition the N extracted ciphertexts evenly over all nodes;
     // the primary keeps the first share (Section V).
-    const size_t nodesTotal = nodes_.size() + 1;
+    const size_t nodesTotal = nsec + 1;
     const size_t share = (n + nodesTotal - 1) / nodesTotal;
     traffic_ = DistributedTraffic{};
 
-    // Distribute: one secondary's whole batch before the next one.
-    for (size_t s = 0; s < nodes_.size(); ++s) {
+    // Serialize one batch payload per secondary (unframed; the
+    // exchange frames it with this batch's sequence number).
+    struct Plan {
+        size_t begin = 0, end = 0;
+        std::vector<uint8_t> payload;
+    };
+    std::vector<Plan> plans(nsec);
+    for (size_t s = 0; s < nsec; ++s) {
         const size_t begin = std::min(n, (s + 1) * share);
         const size_t end = std::min(n, (s + 2) * share);
         if (begin >= end) {
@@ -128,7 +474,7 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
         for (size_t i = begin; i < end; ++i) {
             lwe::saveLwe(lwe::extractLwe(ms.aMs, ms.bMs, i, twoN), w);
         }
-        out_[s].send(w.bytes());
+        plans[s] = Plan{begin, end, w.bytes()};
         ++traffic_.batches;
     }
 
@@ -145,39 +491,35 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
         }
     }
 
-    // Secondaries process and stream results back, concurrently when
-    // workers_ > 1 (the paper's nodes are physically parallel). Each
-    // index touches only its own links and its own slice of rotated;
-    // the shared byte totals accumulate through atomics, so the
-    // traffic accounting is exact for every worker count.
-    const size_t nsec = nodes_.size();
+    // Per-secondary exchanges run concurrently when workers_ > 1 (the
+    // paper's nodes are physically parallel). Each exchange touches
+    // only its own links, node, stats slot, and slice of rotated;
+    // stats are reduced serially below, so the accounting is exact
+    // and identical for every worker count.
+    std::vector<ExchangeStats> stats(nsec);
     const size_t grain = (nsec + workers_ - 1) / workers_;
-    std::atomic<size_t> lweBytesOut{0};
     parallelFor(0, nsec, grain, [&](size_t s) {
-        if (out_[s].empty()) {
+        const Plan& plan = plans[s];
+        if (plan.begin >= plan.end) {
             return;
         }
-        const auto batch = out_[s].receive();
-        lweBytesOut.fetch_add(batch.size(), std::memory_order_relaxed);
-        in_[s].send(nodes_[s]->processBatch(batch));
+        runExchange(s, plan.begin, plan.end, plan.payload, ms, twoN,
+                    rotated, stats[s]);
     });
-    traffic_.lweBytesOut = lweBytesOut.load();
-    std::atomic<size_t> accBytesIn{0};
-    parallelFor(0, nsec, grain, [&](size_t s) {
-        if (in_[s].empty()) {
-            return;
+    for (const ExchangeStats& st : stats) {
+        traffic_.lweBytesOut += st.lweBytesOut;
+        traffic_.accBytesIn += st.accBytesIn;
+        traffic_.wireBytesOut += st.wireOut;
+        traffic_.wireBytesIn += st.wireIn;
+        traffic_.retransmits += st.retransmits;
+        traffic_.nacks += st.nacks;
+        traffic_.corruptFrames += st.corruptFrames;
+        traffic_.duplicateFrames += st.duplicateFrames;
+        if (st.dead) {
+            ++traffic_.deadSecondaries;
+            ++traffic_.reclaimedBatches;
         }
-        const auto reply = in_[s].receive();
-        accBytesIn.fetch_add(reply.size(), std::memory_order_relaxed);
-        ByteReader r(reply);
-        const uint64_t count = r.u64();
-        const size_t begin = std::min(n, (s + 1) * share);
-        for (uint64_t i = 0; i < count; ++i) {
-            rotated[begin + i] = ckks::loadRlwe(r, basis);
-        }
-        HEAP_CHECK(r.atEnd(), "trailing bytes in reply");
-    });
-    traffic_.accBytesIn = accBytesIn.load();
+    }
 
     // Repack + finish on the primary.
     rlwe::Ciphertext ctKq = tfhe::packRlwes(rotated, packKeys_);

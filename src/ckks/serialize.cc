@@ -59,10 +59,12 @@ loadPoly(ByteReader& r, std::shared_ptr<const math::RnsBasis> basis)
     for (size_t i = 0; i < limbs; ++i) {
         const auto data = r.u64Vec(basis->n());
         HEAP_CHECK(data.size() == basis->n(),
-                   "coefficient count mismatch");
+                   "coefficient count mismatch in limb "
+                       << i << " (byte offset " << r.pos() << ")");
         const uint64_t q = basis->modulus(i);
         for (size_t j = 0; j < data.size(); ++j) {
-            HEAP_CHECK(data[j] < q, "coefficient out of range");
+            HEAP_CHECK(data[j] < q, "coefficient out of range at limb "
+                                        << i << ", index " << j);
             p.limb(i)[j] = data[j];
         }
     }

@@ -9,6 +9,7 @@
 #ifndef HEAP_COMMON_SERIALIZE_H
 #define HEAP_COMMON_SERIALIZE_H
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -46,6 +47,12 @@ class ByteWriter {
         for (const uint64_t x : v) {
             u64(x);
         }
+    }
+
+    void
+    raw(std::span<const uint8_t> data)
+    {
+        buf_.insert(buf_.end(), data.begin(), data.end());
     }
 
     const std::vector<uint8_t>& bytes() const { return buf_; }
@@ -100,11 +107,141 @@ class ByteReader {
 
     bool atEnd() const { return pos_ == data_.size(); }
     size_t remaining() const { return data_.size() - pos_; }
+    size_t pos() const { return pos_; }
 
   private:
     std::span<const uint8_t> data_;
     size_t pos_ = 0;
 };
+
+// ---------------------------------------------------------------------
+// Message framing for the Section V links (see DESIGN.md "Fault
+// model"): every message that crosses a node boundary is wrapped in a
+// 40-byte header [magic | type | seq | payload length | CRC32] so a
+// receiver can reject truncated, bit-flipped, or misdelivered frames
+// instead of feeding garbage to the deserializers.
+// ---------------------------------------------------------------------
+
+namespace detail {
+
+/** Lazily-built CRC32 (IEEE, reflected 0xEDB88320) lookup table. */
+inline const std::array<uint32_t, 256>&
+crc32Table()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k) {
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            }
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/** Initial state for incremental crc32Update() chains. */
+constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+/** Feeds `data` into a running CRC32 state (start from kCrc32Init). */
+inline uint32_t
+crc32Update(uint32_t state, std::span<const uint8_t> data)
+{
+    const auto& table = detail::crc32Table();
+    for (const uint8_t byte : data) {
+        state = table[(state ^ byte) & 0xFFu] ^ (state >> 8);
+    }
+    return state;
+}
+
+/** Finalizes a crc32Update() chain. */
+inline uint32_t
+crc32Finish(uint32_t state)
+{
+    return state ^ 0xFFFFFFFFu;
+}
+
+/** One-shot CRC32 of a byte span. */
+inline uint32_t
+crc32(std::span<const uint8_t> data)
+{
+    return crc32Finish(crc32Update(kCrc32Init, data));
+}
+
+/** Kind of a framed protocol message. */
+enum class FrameType : uint64_t {
+    Batch = 1, ///< primary -> secondary: serialized LWE batch
+    Acc = 2,   ///< secondary -> primary: blind-rotated accumulators
+    Nack = 3,  ///< either direction: resend request (empty payload)
+};
+
+/** "HEAPFRM1": tags every framed link message. */
+constexpr uint64_t kFrameMagic = 0x4845415046524D31ULL;
+
+/** Header bytes preceding the payload: magic, type, seq, length, CRC. */
+constexpr size_t kFrameHeaderBytes = 40;
+
+/** A parsed, checksum-verified frame. */
+struct Frame {
+    FrameType type = FrameType::Batch;
+    uint64_t seq = 0;
+    std::vector<uint8_t> payload;
+};
+
+/**
+ * Wraps a payload in a frame. The CRC covers the type, sequence and
+ * length fields as well as the payload, so any single corrupted header
+ * or payload bit is detected by parseFrame().
+ */
+inline std::vector<uint8_t>
+frameMessage(FrameType type, uint64_t seq, std::span<const uint8_t> payload)
+{
+    ByteWriter w;
+    w.u64(kFrameMagic);
+    w.u64(static_cast<uint64_t>(type));
+    w.u64(seq);
+    w.u64(payload.size());
+    uint32_t crc = crc32Update(
+        kCrc32Init, std::span<const uint8_t>(w.bytes()).subspan(8));
+    crc = crc32Finish(crc32Update(crc, payload));
+    w.u64(crc);
+    w.raw(payload);
+    return w.bytes();
+}
+
+/**
+ * Parses and verifies a framed message; throws UserError on bad magic,
+ * unknown type, length mismatch (truncation or inflation), or checksum
+ * failure. Never reads past `bytes`.
+ */
+inline Frame
+parseFrame(std::span<const uint8_t> bytes)
+{
+    HEAP_CHECK(bytes.size() >= kFrameHeaderBytes,
+               "frame truncated: " << bytes.size() << " bytes");
+    ByteReader r(bytes);
+    HEAP_CHECK(r.u64() == kFrameMagic, "bad frame magic");
+    const uint64_t type = r.u64();
+    HEAP_CHECK(type >= 1 && type <= 3, "bad frame type " << type);
+    Frame f;
+    f.type = static_cast<FrameType>(type);
+    f.seq = r.u64();
+    const uint64_t len = r.u64();
+    HEAP_CHECK(len == bytes.size() - kFrameHeaderBytes,
+               "frame length mismatch: header declares "
+                   << len << ", actual payload is "
+                   << bytes.size() - kFrameHeaderBytes);
+    const uint64_t stored = r.u64();
+    uint32_t crc = crc32Update(kCrc32Init, bytes.subspan(8, 24));
+    crc = crc32Finish(crc32Update(crc, bytes.subspan(kFrameHeaderBytes)));
+    HEAP_CHECK(stored == crc, "frame checksum mismatch");
+    f.payload.assign(bytes.begin() + kFrameHeaderBytes, bytes.end());
+    return f;
+}
 
 } // namespace heap
 

@@ -60,8 +60,11 @@ BootstrapModel::bootstrap(size_t slots) const
     // never crosses the network.
     const double remoteCts = static_cast<double>(slots)
                              * (1.0 - 1.0 / static_cast<double>(fpgas_));
-    const double lweTrafficBytes = 2.0 * remoteCts * params_.lweBytes();
-    const double commTotalMs = lweTrafficBytes / (cfg_.cmacBps / 8.0)
+    b.commGoodputBytes = 2.0 * remoteCts * params_.lweBytes();
+    // Lossy links retransmit: each frame crosses 1 / (1 - p) times in
+    // expectation, so the wire carries that much more than the goodput.
+    b.commWireBytes = b.commGoodputBytes / (1.0 - linkLossRate_);
+    const double commTotalMs = b.commWireBytes / (cfg_.cmacBps / 8.0)
                                * 1e3;
     b.commMs = std::max(0.0, commTotalMs - b.blindRotateMs);
 
@@ -93,6 +96,14 @@ BootstrapModel::tMultPerSlotUs(size_t slots) const
     // Paper accounting: n = N message coefficients (see EXPERIMENTS.md).
     const double n = static_cast<double>(params_.n);
     return (b.totalMs + multSum) * 1e3 / (levels * n);
+}
+
+void
+BootstrapModel::setLinkLossRate(double rate)
+{
+    HEAP_CHECK(rate >= 0.0 && rate < 1.0,
+               "link loss rate must be in [0, 1)");
+    linkLossRate_ = rate;
 }
 
 double

@@ -33,6 +33,11 @@ struct BootstrapBreakdown {
     double commMs = 0;        ///< non-overlapped FPGA-to-FPGA traffic
     double finishMs = 0;      ///< repack + steps 4-5
     double totalMs = 0;
+    /// Application bytes the protocol must deliver (loss-free volume).
+    double commGoodputBytes = 0;
+    /// Bytes actually crossing the links once retransmits are paid:
+    /// goodput / (1 - lossRate). Equals goodput on reliable links.
+    double commWireBytes = 0;
 };
 
 class BootstrapModel {
@@ -65,6 +70,16 @@ class BootstrapModel {
     /** Unanchored first-principles estimate of the BlindRotate stage. */
     double firstPrinciplesBlindRotateMs(size_t slots) const;
 
+    /**
+     * Fraction of frames lost/corrupted per link traversal and paid
+     * for by retransmission (the fault-tolerance layer of the
+     * functional model). 0 (the default) reproduces the paper's
+     * reliable-link numbers; [0, 1) inflates the wire bytes by
+     * 1 / (1 - rate) and re-derives the non-overlapped comm time.
+     */
+    void setLinkLossRate(double rate);
+    double linkLossRate() const { return linkLossRate_; }
+
     const OpCostModel& ops() const { return ops_; }
     const HeapParams& params() const { return params_; }
 
@@ -73,6 +88,7 @@ class BootstrapModel {
     HeapParams params_;
     size_t fpgas_;
     OpCostModel ops_;
+    double linkLossRate_ = 0;
 };
 
 } // namespace heap::hw

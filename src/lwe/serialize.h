@@ -29,8 +29,10 @@ loadLwe(ByteReader& r)
     ct.b = r.u64();
     HEAP_CHECK(ct.b < ct.modulus, "corrupt LWE body");
     ct.a = r.u64Vec(1 << 20);
-    for (const uint64_t v : ct.a) {
-        HEAP_CHECK(v < ct.modulus, "corrupt LWE mask entry");
+    HEAP_CHECK(!ct.a.empty(), "empty LWE mask");
+    for (size_t i = 0; i < ct.a.size(); ++i) {
+        HEAP_CHECK(ct.a[i] < ct.modulus,
+                   "corrupt LWE mask entry at index " << i);
     }
     return ct;
 }

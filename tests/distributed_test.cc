@@ -7,11 +7,13 @@
  */
 
 #include <cmath>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "boot/distributed.h"
 #include "boot/scheme_switch.h"
+#include "ckks/serialize.h"
 
 namespace heap::boot {
 namespace {
@@ -94,15 +96,25 @@ TEST_F(DistFixture, TrafficMatchesWireFormat)
     std::vector<ckks::Complex> z(32, ckks::Complex(-0.4, 0.25));
     (void)dist.bootstrap(levelOneCiphertext(z));
     const auto& t = dist.lastTraffic();
-    // Each serialized LWE: modulus + b + length + N mask words.
+    // Each serialized LWE: modulus + b + length + N mask words; each
+    // batch: frame header + count + 8 LWEs.
     const size_t lweBytes = 8 * (3 + ctx.params().n);
-    EXPECT_EQ(t.lweBytesOut, 7u * (8 + 8 * lweBytes));
+    EXPECT_EQ(t.lweBytesOut,
+              7u * (kFrameHeaderBytes + 8 + 8 * lweBytes));
     // Replies dominate: each accumulator is a full-basis RLWE pair.
     EXPECT_GT(t.accBytesIn, t.lweBytesOut);
     // The asymmetry the paper's CMAC schedule must absorb.
     const double ratio = static_cast<double>(t.accBytesIn)
                          / static_cast<double>(t.lweBytesOut);
     EXPECT_GT(ratio, 2.0);
+    // Reliable links: effective bytes equal goodput, nothing retried.
+    EXPECT_EQ(t.wireBytesOut, t.lweBytesOut);
+    EXPECT_EQ(t.wireBytesIn, t.accBytesIn);
+    EXPECT_EQ(t.retransmits, 0u);
+    EXPECT_EQ(t.nacks, 0u);
+    EXPECT_EQ(t.corruptFrames, 0u);
+    EXPECT_EQ(t.reclaimedBatches, 0u);
+    EXPECT_EQ(t.deadSecondaries, 0u);
 }
 
 TEST(DistributedStress, ConcurrentBatchesMatchSerialReference)
@@ -158,6 +170,56 @@ TEST(DistributedStress, ConcurrentBatchesMatchSerialReference)
         totalPar += par.node(s).processed();
     }
     EXPECT_EQ(totalPar, kRounds * 51u);
+}
+
+TEST(DistributedConcurrent, ConcurrentBootstrapCallsAreSerialized)
+{
+    // Two threads bootstrap different ciphertexts through ONE
+    // DistributedBootstrapper. The internal mutex must serialize the
+    // calls (links and traffic counters are per-object state): both
+    // outputs must match an identically-keyed reference, in either
+    // completion order. Runs under TSan via the concurrency label.
+    const auto gadget =
+        rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6};
+    ckks::Context ctx(distParams(), 4242);
+    ckks::Context ctxRef(distParams(), 4242);
+    ckks::Evaluator ev(ctx);
+    ckks::Evaluator evRef(ctxRef);
+    DistributedBootstrapper shared(ctx, 3, gadget);
+    DistributedBootstrapper ref(ctxRef, 3, gadget);
+
+    std::vector<ckks::Complex> z1(16, ckks::Complex(0.21, -0.35));
+    std::vector<ckks::Complex> z2(16, ckks::Complex(-0.12, 0.4));
+    // Identical encryption order on both contexts keeps the RNG
+    // streams aligned, so ciphertexts (and outputs) coincide.
+    auto ctA = ctx.encrypt(std::span<const ckks::Complex>(z1));
+    auto ctB = ctx.encrypt(std::span<const ckks::Complex>(z2));
+    auto refA = ctxRef.encrypt(std::span<const ckks::Complex>(z1));
+    auto refB = ctxRef.encrypt(std::span<const ckks::Complex>(z2));
+    ev.dropToLevel(ctA, 1);
+    ev.dropToLevel(ctB, 1);
+    evRef.dropToLevel(refA, 1);
+    evRef.dropToLevel(refB, 1);
+
+    const auto wantA = ckks::saveCiphertext(ref.bootstrap(refA));
+    const auto wantB = ckks::saveCiphertext(ref.bootstrap(refB));
+
+    std::vector<uint8_t> gotA, gotB;
+    std::thread t1(
+        [&] { gotA = ckks::saveCiphertext(shared.bootstrap(ctA)); });
+    std::thread t2(
+        [&] { gotB = ckks::saveCiphertext(shared.bootstrap(ctB)); });
+    t1.join();
+    t2.join();
+
+    EXPECT_TRUE(gotA == wantA);
+    EXPECT_TRUE(gotB == wantB);
+    // Both calls completed a full, uncorrupted protocol run.
+    size_t processed = 0;
+    for (size_t s = 0; s < shared.secondaryCount(); ++s) {
+        processed += shared.node(s).processed();
+    }
+    EXPECT_EQ(processed, 2u * 48u); // 64 - primary share of 16, twice
 }
 
 TEST_F(DistFixture, MatchesSingleProcessResultExactly)

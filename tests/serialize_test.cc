@@ -11,6 +11,7 @@
 
 #include "ckks/evaluator.h"
 #include "ckks/serialize.h"
+#include "lwe/serialize.h"
 
 namespace heap::ckks {
 namespace {
@@ -157,6 +158,136 @@ TEST_F(SerFixture, RejectsCorruption)
     // Flip high bits somewhere inside the coefficient payload.
     tampered[tampered.size() - 3] = 0xff;
     EXPECT_THROW(loadCiphertext(tampered, ctx), UserError);
+}
+
+TEST(LweWireFormat, RoundTripAndRejection)
+{
+    lwe::LweCiphertext ct;
+    ct.modulus = uint64_t{1} << 40;
+    ct.b = 123456789;
+    ct.a.resize(128);
+    for (size_t i = 0; i < ct.a.size(); ++i) {
+        ct.a[i] = (0x9e3779b9ull * i) % ct.modulus;
+    }
+    ByteWriter w;
+    lwe::saveLwe(ct, w);
+    ByteReader r(w.bytes());
+    const auto back = lwe::loadLwe(r);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(back.modulus, ct.modulus);
+    EXPECT_EQ(back.b, ct.b);
+    EXPECT_EQ(back.a, ct.a);
+
+    // Body >= modulus and out-of-range mask entries are rejected.
+    lwe::LweCiphertext bad = ct;
+    bad.b = ct.modulus;
+    ByteWriter wb;
+    lwe::saveLwe(bad, wb);
+    ByteReader rb(wb.bytes());
+    EXPECT_THROW(lwe::loadLwe(rb), UserError);
+}
+
+TEST(LweWireFormat, FuzzedEncodingsThrowOrDecodeDifferently)
+{
+    // Deterministic mutation sweep (satellite of the fault-tolerance
+    // work): truncations must always throw; single-bit flips must
+    // either throw UserError or decode to a *different* ciphertext —
+    // never crash, never silently round-trip as the original.
+    lwe::LweCiphertext ct;
+    ct.modulus = uint64_t{1} << 32;
+    ct.b = 999;
+    ct.a.resize(64);
+    for (size_t i = 0; i < ct.a.size(); ++i) {
+        ct.a[i] = (i * 7919 + 13) % ct.modulus;
+    }
+    ByteWriter w;
+    lwe::saveLwe(ct, w);
+    const auto& bytes = w.bytes();
+
+    for (size_t len = 0; len < bytes.size(); len += 5) {
+        ByteReader r(std::span<const uint8_t>(bytes.data(), len));
+        EXPECT_THROW((void)lwe::loadLwe(r), UserError)
+            << "prefix " << len;
+    }
+
+    for (size_t bit = 0; bit < bytes.size() * 8; bit += 11) {
+        auto bad = bytes;
+        bad[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        try {
+            ByteReader r(bad);
+            const auto got = lwe::loadLwe(r);
+            const bool unchanged = r.atEnd() && got.modulus == ct.modulus
+                                   && got.b == ct.b && got.a == ct.a;
+            EXPECT_FALSE(unchanged) << "bit " << bit;
+        } catch (const UserError&) {
+            // rejection is the common (and desired) outcome
+        }
+    }
+
+    // Length inflation in the mask-vector count: must throw (either
+    // as a truncation or as an over-large vector), never over-read.
+    for (const uint64_t factor : {2ull, 1ull << 20, 1ull << 60}) {
+        auto bad = bytes;
+        const uint64_t len = ct.a.size() * factor;
+        for (int i = 0; i < 8; ++i) {
+            bad[16 + i] = static_cast<uint8_t>(len >> (8 * i));
+        }
+        ByteReader r(bad);
+        EXPECT_THROW((void)lwe::loadLwe(r), UserError) << factor;
+    }
+}
+
+TEST_F(SerFixture, FuzzedRlweEncodingsThrowOrDecodeDifferently)
+{
+    const auto z = slots();
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    ByteWriter w;
+    saveRlwe(ct.ct, w);
+    const auto& bytes = w.bytes();
+    const auto basis = ctx.basis();
+
+    // Truncations always throw (loadRlwe consumes the whole pair).
+    for (size_t len = 0; len < bytes.size(); len += 257) {
+        ByteReader r(std::span<const uint8_t>(bytes.data(), len));
+        EXPECT_THROW((void)loadRlwe(r, basis), UserError)
+            << "prefix " << len;
+    }
+
+    // Bit flips: throw or decode to different polynomials; the sweep
+    // covers the domain tag, limb counts, vector lengths, and the
+    // coefficient payload of both components.
+    ByteReader ref(bytes);
+    const auto orig = loadRlwe(ref, basis);
+    for (size_t bit = 0; bit < bytes.size() * 8; bit += 997) {
+        auto bad = bytes;
+        bad[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        try {
+            ByteReader r(bad);
+            const auto got = loadRlwe(r, basis);
+            bool unchanged = r.atEnd()
+                             && got.a.limbCount() == orig.a.limbCount()
+                             && got.domain() == orig.domain();
+            for (size_t i = 0; unchanged && i < got.a.limbCount();
+                 ++i) {
+                unchanged =
+                    std::equal(got.a.limb(i).begin(),
+                               got.a.limb(i).end(),
+                               orig.a.limb(i).begin())
+                    && std::equal(got.b.limb(i).begin(),
+                                  got.b.limb(i).end(),
+                                  orig.b.limb(i).begin());
+            }
+            EXPECT_FALSE(unchanged) << "bit " << bit;
+        } catch (const UserError&) {
+            // expected for most mutations
+        }
+    }
+
+    // Limb-count inflation: the second u64 of the leading polynomial.
+    auto bad = bytes;
+    bad[8] = 0xff;
+    ByteReader r(bad);
+    EXPECT_THROW((void)loadRlwe(r, basis), UserError);
 }
 
 TEST_F(SerFixture, RejectsParameterMismatch)

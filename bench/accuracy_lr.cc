@@ -78,5 +78,12 @@ main()
     std::printf("\nEncrypted-vs-plaintext weight deviation after one "
                 "homomorphic GD iteration: %.2e (CKKS noise floor).\n",
                 worst);
+    std::printf("Noise accounting: %llu tracked ops, min observed "
+                "budget %.1f bits, guard trips %llu.\n",
+                static_cast<unsigned long long>(
+                    ctx.noiseStats().opsTracked()),
+                ctx.noiseStats().minBudgetBits(),
+                static_cast<unsigned long long>(
+                    ctx.noiseStats().guardTrips()));
     return 0;
 }

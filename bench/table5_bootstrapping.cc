@@ -123,6 +123,12 @@ main()
                         Table::speedup(modelBrBase / modelBr)});
     }
     scaling.print();
+    std::printf("Noise accounting over the %zu tracked ops above: min "
+                "observed budget %.1f bits, guard trips %llu.\n",
+                static_cast<size_t>(fctx.noiseStats().opsTracked()),
+                fctx.noiseStats().minBudgetBits(),
+                static_cast<unsigned long long>(
+                    fctx.noiseStats().guardTrips()));
 
     // Fault tolerance: the same functional fan-out over injected-fault
     // links. Goodput is the application bytes the protocol delivers;
@@ -150,6 +156,14 @@ main()
         auto dct = dctx.encrypt(std::span<const ckks::Complex>(z));
         dev.dropToLevel(dct, 1);
         (void)dist.bootstrap(dct);
+        std::printf("  %s links: min observed budget %.1f bits over "
+                    "%llu tracked ops, guard trips %llu\n",
+                    faulty ? "lossy" : "reliable",
+                    dctx.noiseStats().minBudgetBits(),
+                    static_cast<unsigned long long>(
+                        dctx.noiseStats().opsTracked()),
+                    static_cast<unsigned long long>(
+                        dctx.noiseStats().guardTrips()));
         const auto& tr = dist.lastTraffic();
         faults.addRow(
             {faulty ? "lossy (drop=.25 flip=.15 dup=.1)" : "reliable",

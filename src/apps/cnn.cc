@@ -186,6 +186,26 @@ EncryptedCnn::encryptImage(std::span<const double> image) const
 ckks::Ciphertext
 EncryptedCnn::infer(const ckks::Ciphertext& image) const
 {
+    // Enough levels is the floor; with a tracked budget also require
+    // the live headroom to survive the three rescales of the pass.
+    HEAP_CHECK(image.level() > levelsPerInference(),
+               "inference needs " << levelsPerInference() + 1
+                                  << " levels, input has "
+                                  << image.level());
+    if (image.budget.tracked
+        && ctx_->noiseGuard().policy != NoiseGuardPolicy::Off) {
+        double passBits = 0;
+        for (size_t i = 0; i < levelsPerInference(); ++i) {
+            passBits += std::log2(static_cast<double>(
+                ctx_->basis()->modulus(image.level() - 1 - i)));
+        }
+        HEAP_CHECK(ctx_->noiseBudgetBits(image) > passBits,
+                   "cnn inference input budget exhausted: "
+                       << ctx_->noiseBudgetBits(image)
+                       << " bits remain, > " << passBits
+                       << " required; op chain: "
+                       << image.budget.opChain());
+    }
     ckks::Ciphertext a = conv_->apply(ev_, image);
     ckks::Ciphertext act = ev_.multiplyRescale(a, a);
     return dense_->apply(ev_, act);

@@ -197,7 +197,19 @@ EncryptedLogisticRegression::gradient(const ckks::Ciphertext& sig,
 void
 EncryptedLogisticRegression::refreshIfNeeded()
 {
-    if (w_.level() > levelsPerIteration()) {
+    // Level check first (the guaranteed floor), then the live noise
+    // budget: refresh when the next iteration's limb drops would push
+    // the predicted budget below zero even if levels remain.
+    bool exhausted = w_.level() <= levelsPerIteration();
+    if (!exhausted && w_.budget.tracked) {
+        double nextIterBits = 0;
+        for (size_t i = 0; i < levelsPerIteration(); ++i) {
+            nextIterBits += std::log2(static_cast<double>(
+                ctx_->basis()->modulus(w_.level() - 1 - i)));
+        }
+        exhausted = ctx_->noiseBudgetBits(w_) <= nextIterBits;
+    }
+    if (!exhausted) {
         return;
     }
     HEAP_CHECK(boot_ != nullptr,

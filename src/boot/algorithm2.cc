@@ -1,5 +1,9 @@
 #include "boot/algorithm2.h"
 
+#include <cmath>
+#include <cstdio>
+
+#include "ckks/noise.h"
 #include "common/check.h"
 #include "math/modarith.h"
 #include "tfhe/blind_rotate.h"
@@ -75,6 +79,77 @@ finishBootstrap(rlwe::Ciphertext ctKq, const ModSwitched& ms,
                 * (static_cast<double>(twoN) * static_cast<double>(c)
                    / static_cast<double>(p));
     out.slots = slots;
+    return out;
+}
+
+void
+checkBootstrappable(const ckks::Context& ctx, const ckks::Ciphertext& in,
+                    double minBudgetBits, const char* who)
+{
+    const auto& guard = ctx.noiseGuard();
+    if (!in.budget.tracked || guard.policy == NoiseGuardPolicy::Off) {
+        return;
+    }
+    const double budget = ctx.noiseBudgetBits(in);
+    if (budget > minBudgetBits) {
+        return;
+    }
+    ctx.noiseStats().noteTrip();
+    NoiseEvent ev;
+    ev.kind = NoiseTripKind::DecryptionFailure;
+    ev.op = who;
+    ev.sigma = in.budget.sigma;
+    ev.scale = in.scale;
+    ev.precisionBits = ctx.noisePrecisionBits(in);
+    ev.budgetBits = budget;
+    ev.opChain = in.budget.opChain();
+    switch (guard.policy) {
+    case NoiseGuardPolicy::Warn:
+        std::fprintf(stderr,
+                     "heap: %s input budget exhausted: %.1f bits "
+                     "remain, > %.1f required; op chain: %s\n",
+                     who, budget, minBudgetBits, ev.opChain.c_str());
+        break;
+    case NoiseGuardPolicy::Throw:
+        HEAP_FATAL(who << " input budget exhausted: " << budget
+                       << " bits remain, > " << minBudgetBits
+                       << " required (predicted sigma " << ev.sigma
+                       << " at scale " << ev.scale
+                       << "); op chain: " << ev.opChain);
+        break;
+    case NoiseGuardPolicy::Callback:
+        if (guard.callback) {
+            guard.callback(ev);
+        }
+        break;
+    case NoiseGuardPolicy::Off:
+        break;
+    }
+}
+
+NoiseBudget
+bootstrapOutputBudget(const ckks::Context& ctx,
+                      const ckks::Ciphertext& in, double brSigma,
+                      const math::RnsBasis& bootBasis)
+{
+    const size_t bootLimbs = bootBasis.size();
+    const uint64_t twoN = 2 * bootBasis.n();
+    const uint64_t p = bootBasis.modulus(bootLimbs - 1);
+    const uint64_t c = (p + twoN / 2) / twoN;
+    const ckks::NoiseEstimator est(ctx);
+    // Step 4 adds lift(2N * ct) to the repacked accumulators; step 5
+    // multiplies by c and rescales away p.
+    const double repack = est.repackNoise(brSigma, bootBasis.n());
+    const double pre =
+        std::hypot(in.budget.sigma * static_cast<double>(twoN), repack)
+        * static_cast<double>(c);
+    NoiseBudget out = in.budget;
+    out.sigma = est.afterRescale(pre, bootLimbs - 1);
+    out.messageRms = in.budget.messageRms
+                     * (static_cast<double>(twoN)
+                        * static_cast<double>(c)
+                        / static_cast<double>(p));
+    ++out.bootstraps;
     return out;
 }
 

@@ -50,6 +50,32 @@ ckks::Ciphertext finishBootstrap(rlwe::Ciphertext ctKq,
                                  const math::RnsBasis& basis,
                                  double inScale, size_t slots);
 
+/**
+ * Input validation for bootstrap(): if `in` carries a tracked budget
+ * and the context guard is active, requires at least `minBudgetBits`
+ * of remaining budget (the scheme-switch path needs the phase to stay
+ * inside the triangle LUT's identity window, so > 1 bit; the
+ * conventional path only needs decryptability, so > 0). Reports
+ * through the context's guard policy, naming `who`.
+ */
+void checkBootstrappable(const ckks::Context& ctx,
+                         const ckks::Ciphertext& in,
+                         double minBudgetBits, const char* who);
+
+/**
+ * Predicted output budget of an Algorithm 2 bootstrap: the input
+ * error amplified by 2N, the repacked blind-rotation error, the
+ * multiply by c = round(p/2N), and the final rescale by p. Counter
+ * provenance is inherited from `in` with bootstraps incremented.
+ *
+ * @param brSigma predicted accumulator error of one blind rotation
+ *                (see tfhe::blindRotateSigma), in Qp units
+ */
+NoiseBudget bootstrapOutputBudget(const ckks::Context& ctx,
+                                  const ckks::Ciphertext& in,
+                                  double brSigma,
+                                  const math::RnsBasis& bootBasis);
+
 } // namespace heap::boot
 
 #endif // HEAP_BOOT_ALGORITHM2_H

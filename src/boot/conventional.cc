@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "boot/algorithm2.h"
 #include "common/check.h"
 
 namespace heap::boot {
@@ -168,6 +169,8 @@ ConventionalBootstrapper::bootstrap(const ckks::Ciphertext& in) const
     // scale (the usual steady state after rescaling).
     HEAP_CHECK(std::abs(in.scale / ctx_->params().scale - 1.0) < 0.01,
                "input scale must match the context scale");
+    // Conventional bootstrap only needs the input to decrypt.
+    checkBootstrappable(*ctx_, in, 0.0, "conventional bootstrap");
 
     // ModRaise: reinterpret the single-limb ciphertext at the top
     // level; the phase gains a q0 * I(X) term to be removed.
@@ -177,6 +180,9 @@ ConventionalBootstrapper::bootstrap(const ckks::Ciphertext& in) const
     raised.ct = rlwe::liftToLimbs(lifted, ctx_->maxLevel());
     raised.scale = in.scale;
     raised.slots = half;
+    // The raised phase inherits the input's noise record; the q0*I(X)
+    // term removed by EvalMod is not modeled as message mass.
+    raised.budget = in.budget;
 
     // CoeffToSlot.
     ckks::Ciphertext v = c2sA_->apply(ev_, raised);
@@ -206,6 +212,10 @@ ConventionalBootstrapper::bootstrap(const ckks::Ciphertext& in) const
         out = ev_.add(out, s2cB_->apply(ev_, ev_.conjugate(w)));
     }
     out.slots = in.slots;
+    if (out.budget.tracked) {
+        ++out.budget.bootstraps;
+        ctx_->noiseGuardCheck(out, "bootstrap");
+    }
     return out;
 }
 

@@ -421,6 +421,7 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
     std::lock_guard<std::mutex> bootLock(bootMutex_);
     HEAP_CHECK(in.level() == 1,
                "bootstrap expects a level-1 (single limb) ciphertext");
+    checkBootstrappable(*ctx_, in, 1.0, "distributed bootstrap");
     const auto basis = ctx_->basis();
     const size_t n = basis->n();
     const uint64_t twoN = 2 * n;
@@ -469,10 +470,18 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
         if (begin >= end) {
             continue;
         }
+        // The modulus-switched phase carries the input error scaled by
+        // 2N/q0: stamp that on the wire so budgets survive the link.
+        const double msScale = static_cast<double>(twoN)
+                               / static_cast<double>(basis->modulus(0));
         ByteWriter w;
         w.u64(end - begin);
         for (size_t i = begin; i < end; ++i) {
-            lwe::saveLwe(lwe::extractLwe(ms.aMs, ms.bMs, i, twoN), w);
+            auto ext = lwe::extractLwe(ms.aMs, ms.bMs, i, twoN);
+            ext.budget = in.budget;
+            ext.budget.sigma = in.budget.sigma * msScale;
+            ext.budget.messageRms = in.budget.messageRms * msScale;
+            lwe::saveLwe(ext, w);
         }
         plans[s] = Plan{begin, end, w.bytes()};
         ++traffic_.batches;
@@ -521,10 +530,17 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
         }
     }
 
-    // Repack + finish on the primary.
+    // Repack + finish on the primary. The output budget is computed
+    // analytically on the primary alone, so it is byte-identical
+    // regardless of link faults, retries, or reclaimed shares.
     rlwe::Ciphertext ctKq = tfhe::packRlwes(rotated, packKeys_);
-    return finishBootstrap(std::move(ctKq), ms, *basis, in.scale,
-                           in.slots);
+    ckks::Ciphertext out = finishBootstrap(std::move(ctKq), ms, *basis,
+                                           in.scale, in.slots);
+    out.budget = bootstrapOutputBudget(
+        *ctx_, in, tfhe::blindRotateSigma(brk_, basis->size(), n),
+        *basis);
+    ctx_->noiseGuardCheck(out, "bootstrap");
+    return out;
 }
 
 } // namespace heap::boot

@@ -69,6 +69,9 @@ SchemeSwitchBootstrapper::bootstrap(const ckks::Ciphertext& in) const
 {
     HEAP_CHECK(in.level() == 1,
                "bootstrap expects a level-1 (single limb) ciphertext");
+    // The triangle LUT only matches the identity on |m + e| < q0/4:
+    // demand at least one bit of headroom beyond decryptability.
+    checkBootstrappable(*ctx_, in, 1.0, "scheme-switch bootstrap");
     const auto basis = ctx_->basis();
     const size_t n = basis->n();
     const uint64_t twoN = 2 * n;
@@ -126,6 +129,10 @@ SchemeSwitchBootstrapper::bootstrap(const ckks::Ciphertext& in) const
     ckks::Ciphertext out =
         finishBootstrap(std::move(ctKq), ms, *basis, in.scale, in.slots);
     HEAP_ASSERT(out.level() == outLimbs, "limb accounting error");
+    out.budget = bootstrapOutputBudget(
+        *ctx_, in,
+        tfhe::blindRotateSigma(brk_, bootLimbs, n), *basis);
+    ctx_->noiseGuardCheck(out, "bootstrap");
     times_.finishMs = timer.millis();
     return out;
 }

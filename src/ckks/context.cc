@@ -1,7 +1,10 @@
 #include "ckks/context.h"
 
 #include <cmath>
+#include <cstdio>
+#include <limits>
 
+#include "ckks/noise.h"
 #include "common/check.h"
 #include "math/primes.h"
 
@@ -161,6 +164,104 @@ Context::hasRotationKey(int64_t steps) const
     return rotKeys_.contains(normalizeStep(steps));
 }
 
+double
+Context::logQBits(size_t level) const
+{
+    HEAP_CHECK(level >= 1 && level <= basis_->size(),
+               "level out of range: " << level);
+    double bits = 0;
+    for (size_t i = 0; i < level; ++i) {
+        bits += std::log2(static_cast<double>(basis_->modulus(i)));
+    }
+    return bits;
+}
+
+double
+Context::noiseBudgetBits(const Ciphertext& ct) const
+{
+    if (!ct.budget.tracked) {
+        return std::numeric_limits<double>::infinity();
+    }
+    // Decryption fails when the per-coefficient peak of m + e wraps
+    // past q/2; allow marginSigmas tails on the noise and a 4x
+    // RMS-to-peak allowance on the message.
+    const double load = guard_.marginSigmas * ct.budget.sigma
+                        + 4.0 * ct.budget.messageRms;
+    if (load <= 0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    return logQBits(ct.level()) - 1.0 - std::log2(load);
+}
+
+double
+Context::noisePrecisionBits(const Ciphertext& ct) const
+{
+    if (!ct.budget.tracked || ct.budget.sigma <= 0 || ct.scale <= 0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    return std::log2(ct.scale / ct.budget.sigma);
+}
+
+void
+Context::noiseGuardCheck(const Ciphertext& ct, const char* op) const
+{
+    if (!ct.budget.tracked) {
+        return;
+    }
+    const double budget = noiseBudgetBits(ct);
+    const double precision = noisePrecisionBits(ct);
+    stats_.noteOp(budget);
+    if (guard_.policy == NoiseGuardPolicy::Off) {
+        return;
+    }
+    NoiseTripKind kind;
+    if (budget <= 0) {
+        kind = NoiseTripKind::DecryptionFailure;
+    } else if (precision <= guard_.minPrecisionBits) {
+        kind = NoiseTripKind::Precision;
+    } else {
+        return;
+    }
+    stats_.noteTrip();
+    NoiseEvent ev;
+    ev.kind = kind;
+    ev.op = op;
+    ev.sigma = ct.budget.sigma;
+    ev.scale = ct.scale;
+    ev.precisionBits = precision;
+    ev.budgetBits = budget;
+    ev.opChain = ct.budget.opChain();
+    const char* what = kind == NoiseTripKind::DecryptionFailure
+                           ? "decryption-failure"
+                           : "precision";
+    switch (guard_.policy) {
+    case NoiseGuardPolicy::Warn:
+        std::fprintf(stderr,
+                     "heap: noise guard (%s) tripped at op '%s': "
+                     "sigma=%.3g scale=%.3g budget=%.1f bits "
+                     "precision=%.1f bits; op chain: %s\n",
+                     what, op, ev.sigma, ev.scale, ev.budgetBits,
+                     ev.precisionBits, ev.opChain.c_str());
+        break;
+    case NoiseGuardPolicy::Throw:
+        HEAP_FATAL("noise guard ("
+                   << what << ") tripped at op '" << op
+                   << "': predicted sigma " << ev.sigma << " at scale "
+                   << ev.scale << ", remaining budget "
+                   << ev.budgetBits << " bits, precision "
+                   << ev.precisionBits << " bits; op chain: "
+                   << ev.opChain);
+        break;
+    case NoiseGuardPolicy::Callback:
+        if (guard_.callback) {
+            guard_.callback(ev);
+        }
+        break;
+    case NoiseGuardPolicy::Off:
+        break;
+    }
+}
+
 Ciphertext
 Context::encryptCoeffs(std::span<const int64_t> coeffs, double scale,
                        size_t slots, size_t level) const
@@ -197,6 +298,18 @@ Context::encryptCoeffs(std::span<const int64_t> coeffs, double scale,
     out.ct.a.addInPlace(e0);
     out.ct.b.addInPlace(e1);
     out.ct.b.addInPlace(msg);
+
+    // Fresh budget: public-key noise plus the exact coefficient RMS
+    // of the encoded message (metadata only — never alters bytes).
+    out.budget.tracked = true;
+    out.budget.sigma = NoiseEstimator(*this).freshPublic();
+    double sum = 0;
+    for (const int64_t c : coeffs) {
+        sum += static_cast<double>(c) * static_cast<double>(c);
+    }
+    out.budget.messageRms =
+        std::sqrt(sum / static_cast<double>(params_.n));
+    noiseGuardCheck(out, "encrypt");
     return out;
 }
 

@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "ckks/encoder.h"
+#include "common/noise_budget.h"
 #include "rlwe/gadget.h"
 #include "rlwe/hybrid.h"
 #include "rlwe/rlwe.h"
@@ -42,11 +43,12 @@ struct CkksParams {
     static CkksParams paperSet();
 };
 
-/** CKKS ciphertext: RLWE pair plus scale/slot metadata. */
+/** CKKS ciphertext: RLWE pair plus scale/slot/noise metadata. */
 struct Ciphertext {
     rlwe::Ciphertext ct;
     double scale = 0;
     size_t slots = 0;
+    NoiseBudget budget; ///< live predicted-noise record
 
     size_t level() const { return ct.limbCount(); }
 };
@@ -123,6 +125,36 @@ class Context {
         return rlwe::NoiseParams{params_.errorStdDev};
     }
 
+    // --- noise guard -------------------------------------------------
+    /** Installs the guard policy for every op on this context. */
+    void setNoiseGuard(const NoiseGuardConfig& cfg) { guard_ = cfg; }
+    const NoiseGuardConfig& noiseGuard() const { return guard_; }
+
+    /** Observability counters (ops tracked, min budget, trips). */
+    NoiseStats& noiseStats() const { return stats_; }
+
+    /** Sum of log2(q_i) over the first `level` limbs. */
+    double logQBits(size_t level) const;
+
+    /**
+     * Remaining bits until predicted decryption failure:
+     * log2(q/2) - log2(marginSigmas * sigma + 4 * messageRms).
+     * Infinity for untracked ciphertexts.
+     */
+    double noiseBudgetBits(const Ciphertext& ct) const;
+
+    /** Predicted precision: log2(scale / sigma); infinity when the
+     *  ciphertext is untracked or noiseless. */
+    double noisePrecisionBits(const Ciphertext& ct) const;
+
+    /**
+     * Records `ct` in the stats and fires the guard policy when a
+     * threshold is crossed. Called by every evaluator primitive and
+     * by the bootstrappers on their outputs; a no-op for untracked
+     * ciphertexts.
+     */
+    void noiseGuardCheck(const Ciphertext& ct, const char* op) const;
+
   private:
     CkksParams params_;
     std::shared_ptr<const math::RnsBasis> basis_;
@@ -136,6 +168,8 @@ class Context {
     rlwe::HybridKeySwitchKey hybridRelin_;
     rlwe::HybridKeySwitchKey hybridConj_;
     std::map<int64_t, rlwe::HybridKeySwitchKey> hybridRotKeys_;
+    NoiseGuardConfig guard_;
+    mutable NoiseStats stats_;
 };
 
 } // namespace heap::ckks

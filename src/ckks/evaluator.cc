@@ -2,18 +2,44 @@
 
 #include <cmath>
 
+#include "ckks/noise.h"
 #include "common/check.h"
 
 namespace heap::ckks {
+
+namespace {
+
+/** Exact RMS of a signed coefficient vector. */
+double
+coeffVectorRms(std::span<const int64_t> coeffs, size_t n)
+{
+    double sum = 0;
+    for (const int64_t c : coeffs) {
+        sum += static_cast<double>(c) * static_cast<double>(c);
+    }
+    return std::sqrt(sum / static_cast<double>(n));
+}
+
+} // namespace
+
+NoiseBudget
+Evaluator::mergedBudget(const NoiseBudget& a, const NoiseBudget& b)
+{
+    NoiseBudget m = a;
+    m.tracked = a.tracked && b.tracked;
+    m.absorbCounters(b);
+    return m;
+}
 
 Plaintext
 Evaluator::makePlaintext(std::span<const Complex> values, double scale,
                          size_t level) const
 {
     const auto coeffs = ctx_->encoder().encode(values, scale);
+    const double rms = coeffVectorRms(coeffs, ctx_->params().n);
     auto poly = math::rnsFromSigned(ctx_->basis(), level, coeffs);
     poly.toEval();
-    return Plaintext{std::move(poly), scale, values.size()};
+    return Plaintext{std::move(poly), scale, values.size(), rms};
 }
 
 Plaintext
@@ -35,9 +61,10 @@ Evaluator::makeConstant(double value, double scale, size_t slots,
     // directly as round(value * scale) in the constant coefficient.
     std::vector<int64_t> coeffs(ctx_->params().n, 0);
     coeffs[0] = static_cast<int64_t>(std::llround(value * scale));
+    const double rms = coeffVectorRms(coeffs, ctx_->params().n);
     auto poly = math::rnsFromSigned(ctx_->basis(), level, coeffs);
     poly.toEval();
-    return Plaintext{std::move(poly), scale, slots};
+    return Plaintext{std::move(poly), scale, slots, rms};
 }
 
 void
@@ -59,6 +86,13 @@ Evaluator::add(const Ciphertext& a, const Ciphertext& b) const
     x.ct.toEval();
     y.ct.toEval();
     x.ct.addInPlace(y.ct);
+    x.budget = mergedBudget(a.budget, b.budget);
+    x.budget.sigma =
+        NoiseEstimator(*ctx_).afterAdd(a.budget.sigma, b.budget.sigma);
+    x.budget.messageRms =
+        std::hypot(a.budget.messageRms, b.budget.messageRms);
+    ++x.budget.adds;
+    ctx_->noiseGuardCheck(x, "add");
     return x;
 }
 
@@ -71,6 +105,13 @@ Evaluator::sub(const Ciphertext& a, const Ciphertext& b) const
     x.ct.toEval();
     y.ct.toEval();
     x.ct.subInPlace(y.ct);
+    x.budget = mergedBudget(a.budget, b.budget);
+    x.budget.sigma =
+        NoiseEstimator(*ctx_).afterAdd(a.budget.sigma, b.budget.sigma);
+    x.budget.messageRms =
+        std::hypot(a.budget.messageRms, b.budget.messageRms);
+    ++x.budget.adds;
+    ctx_->noiseGuardCheck(x, "sub");
     return x;
 }
 
@@ -91,6 +132,9 @@ Evaluator::addPlain(const Ciphertext& a, const Plaintext& p) const
     Ciphertext x = a;
     x.ct.toEval();
     x.ct.b.addInPlace(p.poly.restrictedTo(a.level()));
+    x.budget.messageRms = std::hypot(a.budget.messageRms, p.coeffRms);
+    ++x.budget.adds;
+    ctx_->noiseGuardCheck(x, "addPlain");
     return x;
 }
 
@@ -103,6 +147,9 @@ Evaluator::subPlain(const Ciphertext& a, const Plaintext& p) const
     Ciphertext x = a;
     x.ct.toEval();
     x.ct.b.subInPlace(p.poly.restrictedTo(a.level()));
+    x.budget.messageRms = std::hypot(a.budget.messageRms, p.coeffRms);
+    ++x.budget.adds;
+    ctx_->noiseGuardCheck(x, "subPlain");
     return x;
 }
 
@@ -140,6 +187,16 @@ Evaluator::multiply(const Ciphertext& a, const Ciphertext& b) const
     out.ct.a.addInPlace(relin.a);
     out.ct.b = std::move(d0);
     out.ct.b.addInPlace(relin.b);
+    out.budget = mergedBudget(a.budget, b.budget);
+    out.budget.sigma = NoiseEstimator(*ctx_).afterMultiply(
+        a.budget.sigma, b.budget.sigma, a.budget.messageRms,
+        b.budget.messageRms);
+    out.budget.messageRms =
+        std::sqrt(static_cast<double>(ctx_->params().n))
+        * a.budget.messageRms * b.budget.messageRms;
+    ++out.budget.mults;
+    ++out.budget.keySwitches;
+    ctx_->noiseGuardCheck(out, "multiply");
     return out;
 }
 
@@ -160,6 +217,11 @@ Evaluator::multiplyPlain(const Ciphertext& a, const Plaintext& p) const
     x.ct.a.mulPointwiseInPlace(pt);
     x.ct.b.mulPointwiseInPlace(pt);
     x.scale = a.scale * p.scale;
+    const double rootN = std::sqrt(static_cast<double>(ctx_->params().n));
+    x.budget.sigma = rootN * p.coeffRms * a.budget.sigma;
+    x.budget.messageRms = rootN * p.coeffRms * a.budget.messageRms;
+    ++x.budget.mults;
+    ctx_->noiseGuardCheck(x, "multiplyPlain");
     return x;
 }
 
@@ -218,8 +280,14 @@ Evaluator::rescaleInPlace(Ciphertext& a) const
 {
     HEAP_CHECK(a.level() >= 2, "cannot rescale at level 1");
     const uint64_t q = ctx_->basis()->modulus(a.level() - 1);
+    a.budget.sigma =
+        NoiseEstimator(*ctx_).afterRescale(a.budget.sigma,
+                                           a.level() - 1);
+    a.budget.messageRms /= static_cast<double>(q);
+    ++a.budget.rescales;
     a.ct.rescaleLastLimb();
     a.scale /= static_cast<double>(q);
+    ctx_->noiseGuardCheck(a, "rescale");
 }
 
 Ciphertext
@@ -255,6 +323,10 @@ Evaluator::rotate(const Ciphertext& a, int64_t steps) const
                  ? rlwe::evalAutoHybrid(a.ct, t,
                                         ctx_->hybridRotationKey(r))
                  : rlwe::evalAuto(a.ct, t, ctx_->rotationKey(r));
+    out.budget.sigma = NoiseEstimator(*ctx_).afterRotate(a.budget.sigma);
+    ++out.budget.rotations;
+    ++out.budget.keySwitches;
+    ctx_->noiseGuardCheck(out, "rotate");
     return out;
 }
 
@@ -270,6 +342,10 @@ Evaluator::conjugate(const Ciphertext& a) const
             : rlwe::evalAuto(a.ct,
                              ctx_->encoder().conjugationExponent(),
                              ctx_->conjugationKey());
+    out.budget.sigma = NoiseEstimator(*ctx_).afterRotate(a.budget.sigma);
+    ++out.budget.conjugations;
+    ++out.budget.keySwitches;
+    ctx_->noiseGuardCheck(out, "conjugate");
     return out;
 }
 
@@ -280,6 +356,8 @@ Evaluator::dropToLevel(Ciphertext& a, size_t level) const
                "bad target level " << level);
     if (level < a.level()) {
         a.ct.dropLimbs(a.level() - level);
+        // Sigma is unchanged but the budget shrinks with q: re-check.
+        ctx_->noiseGuardCheck(a, "dropToLevel");
     }
 }
 

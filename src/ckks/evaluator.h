@@ -17,6 +17,9 @@ struct Plaintext {
     math::RnsPoly poly;
     double scale = 0;
     size_t slots = 0;
+    /** Exact RMS of the encoded coefficients (set by makePlaintext /
+     *  makeConstant); drives noise tracking for plaintext products. */
+    double coeffRms = 0;
 };
 
 /**
@@ -90,6 +93,10 @@ class Evaluator {
 
   private:
     void checkScalesMatch(double s1, double s2) const;
+
+    /** Merged provenance of a binary op (tracked iff both are). */
+    static NoiseBudget mergedBudget(const NoiseBudget& a,
+                                    const NoiseBudget& b);
 
     const Context* ctx_;
 };

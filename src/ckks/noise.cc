@@ -131,6 +131,18 @@ NoiseEstimator::messageRms(double slotRms, double scale) const
 }
 
 double
+NoiseEstimator::repackNoise(double inSigma, size_t count) const
+{
+    // Variance recurrence per tree level: v' = 2v + ks^2; after
+    // log2(count) levels, v ~= count * (v0 + ks^2). The packing keys
+    // are gadget keys at the full Qp basis.
+    const double ks = gadgetNoise(ctx_->basis()->size(),
+                                  ctx_->params().gadget);
+    return std::sqrt(static_cast<double>(count))
+           * std::hypot(inSigma, ks);
+}
+
+double
 NoiseEstimator::measure(const Ciphertext& ct,
                         std::span<const Complex> expected) const
 {

@@ -64,6 +64,14 @@ class NoiseEstimator {
     double messageRms(double slotRms, double scale) const;
 
     /**
+     * Output sigma of packRlwes over `count` ciphertexts of error
+     * `inSigma`: the log2(count)-level automorphism tree compounds
+     * the per-level doubling with one gadget key switch per merge,
+     * ~ sqrt(count) * hypot(inSigma, ks).
+     */
+    double repackNoise(double inSigma, size_t count) const;
+
+    /**
      * Measured phase-error standard deviation of `ct` against the
      * expected slot values (testing/diagnostics; needs the secret).
      */

@@ -4,8 +4,9 @@ namespace heap::ckks {
 
 namespace {
 
-constexpr uint64_t kCiphertextMagic = 0x48454150'43543031ULL; // HEAPCT01
-constexpr uint64_t kGadgetMagic = 0x48454150'474b3031ULL;     // HEAPGK01
+constexpr uint64_t kCiphertextMagicV1 = 0x48454150'43543031ULL; // HEAPCT01
+constexpr uint64_t kCiphertextMagic = 0x48454150'43543032ULL;   // HEAPCT02
+constexpr uint64_t kGadgetMagic = 0x48454150'474b3031ULL;       // HEAPGK01
 
 void
 checkBasisTag(ByteReader& r, const math::RnsBasis& basis)
@@ -98,6 +99,7 @@ saveCiphertext(const Ciphertext& ct)
     writeBasisTag(ct.ct.a.basis(), ct.level(), w);
     w.f64(ct.scale);
     w.u64(ct.slots);
+    saveNoiseBudget(ct.budget, w);
     saveRlwe(ct.ct, w);
     return w.bytes();
 }
@@ -106,7 +108,8 @@ Ciphertext
 loadCiphertext(std::span<const uint8_t> data, const Context& ctx)
 {
     ByteReader r(data);
-    HEAP_CHECK(r.u64() == kCiphertextMagic,
+    const uint64_t magic = r.u64();
+    HEAP_CHECK(magic == kCiphertextMagic || magic == kCiphertextMagicV1,
                "not a HEAP ciphertext (bad magic)");
     checkBasisTag(r, *ctx.basis());
     Ciphertext ct;
@@ -115,6 +118,10 @@ loadCiphertext(std::span<const uint8_t> data, const Context& ctx)
     ct.slots = r.u64();
     HEAP_CHECK(ct.slots >= 1 && ct.slots <= ctx.params().n / 2,
                "corrupt slot count");
+    if (magic == kCiphertextMagic) {
+        ct.budget = loadNoiseBudget(r);
+    }
+    // V1 payloads predate noise tracking: budget stays untracked.
     ct.ct = loadRlwe(r, ctx.basis());
     HEAP_CHECK(r.atEnd(), "trailing bytes after ciphertext");
     return ct;

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Live per-ciphertext noise accounting and the noise-guard policy
+ * types shared by the CKKS and LWE layers.
+ *
+ * A NoiseBudget rides along with every ciphertext and is updated
+ * in-line by each evaluator/TFHE primitive using the analytic
+ * formulas of ckks::NoiseEstimator — pure metadata arithmetic that
+ * never touches ciphertext polynomial data and never draws
+ * randomness, so tracking is byte-transparent and safe inside
+ * parallelFor bodies. The guard turns a predicted precision loss or
+ * decryption failure into a warning, a UserError naming the op
+ * chain, or a user callback, instead of silent garbage.
+ */
+
+#ifndef HEAP_COMMON_NOISE_BUDGET_H
+#define HEAP_COMMON_NOISE_BUDGET_H
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/serialize.h"
+
+namespace heap {
+
+/**
+ * Predicted noise state of one ciphertext. `sigma` and `messageRms`
+ * are standard deviations in coefficient units (the same units
+ * NoiseEstimator predicts and measures in); the counters record the
+ * op provenance so guard diagnostics can name the chain that
+ * exhausted a budget.
+ */
+struct NoiseBudget {
+    bool tracked = false;    ///< false = legacy/unknown provenance
+    double sigma = 0.0;      ///< predicted phase-error stddev
+    double messageRms = 0.0; ///< predicted RMS message coefficient
+
+    // Op provenance counters (accumulated over the ciphertext's
+    // whole history; binary ops sum both operands' counters).
+    uint64_t adds = 0;
+    uint64_t mults = 0;
+    uint64_t rescales = 0;
+    uint64_t rotations = 0;
+    uint64_t conjugations = 0;
+    uint64_t keySwitches = 0;
+    uint64_t bootstraps = 0;
+
+    /** Human-readable provenance, e.g. "3 mult, 2 rescale, 1 boot". */
+    std::string
+    opChain() const
+    {
+        std::ostringstream os;
+        bool first = true;
+        auto item = [&](uint64_t c, const char* name) {
+            if (c == 0) {
+                return;
+            }
+            os << (first ? "" : ", ") << c << " " << name;
+            first = false;
+        };
+        item(adds, "add");
+        item(mults, "mult");
+        item(rescales, "rescale");
+        item(rotations, "rotate");
+        item(conjugations, "conjugate");
+        item(keySwitches, "keyswitch");
+        item(bootstraps, "bootstrap");
+        if (first) {
+            os << "fresh";
+        }
+        return os.str();
+    }
+
+    /** Sums the provenance counters of two operands (binary ops). */
+    void
+    absorbCounters(const NoiseBudget& other)
+    {
+        adds += other.adds;
+        mults += other.mults;
+        rescales += other.rescales;
+        rotations += other.rotations;
+        conjugations += other.conjugations;
+        keySwitches += other.keySwitches;
+        bootstraps += other.bootstraps;
+    }
+};
+
+/** What the guard does when a threshold is crossed. */
+enum class NoiseGuardPolicy {
+    Off,      ///< track metadata only; never warn or throw
+    Warn,     ///< print a one-line warning to stderr
+    Throw,    ///< raise UserError naming the op chain
+    Callback, ///< invoke NoiseGuardConfig::callback
+};
+
+/** Which threshold tripped. */
+enum class NoiseTripKind {
+    Precision,         ///< predicted noise rivals the scale
+    DecryptionFailure, ///< predicted |m + e| peak nears q/2
+};
+
+/** Snapshot handed to Warn messages and user callbacks. */
+struct NoiseEvent {
+    NoiseTripKind kind = NoiseTripKind::Precision;
+    std::string op;          ///< primitive that produced the value
+    double sigma = 0;        ///< predicted error stddev
+    double scale = 0;        ///< ciphertext scale Delta
+    double precisionBits = 0; ///< log2(scale / sigma)
+    double budgetBits = 0;   ///< remaining bits to decryption failure
+    std::string opChain;     ///< NoiseBudget::opChain() of the value
+};
+
+/** Guard configuration, set per ckks::Context. */
+struct NoiseGuardConfig {
+    NoiseGuardPolicy policy = NoiseGuardPolicy::Off;
+    /** Tail allowance: failure fires when marginSigmas * sigma plus
+     *  the message peak no longer fits under q/2. */
+    double marginSigmas = 6.0;
+    /** Precision fires at log2(scale/sigma) <= minPrecisionBits. */
+    double minPrecisionBits = 1.0;
+    /** Invoked on trips under the Callback policy. */
+    std::function<void(const NoiseEvent&)> callback;
+};
+
+/**
+ * Per-context observability counters. Atomic because evaluator
+ * primitives may run inside parallelFor bodies (linear transforms,
+ * the bootstrap fan-out).
+ */
+class NoiseStats {
+  public:
+    /** Records one tracked op and folds its budget into the min. */
+    void
+    noteOp(double budgetBits)
+    {
+        ops_.fetch_add(1, std::memory_order_relaxed);
+        double cur = minBudget_.load(std::memory_order_relaxed);
+        while (budgetBits < cur
+               && !minBudget_.compare_exchange_weak(
+                   cur, budgetBits, std::memory_order_relaxed)) {
+        }
+    }
+
+    void noteTrip() { trips_.fetch_add(1, std::memory_order_relaxed); }
+
+    uint64_t
+    opsTracked() const
+    {
+        return ops_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    guardTrips() const
+    {
+        return trips_.load(std::memory_order_relaxed);
+    }
+
+    /** Smallest budget seen (infinity until the first tracked op). */
+    double
+    minBudgetBits() const
+    {
+        return minBudget_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        ops_.store(0, std::memory_order_relaxed);
+        trips_.store(0, std::memory_order_relaxed);
+        minBudget_.store(std::numeric_limits<double>::infinity(),
+                         std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> ops_{0};
+    std::atomic<uint64_t> trips_{0};
+    std::atomic<double> minBudget_{
+        std::numeric_limits<double>::infinity()};
+};
+
+/** Serializes a budget record (fixed 10-word block). */
+inline void
+saveNoiseBudget(const NoiseBudget& b, ByteWriter& w)
+{
+    w.u64(b.tracked ? 1 : 0);
+    w.f64(b.sigma);
+    w.f64(b.messageRms);
+    w.u64(b.adds);
+    w.u64(b.mults);
+    w.u64(b.rescales);
+    w.u64(b.rotations);
+    w.u64(b.conjugations);
+    w.u64(b.keySwitches);
+    w.u64(b.bootstraps);
+}
+
+/** Loads and validates a budget record. */
+inline NoiseBudget
+loadNoiseBudget(ByteReader& r)
+{
+    NoiseBudget b;
+    const uint64_t tracked = r.u64();
+    HEAP_CHECK(tracked <= 1, "corrupt noise-budget flag");
+    b.tracked = tracked == 1;
+    b.sigma = r.f64();
+    b.messageRms = r.f64();
+    HEAP_CHECK(std::isfinite(b.sigma) && b.sigma >= 0,
+               "corrupt noise-budget sigma");
+    HEAP_CHECK(std::isfinite(b.messageRms) && b.messageRms >= 0,
+               "corrupt noise-budget message RMS");
+    b.adds = r.u64();
+    b.mults = r.u64();
+    b.rescales = r.u64();
+    b.rotations = r.u64();
+    b.conjugations = r.u64();
+    b.keySwitches = r.u64();
+    b.bootstraps = r.u64();
+    return b;
+}
+
+} // namespace heap
+
+#endif // HEAP_COMMON_NOISE_BUDGET_H

@@ -64,6 +64,9 @@ lweEncrypt(int64_t m, const LweSecretKey& sk, uint64_t q, Rng& rng,
         b = subMod(b, mulModNaive(ct.a[j], fromCentered(s, q), q), q);
     }
     ct.b = b;
+    ct.budget.tracked = true;
+    ct.budget.sigma = errStdDev;
+    ct.budget.messageRms = std::abs(static_cast<double>(m));
     return ct;
 }
 
@@ -110,6 +113,17 @@ lweModSwitch(const LweCiphertext& ct, uint64_t newModulus)
     for (size_t j = 0; j < ct.a.size(); ++j) {
         out.a[j] = sw(ct.a[j]);
     }
+    out.budget = ct.budget;
+    if (ct.budget.tracked) {
+        // Scaled error plus n+1 rounding terms, each uniform in
+        // [-1/2, 1/2], of which ~2/3 survive the ternary secret.
+        const double r = static_cast<double>(ratio);
+        const double rounding = std::sqrt(
+            (1.0 + (2.0 / 3.0) * static_cast<double>(ct.a.size()))
+            / 12.0);
+        out.budget.sigma = std::hypot(ct.budget.sigma * r, rounding);
+        out.budget.messageRms = ct.budget.messageRms * r;
+    }
     return out;
 }
 
@@ -120,6 +134,7 @@ makeLweKeySwitchKey(const LweSecretKey& dst, const LweSecretKey& src,
     HEAP_CHECK(baseBits >= 1 && baseBits < 32, "bad key-switch base");
     LweKeySwitchKey ksk;
     ksk.baseBits = baseBits;
+    ksk.errStdDev = errStdDev;
     ksk.srcDim = src.coeffs.size();
     const int qBits = std::bit_width(q - 1);
     ksk.digits = (qBits + baseBits - 1) / baseBits;
@@ -166,6 +181,18 @@ lweKeySwitch(const LweCiphertext& ct, const LweKeySwitchKey& ksk)
                     addMod(out.a[k], mulModNaive(dig, row.a[k], q), q);
             }
         }
+    }
+    out.budget = ct.budget;
+    if (ct.budget.tracked) {
+        // srcDim * digits rows, each scaled by an unsigned digit
+        // uniform in [0, B) (second moment B^2/3).
+        const double base = std::pow(2.0, ksk.baseBits);
+        const double terms = static_cast<double>(ksk.srcDim)
+                             * static_cast<double>(ksk.digits);
+        const double kskNoise =
+            ksk.errStdDev * std::sqrt(terms * base * base / 3.0);
+        out.budget.sigma = std::hypot(ct.budget.sigma, kskNoise);
+        ++out.budget.keySwitches;
     }
     return out;
 }

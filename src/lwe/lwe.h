@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "common/noise_budget.h"
 #include "common/rng.h"
 
 namespace heap::lwe {
@@ -25,6 +26,8 @@ struct LweCiphertext {
     std::vector<uint64_t> a;
     uint64_t b = 0;
     uint64_t modulus = 0;
+    /** Predicted noise record (metadata; never feeds the arithmetic). */
+    NoiseBudget budget;
 
     size_t dimension() const { return a.size(); }
 };
@@ -79,6 +82,8 @@ struct LweKeySwitchKey {
     int baseBits = 0;
     int digits = 0;
     size_t srcDim = 0;
+    /** Error width the rows were encrypted with (noise tracking). */
+    double errStdDev = 3.2;
 };
 
 /** Builds a key-switching key from `src` to `dst` at modulus q. */

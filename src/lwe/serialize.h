@@ -12,9 +12,14 @@
 
 namespace heap::lwe {
 
+/** "HEAPLW02": leads the current LWE wire format (with budget). */
+constexpr uint64_t kLweMagic = 0x484541504C573032ULL;
+
 inline void
 saveLwe(const LweCiphertext& ct, ByteWriter& w)
 {
+    w.u64(kLweMagic);
+    saveNoiseBudget(ct.budget, w);
     w.u64(ct.modulus);
     w.u64(ct.b);
     w.u64Span(ct.a);
@@ -24,7 +29,15 @@ inline LweCiphertext
 loadLwe(ByteReader& r)
 {
     LweCiphertext ct;
-    ct.modulus = r.u64();
+    // The legacy (pre-budget) format led with the modulus. Dispatch on
+    // the first word: the magic cannot collide with a sane modulus.
+    const uint64_t head = r.u64();
+    if (head == kLweMagic) {
+        ct.budget = loadNoiseBudget(r);
+        ct.modulus = r.u64();
+    } else {
+        ct.modulus = head;
+    }
     HEAP_CHECK(ct.modulus >= 2, "corrupt LWE modulus");
     ct.b = r.u64();
     HEAP_CHECK(ct.b < ct.modulus, "corrupt LWE body");

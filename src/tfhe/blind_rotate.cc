@@ -1,5 +1,7 @@
 #include "tfhe/blind_rotate.h"
 
+#include <cmath>
+
 #include "common/check.h"
 #include "math/modarith.h"
 
@@ -13,6 +15,7 @@ makeBlindRotateKey(const rlwe::SecretKey& sk,
 {
     BlindRotateKey brk;
     brk.gadget = gadget;
+    brk.keyErrStdDev = noise.errorStdDev;
     brk.plus.reserve(lweSecret.size());
     brk.minus.reserve(lweSecret.size());
     for (const int64_t s : lweSecret) {
@@ -98,6 +101,25 @@ blindRotate(const lwe::LweCiphertext& lwe, const math::RnsPoly& testPoly,
     return acc;
 }
 
+double
+blindRotateSigma(const BlindRotateKey& brk, size_t limbs, size_t ringN)
+{
+    const auto& g = brk.gadget;
+    const double base = std::pow(2.0, g.baseBits);
+    const double digitVar =
+        g.balanced ? base * base / 12.0
+                   : base * base / 12.0 + base * base / 4.0;
+    const double terms = static_cast<double>(limbs)
+                         * static_cast<double>(g.digitsPerLimb)
+                         * static_cast<double>(ringN);
+    const double perProduct =
+        brk.keyErrStdDev * std::sqrt(terms * digitVar);
+    // One CMux per mask element, each adding two external products
+    // (plus and minus indicators) of independent gadget noise.
+    return perProduct
+           * std::sqrt(2.0 * static_cast<double>(brk.dimension()));
+}
+
 std::vector<rlwe::Ciphertext>
 blindRotateBatch(std::span<const lwe::LweCiphertext> lwes,
                  const math::RnsPoly& testPoly, const BlindRotateKey& brk)
@@ -165,8 +187,15 @@ programmableBootstrap(const lwe::LweCiphertext& lwe,
     const auto testPoly = buildTestPoly(basis, limbs, F);
     rlwe::Ciphertext acc = blindRotate(switched, testPoly, brk);
     acc.toCoeff();
-    return lwe::extractLwe(acc.a.limb(0), acc.b.limb(0), 0,
-                           basis->modulus(0));
+    auto out = lwe::extractLwe(acc.a.limb(0), acc.b.limb(0), 0,
+                               basis->modulus(0));
+    // The bootstrap refreshes noise: the output error is the
+    // blind-rotate accumulator error, independent of the input level.
+    out.budget = lwe.budget;
+    out.budget.sigma = blindRotateSigma(brk, limbs, basis->n());
+    out.budget.messageRms = 0;
+    ++out.budget.bootstraps;
+    return out;
 }
 
 } // namespace heap::tfhe

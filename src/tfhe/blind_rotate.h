@@ -39,6 +39,8 @@ struct BlindRotateKey {
     std::vector<rlwe::RgswCiphertext> plus;
     std::vector<rlwe::RgswCiphertext> minus;
     rlwe::GadgetParams gadget;
+    /** Error width the RGSW rows were encrypted with (noise model). */
+    double keyErrStdDev = 3.2;
 
     size_t dimension() const { return plus.size(); }
 };
@@ -86,6 +88,14 @@ math::RnsPoly buildIdentityTestPoly(
 rlwe::Ciphertext blindRotate(const lwe::LweCiphertext& lwe,
                              const math::RnsPoly& testPoly,
                              const BlindRotateKey& brk);
+
+/**
+ * Predicted phase-error stddev of a blindRotate() output accumulator:
+ * up to 2n external products, each contributing gadget noise from the
+ * RGSW rows (limbs * d * N digit terms at the key's error width).
+ */
+double blindRotateSigma(const BlindRotateKey& brk, size_t limbs,
+                        size_t ringN);
 
 /**
  * Batched BlindRotate with the paper's key-major schedule (Section

@@ -96,9 +96,10 @@ TEST_F(DistFixture, TrafficMatchesWireFormat)
     std::vector<ckks::Complex> z(32, ckks::Complex(-0.4, 0.25));
     (void)dist.bootstrap(levelOneCiphertext(z));
     const auto& t = dist.lastTraffic();
-    // Each serialized LWE: modulus + b + length + N mask words; each
-    // batch: frame header + count + 8 LWEs.
-    const size_t lweBytes = 8 * (3 + ctx.params().n);
+    // Each serialized LWE: magic + 10-word noise budget + modulus +
+    // b + length + N mask words; each batch: frame header + count +
+    // 8 LWEs.
+    const size_t lweBytes = 8 * (14 + ctx.params().n);
     EXPECT_EQ(t.lweBytesOut,
               7u * (kFrameHeaderBytes + 8 + 8 * lweBytes));
     // Replies dominate: each accumulator is a full-basis RLWE pair.

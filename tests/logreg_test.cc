@@ -227,6 +227,61 @@ TEST(EncryptedLr, MiniBatchEpochsTrackPlaintext)
     }
 }
 
+TEST(EncryptedLr, BudgetDrivenRefreshKeepsAccuracy)
+{
+    // With nine levels, two degree-1 iterations never hit the level
+    // floor, so the control run must not bootstrap. Inflating the
+    // guard's noise margin makes the tracked budget report exhaustion
+    // mid-training; refreshIfNeeded must then bootstrap on the budget
+    // signal alone — and the weights must still land on the same
+    // plaintext reference as the uninterrupted run.
+    const size_t features = 8, batch = 4;
+    Rng rng(10);
+    const auto data = makeSyntheticMnist38(batch, features, rng);
+
+    auto runTraining = [&](double marginSigmas, size_t& bootstraps) {
+        ckks::Context ctx(lrParams(64, 9), 557);
+        NoiseGuardConfig cfg;
+        cfg.marginSigmas = marginSigmas;
+        ctx.setNoiseGuard(cfg); // policy stays Off: tracking only
+        boot::SchemeSwitchBootstrapper boot(
+            ctx, rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6});
+        EncryptedLogisticRegression enc(ctx, features, batch, &boot, 1);
+        enc.train(enc.encryptBatch(data, 0), 2, 1.0);
+        bootstraps = enc.bootstrapCount();
+        return enc.decryptWeights();
+    };
+
+    size_t controlBoots = 0, tightBoots = 0;
+    const auto wControl = runTraining(6.0, controlBoots);
+    const auto wTight = runTraining(1e30, tightBoots);
+    EXPECT_EQ(controlBoots, 0u);
+    EXPECT_GE(tightBoots, 1u);
+
+    // Same degree-1 plaintext reference as TrainsAcrossBootstrap.
+    std::vector<double> w(features, 0.0);
+    for (int it = 0; it < 2; ++it) {
+        std::vector<double> grad(features, 0.0);
+        for (size_t b = 0; b < batch; ++b) {
+            double u = 0;
+            for (size_t f = 0; f < features; ++f) {
+                u += w[f] * data.x[b][f] * data.y[b];
+            }
+            const double g = 0.5 - 0.25 * u;
+            for (size_t f = 0; f < features; ++f) {
+                grad[f] += g * data.y[b] * data.x[b][f];
+            }
+        }
+        for (size_t f = 0; f < features; ++f) {
+            w[f] += grad[f] / static_cast<double>(batch);
+        }
+    }
+    for (size_t f = 0; f < features; ++f) {
+        EXPECT_NEAR(wControl[f], w[f], 0.15) << "f=" << f;
+        EXPECT_NEAR(wTight[f], w[f], 0.15) << "f=" << f;
+    }
+}
+
 TEST(EncryptedLr, RejectsBadLayout)
 {
     ckks::Context ctx(lrParams(256, 7), 558);

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Tests for the live noise-budget guard: per-ciphertext tracking,
+ * the four guard policies, trip detection *before* a corrupting
+ * decryption, byte-transparency of the tracking metadata, bootstrap
+ * input validation, and budget preservation across the distributed
+ * protocol's faulty links.
+ */
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "boot/distributed.h"
+#include "boot/scheme_switch.h"
+#include "ckks/evaluator.h"
+#include "ckks/noise.h"
+#include "ckks/serialize.h"
+
+namespace heap::ckks {
+namespace {
+
+CkksParams
+guardParams()
+{
+    CkksParams p;
+    p.n = 256;
+    p.limbBits = 30;
+    p.levels = 3;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    return p;
+}
+
+std::vector<Complex>
+halfBoxSlots(size_t count)
+{
+    std::vector<Complex> z(count);
+    for (size_t i = 0; i < count; ++i) {
+        z[i] = Complex(0.4 + 0.1 * std::cos(0.3 * static_cast<double>(i)),
+                       0.1 * std::sin(0.5 * static_cast<double>(i)));
+    }
+    return z;
+}
+
+struct GuardFixture : ::testing::Test {
+    Context ctx{guardParams(), 777};
+    Evaluator ev{ctx};
+};
+
+TEST_F(GuardFixture, FreshCiphertextHasTrackedBudget)
+{
+    const auto z = halfBoxSlots(128);
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    EXPECT_TRUE(ct.budget.tracked);
+    EXPECT_GT(ct.budget.sigma, 0.0);
+    EXPECT_GT(ct.budget.messageRms, 0.0);
+    EXPECT_EQ(ct.budget.opChain(), "fresh");
+    const double budget = ctx.noiseBudgetBits(ct);
+    EXPECT_TRUE(std::isfinite(budget));
+    EXPECT_GT(budget, 10.0);
+    EXPECT_GT(ctx.noisePrecisionBits(ct), 10.0);
+}
+
+TEST_F(GuardFixture, OpChainAndCountersAccumulate)
+{
+    ctx.makeRotationKeys(std::array<int64_t, 1>{1});
+    const auto z = halfBoxSlots(128);
+    auto a = ctx.encrypt(std::span<const Complex>(z));
+    auto b = ctx.encrypt(std::span<const Complex>(z));
+    auto t = ev.multiplyRescale(a, b);
+    t = ev.add(t, ev.rotate(t, 1));
+    // add() merges both operands' histories, so the multiply/rescale
+    // of the shared ancestor is counted once per operand.
+    EXPECT_EQ(t.budget.mults, 2u);
+    EXPECT_EQ(t.budget.rescales, 2u);
+    EXPECT_GE(t.budget.rotations, 1u);
+    EXPECT_GE(t.budget.adds, 1u);
+    EXPECT_GE(t.budget.keySwitches, 2u); // relin + rotation
+    const std::string chain = t.budget.opChain();
+    EXPECT_NE(chain.find("mult"), std::string::npos);
+    EXPECT_NE(chain.find("rescale"), std::string::npos);
+}
+
+// The acceptance chain: two unrescaled squarings. The first leaves
+// budget headroom and decrypts correctly; the second pushes the
+// message-plus-noise peak past q/2 and genuinely corrupts the result.
+// Under Throw the guard must fire when the corrupting multiply is
+// *performed* — before any decryption can return garbage.
+TEST_F(GuardFixture, ThrowFiresBeforeDecryptionCorrupts)
+{
+    const auto z = halfBoxSlots(128);
+
+    // Reference run, guard Off: the corruption is real.
+    {
+        auto maxErr = [](std::span<const Complex> got,
+                         std::span<const Complex> want) {
+            double worst = 0;
+            for (size_t i = 0; i < want.size(); ++i) {
+                worst = std::max(worst, std::abs(got[i] - want[i]));
+            }
+            return worst;
+        };
+        auto ct = ctx.encrypt(std::span<const Complex>(z));
+        auto sq1 = ev.square(ct);
+        std::vector<Complex> want2(z.size());
+        for (size_t i = 0; i < z.size(); ++i) {
+            want2[i] = z[i] * z[i];
+        }
+        // One squaring still decrypts to the right values.
+        EXPECT_LT(maxErr(ctx.decrypt(sq1), want2), 1e-2);
+        EXPECT_GT(ctx.noiseBudgetBits(sq1), 0.0);
+
+        auto sq2 = ev.square(sq1);
+        std::vector<Complex> want4(z.size());
+        for (size_t i = 0; i < z.size(); ++i) {
+            want4[i] = want2[i] * want2[i];
+        }
+        // The second squaring pushes the message coefficients past
+        // q/2: the phase wraps and the decryption is garbage (the
+        // surviving residue mod q is negligible at this scale).
+        EXPECT_GT(maxErr(ctx.decrypt(sq2), want4), 1e-2);
+        EXPECT_LT(ctx.noiseBudgetBits(sq2), 0.0);
+    }
+
+    // Guarded run on an identical context: same chain, but the
+    // corrupting multiply raises UserError naming the op.
+    Context guarded{guardParams(), 777};
+    Evaluator gev{guarded};
+    NoiseGuardConfig cfg;
+    cfg.policy = NoiseGuardPolicy::Throw;
+    guarded.setNoiseGuard(cfg);
+    auto ct = guarded.encrypt(std::span<const Complex>(z));
+    auto sq1 = gev.square(ct); // within budget: must not throw
+    try {
+        (void)gev.square(sq1);
+        FAIL() << "guard did not fire on the corrupting multiply";
+    } catch (const UserError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("decryption-failure"), std::string::npos);
+        EXPECT_NE(what.find("multiply"), std::string::npos);
+        EXPECT_NE(what.find("mult"), std::string::npos) << what;
+    }
+    EXPECT_GE(guarded.noiseStats().guardTrips(), 1u);
+}
+
+// Tracking is pure metadata: with the guard Off the ciphertext bytes
+// of the whole chain are identical to a run under an active
+// (non-throwing) policy on an identically seeded context.
+TEST_F(GuardFixture, PolicyDoesNotAlterCiphertextBytes)
+{
+    const auto z = halfBoxSlots(128);
+
+    auto runChain = [&](Context& c) {
+        Evaluator e{c};
+        auto ct = c.encrypt(std::span<const Complex>(z));
+        auto sq1 = e.square(ct);
+        auto sq2 = e.square(sq1); // trips under an active policy
+        return std::make_pair(saveCiphertext(sq1), saveCiphertext(sq2));
+    };
+
+    Context off{guardParams(), 777};
+    // off keeps the default policy (Off).
+    Context cb{guardParams(), 777};
+    NoiseGuardConfig cfg;
+    cfg.policy = NoiseGuardPolicy::Callback;
+    size_t events = 0;
+    cfg.callback = [&](const NoiseEvent&) { ++events; };
+    cb.setNoiseGuard(cfg);
+
+    const auto [offSq1, offSq2] = runChain(off);
+    const auto [cbSq1, cbSq2] = runChain(cb);
+    EXPECT_EQ(offSq1, cbSq1);
+    EXPECT_EQ(offSq2, cbSq2);
+    EXPECT_GE(events, 1u); // the callback did observe the trip
+}
+
+TEST_F(GuardFixture, WarnPolicyWarnsWithoutThrowing)
+{
+    NoiseGuardConfig cfg;
+    cfg.policy = NoiseGuardPolicy::Warn;
+    ctx.setNoiseGuard(cfg);
+    const auto z = halfBoxSlots(128);
+    auto ct = ctx.encrypt(std::span<const Complex>(z));
+    EXPECT_NO_THROW({
+        auto sq2 = ev.square(ev.square(ct));
+        (void)sq2;
+    });
+    EXPECT_GE(ctx.noiseStats().guardTrips(), 1u);
+}
+
+TEST_F(GuardFixture, CallbackReceivesTripDetails)
+{
+    NoiseGuardConfig cfg;
+    cfg.policy = NoiseGuardPolicy::Callback;
+    std::vector<NoiseEvent> events;
+    cfg.callback = [&](const NoiseEvent& e) { events.push_back(e); };
+    ctx.setNoiseGuard(cfg);
+    const auto z = halfBoxSlots(128);
+    auto sq2 = ev.square(ev.square(ctx.encrypt(std::span<const Complex>(z))));
+    (void)sq2;
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.front().kind, NoiseTripKind::DecryptionFailure);
+    EXPECT_EQ(events.front().op, "multiply");
+    EXPECT_LE(events.front().budgetBits, 0.0);
+    EXPECT_NE(events.front().opChain.find("mult"), std::string::npos);
+}
+
+TEST_F(GuardFixture, PrecisionTripFiresOnTightThreshold)
+{
+    // A fresh ciphertext has ~25 precision bits here; demanding more
+    // flags it immediately as a Precision trip (not a failure).
+    NoiseGuardConfig cfg;
+    cfg.policy = NoiseGuardPolicy::Callback;
+    cfg.minPrecisionBits = 60.0;
+    std::vector<NoiseEvent> events;
+    cfg.callback = [&](const NoiseEvent& e) { events.push_back(e); };
+    ctx.setNoiseGuard(cfg);
+    const auto z = halfBoxSlots(128);
+    (void)ctx.encrypt(std::span<const Complex>(z));
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.front().kind, NoiseTripKind::Precision);
+    EXPECT_EQ(events.front().op, "encrypt");
+}
+
+TEST_F(GuardFixture, StatsTrackOpsAndMinBudget)
+{
+    ctx.noiseStats().reset();
+    EXPECT_EQ(ctx.noiseStats().opsTracked(), 0u);
+    EXPECT_TRUE(std::isinf(ctx.noiseStats().minBudgetBits()));
+    const auto z = halfBoxSlots(128);
+    auto ct = ctx.encrypt(std::span<const Complex>(z));
+    const auto after1 = ctx.noiseStats().minBudgetBits();
+    EXPECT_TRUE(std::isfinite(after1));
+    auto sq = ev.square(ct);
+    (void)sq;
+    EXPECT_GE(ctx.noiseStats().opsTracked(), 2u);
+    EXPECT_LT(ctx.noiseStats().minBudgetBits(), after1);
+}
+
+TEST_F(GuardFixture, DropToLevelShrinksBudget)
+{
+    const auto z = halfBoxSlots(128);
+    auto ct = ctx.encrypt(std::span<const Complex>(z));
+    const double before = ctx.noiseBudgetBits(ct);
+    ev.dropToLevel(ct, 1);
+    const double after = ctx.noiseBudgetBits(ct);
+    EXPECT_LT(after, before - 30.0); // two ~30-bit limbs gone
+}
+
+} // namespace
+} // namespace heap::ckks
+
+namespace heap::boot {
+namespace {
+
+ckks::CkksParams
+smallBootParams()
+{
+    ckks::CkksParams p;
+    p.n = 64;
+    p.limbBits = 30;
+    p.levels = 2;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    p.secretHamming = 16;
+    return p;
+}
+
+constexpr auto kBrGadget =
+    rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6};
+
+std::vector<ckks::Complex>
+smallSlots()
+{
+    std::vector<ckks::Complex> z;
+    for (size_t i = 0; i < 32; ++i) {
+        z.emplace_back(std::cos(0.2 * static_cast<double>(i)) * 0.5,
+                       std::sin(0.3 * static_cast<double>(i)) * 0.5);
+    }
+    return z;
+}
+
+TEST(BootstrapGuard, SchemeSwitchValidatesInputBudget)
+{
+    ckks::Context ctx{smallBootParams(), 4242};
+    ckks::Evaluator ev{ctx};
+    SchemeSwitchBootstrapper boot{ctx, kBrGadget};
+    NoiseGuardConfig cfg;
+    cfg.policy = NoiseGuardPolicy::Throw;
+    ctx.setNoiseGuard(cfg);
+
+    const auto z = smallSlots();
+    auto ct = ctx.encrypt(std::span<const ckks::Complex>(z));
+    ev.dropToLevel(ct, 1);
+
+    // A healthy level-1 ciphertext passes validation and refreshes.
+    auto boosted = boot.bootstrap(ct);
+    EXPECT_TRUE(boosted.budget.tracked);
+    EXPECT_EQ(boosted.budget.bootstraps, 1u);
+    EXPECT_GT(ctx.noiseBudgetBits(boosted), 0.0);
+
+    // An exhausted one is rejected up front, naming the path.
+    auto bad = ct;
+    bad.budget.sigma = static_cast<double>(ctx.basis()->modulus(0));
+    try {
+        (void)boot.bootstrap(bad);
+        FAIL() << "bootstrap accepted an exhausted input";
+    } catch (const UserError& e) {
+        EXPECT_NE(std::string(e.what()).find("scheme-switch bootstrap"),
+                  std::string::npos);
+    }
+}
+
+TEST(BootstrapGuard, PredictedBudgetBracketsMeasuredBootstrapNoise)
+{
+    ckks::Context ctx{smallBootParams(), 4242};
+    ckks::Evaluator ev{ctx};
+    ckks::NoiseEstimator est{ctx};
+    SchemeSwitchBootstrapper boot{ctx, kBrGadget};
+
+    const auto z = smallSlots();
+    auto ct = ctx.encrypt(std::span<const ckks::Complex>(z));
+    ev.dropToLevel(ct, 1);
+    const auto out = boot.bootstrap(ct);
+    ASSERT_TRUE(out.budget.tracked);
+
+    // The blind-rotate estimate is a CLT bound composed across the
+    // extract/rotate/repack pipeline; hold it to two orders of
+    // magnitude of the measured phase error in either direction.
+    const double measured = est.measure(out, z);
+    EXPECT_LT(measured, 200.0 * out.budget.sigma)
+        << "measured " << measured << " predicted " << out.budget.sigma;
+    EXPECT_GT(measured, out.budget.sigma / 200.0)
+        << "measured " << measured << " predicted " << out.budget.sigma;
+    // Sanity: the predicted noise leaves usable precision at Delta.
+    EXPECT_GT(ctx.noisePrecisionBits(out), 4.0);
+}
+
+TEST(BootstrapGuard, DistributedBudgetIdenticalUnderFaults)
+{
+    ckks::Context ctx{smallBootParams(), 4242};
+    ckks::Evaluator ev{ctx};
+    DistributedBootstrapper dist{ctx, 2, kBrGadget};
+
+    const auto z = smallSlots();
+    auto ct = ctx.encrypt(std::span<const ckks::Complex>(z));
+    ev.dropToLevel(ct, 1);
+
+    const auto clean = dist.bootstrap(ct);
+    ASSERT_TRUE(clean.budget.tracked);
+    EXPECT_EQ(clean.budget.bootstraps, 1u);
+    const auto cleanBytes = ckks::saveCiphertext(clean);
+
+    FaultSpec spec;
+    spec.seed = 99;
+    spec.drop = 0.1;
+    spec.bitflip = 0.1;
+    spec.truncate = 0.05;
+    spec.duplicate = 0.1;
+    spec.reorder = 0.2;
+    dist.setFaults(spec);
+    const auto faulty = dist.bootstrap(ct);
+    // Budgets ride the serialized LWE batches and the analytic output
+    // record: byte-identical output regardless of link faults.
+    EXPECT_EQ(ckks::saveCiphertext(faulty), cleanBytes);
+}
+
+} // namespace
+} // namespace heap::boot

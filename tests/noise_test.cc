@@ -154,5 +154,64 @@ TEST_F(NoiseFixture, GadgetNoiseScalesWithBase)
     EXPECT_NEAR(ratio, 32.0 / std::sqrt(2.0), 2.0);
 }
 
+// The tracked NoiseBudget composes the same analytic formulas as the
+// estimator; these chain tests check the *composed* prediction still
+// brackets the measured error after several dependent primitives.
+TEST_F(NoiseFixture, TrackedBudgetMatchesMeasurementAcrossChain)
+{
+    ctx.makeRotationKeys(std::array<int64_t, 1>{1});
+    const auto z1 = randomSlots(128, 0.5);
+    const auto z2 = randomSlots(128, 0.5);
+    auto a = ctx.encrypt(std::span<const Complex>(z1));
+    auto b = ctx.encrypt(std::span<const Complex>(z2));
+
+    auto t = ev.multiplyRescale(a, b);
+    auto r = ev.rotate(t, 1);
+    auto s = ev.add(t, r);
+    ASSERT_TRUE(s.budget.tracked);
+
+    std::vector<Complex> want(128);
+    for (size_t i = 0; i < 128; ++i) {
+        want[i] = z1[i] * z2[i] + z1[(i + 1) % 128] * z2[(i + 1) % 128];
+    }
+    const double measured = est.measure(s, want);
+    // Chains accumulate encoding-rounding terms the tracker folds
+    // into a single floor; an order of magnitude is the contract.
+    EXPECT_LT(measured, 50.0 * s.budget.sigma);
+    EXPECT_GT(measured, s.budget.sigma / 50.0);
+
+    // The tracked message RMS should follow the encoded magnitude.
+    double slotRms = 0;
+    for (const auto& v : want) {
+        slotRms += std::norm(v);
+    }
+    slotRms = std::sqrt(slotRms / 128.0);
+    const double rmsWant = est.messageRms(slotRms, s.scale);
+    EXPECT_LT(s.budget.messageRms, 8.0 * rmsWant);
+    EXPECT_GT(s.budget.messageRms, rmsWant / 8.0);
+}
+
+TEST_F(NoiseFixture, TrackedBudgetMatchesMeasurementOnSquaringLadder)
+{
+    const auto z = randomSlots(128, 0.5);
+    auto ct = ctx.encrypt(std::span<const Complex>(z));
+    std::vector<Complex> want(z.begin(), z.end());
+    // Two rescaled squarings: depth-2 chain ending at level 1.
+    for (int step = 0; step < 2; ++step) {
+        ct = ev.multiplyRescale(ct, ct);
+        for (auto& v : want) {
+            v *= v;
+        }
+    }
+    EXPECT_EQ(ct.level(), 1u);
+    const double measured = est.measure(ct, want);
+    EXPECT_LT(measured, 50.0 * ct.budget.sigma);
+    EXPECT_GT(measured, ct.budget.sigma / 50.0);
+    // Budget accounting: positive headroom left, and the precision
+    // estimate brackets the actual slot accuracy.
+    EXPECT_GT(ctx.noiseBudgetBits(ct), 0.0);
+    EXPECT_GT(ctx.noisePrecisionBits(ct), 5.0);
+}
+
 } // namespace
 } // namespace heap::ckks

@@ -5,6 +5,7 @@
  * truncated, or parameter-mismatched data.
  */
 
+#include <bit>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -15,6 +16,25 @@
 
 namespace heap::ckks {
 namespace {
+
+/**
+ * Budget equality by bit pattern: fuzzed payloads may decode -0.0
+ * where the original held 0.0, which operator== would miss.
+ */
+bool
+sameBudgetBits(const NoiseBudget& a, const NoiseBudget& b)
+{
+    return a.tracked == b.tracked
+           && std::bit_cast<uint64_t>(a.sigma)
+                  == std::bit_cast<uint64_t>(b.sigma)
+           && std::bit_cast<uint64_t>(a.messageRms)
+                  == std::bit_cast<uint64_t>(b.messageRms)
+           && a.adds == b.adds && a.mults == b.mults
+           && a.rescales == b.rescales && a.rotations == b.rotations
+           && a.conjugations == b.conjugations
+           && a.keySwitches == b.keySwitches
+           && a.bootstraps == b.bootstraps;
+}
 
 TEST(ByteIo, PrimitivesRoundTrip)
 {
@@ -217,7 +237,9 @@ TEST(LweWireFormat, FuzzedEncodingsThrowOrDecodeDifferently)
             ByteReader r(bad);
             const auto got = lwe::loadLwe(r);
             const bool unchanged = r.atEnd() && got.modulus == ct.modulus
-                                   && got.b == ct.b && got.a == ct.a;
+                                   && got.b == ct.b && got.a == ct.a
+                                   && sameBudgetBits(got.budget,
+                                                     ct.budget);
             EXPECT_FALSE(unchanged) << "bit " << bit;
         } catch (const UserError&) {
             // rejection is the common (and desired) outcome
@@ -226,15 +248,56 @@ TEST(LweWireFormat, FuzzedEncodingsThrowOrDecodeDifferently)
 
     // Length inflation in the mask-vector count: must throw (either
     // as a truncation or as an over-large vector), never over-read.
+    // Wire layout: magic(8) budget(80) modulus(8) b(8) count at 104.
     for (const uint64_t factor : {2ull, 1ull << 20, 1ull << 60}) {
         auto bad = bytes;
         const uint64_t len = ct.a.size() * factor;
         for (int i = 0; i < 8; ++i) {
-            bad[16 + i] = static_cast<uint8_t>(len >> (8 * i));
+            bad[104 + i] = static_cast<uint8_t>(len >> (8 * i));
         }
         ByteReader r(bad);
         EXPECT_THROW((void)lwe::loadLwe(r), UserError) << factor;
     }
+}
+
+TEST(LweWireFormat, BudgetRoundTrip)
+{
+    lwe::LweCiphertext ct;
+    ct.modulus = uint64_t{1} << 40;
+    ct.b = 42;
+    ct.a.assign(64, 7);
+    ct.budget.tracked = true;
+    ct.budget.sigma = 12.5;
+    ct.budget.messageRms = 512.0;
+    ct.budget.keySwitches = 3;
+    ct.budget.bootstraps = 1;
+    ByteWriter w;
+    lwe::saveLwe(ct, w);
+    ByteReader r(w.bytes());
+    const auto back = lwe::loadLwe(r);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_TRUE(sameBudgetBits(back.budget, ct.budget));
+}
+
+TEST(LweWireFormat, AcceptsLegacyMagiclessPayload)
+{
+    // Pre-noise-tracking payloads start directly with the modulus
+    // word; the loader must still parse them (budget untracked).
+    lwe::LweCiphertext ct;
+    ct.modulus = uint64_t{1} << 32;
+    ct.b = 77;
+    ct.a = {1, 2, 3, 4};
+    ByteWriter w;
+    w.u64(ct.modulus);
+    w.u64(ct.b);
+    w.u64Span(ct.a);
+    ByteReader r(w.bytes());
+    const auto back = lwe::loadLwe(r);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(back.modulus, ct.modulus);
+    EXPECT_EQ(back.b, ct.b);
+    EXPECT_EQ(back.a, ct.a);
+    EXPECT_FALSE(back.budget.tracked);
 }
 
 TEST_F(SerFixture, FuzzedRlweEncodingsThrowOrDecodeDifferently)
@@ -288,6 +351,44 @@ TEST_F(SerFixture, FuzzedRlweEncodingsThrowOrDecodeDifferently)
     bad[8] = 0xff;
     ByteReader r(bad);
     EXPECT_THROW((void)loadRlwe(r, basis), UserError);
+}
+
+TEST_F(SerFixture, CiphertextBudgetRoundTrip)
+{
+    const auto z = slots();
+    auto ct = ctx.encrypt(std::span<const Complex>(z));
+    ct = ev.multiplyRescale(ct, ct);
+    ASSERT_TRUE(ct.budget.tracked);
+    const auto back = loadCiphertext(saveCiphertext(ct), ctx);
+    EXPECT_TRUE(sameBudgetBits(back.budget, ct.budget));
+    EXPECT_EQ(back.budget.mults, 1u);
+    EXPECT_EQ(back.budget.rescales, 1u);
+}
+
+TEST_F(SerFixture, AcceptsV1PayloadWithoutBudget)
+{
+    // A V1 payload is the V2 layout minus the 80-byte budget block,
+    // under the old magic. Splice one together from a V2 encoding and
+    // check the loader still accepts it, leaving the budget untracked.
+    const auto z = slots();
+    const auto ct = ctx.encrypt(std::span<const Complex>(z));
+    auto bytes = saveCiphertext(ct);
+    const size_t budgetOff = 8 /*magic*/ + 8 /*n*/ + 8 /*limb count*/
+                             + ct.level() * 8 /*moduli*/ + 8 /*scale*/
+                             + 8 /*slots*/;
+    bytes.erase(bytes.begin() + static_cast<ptrdiff_t>(budgetOff),
+                bytes.begin() + static_cast<ptrdiff_t>(budgetOff + 80));
+    const uint64_t v1Magic = 0x48454150'43543031ULL; // HEAPCT01
+    for (int i = 0; i < 8; ++i) {
+        bytes[static_cast<size_t>(i)] =
+            static_cast<uint8_t>(v1Magic >> (8 * i));
+    }
+    const auto back = loadCiphertext(bytes, ctx);
+    EXPECT_FALSE(back.budget.tracked);
+    const auto dec = ctx.decrypt(back);
+    for (size_t i = 0; i < z.size(); ++i) {
+        ASSERT_LT(std::abs(dec[i] - z[i]), 1e-3);
+    }
 }
 
 TEST_F(SerFixture, RejectsParameterMismatch)

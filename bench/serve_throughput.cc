@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Serving-runtime throughput: many client threads push bootstrap
+ * requests through a BootstrapService over a 3-secondary distributed
+ * bootstrapper (the paper's pod operated as a shared service), and we
+ * measure goodput, continuous-batching occupancy, and end-to-end
+ * latency percentiles. Beyond the console table, the run emits
+ * machine-readable BENCH_serve.json so CI and scripts can track the
+ * serving numbers.
+ */
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "boot/distributed.h"
+#include "ckks/evaluator.h"
+#include "common/timer.h"
+#include "serve/service.h"
+
+namespace {
+
+/** null when not finite, so the JSON stays valid. */
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v)) {
+        return "null";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace heap;
+
+    bench::banner(
+        "Bootstrap serving throughput (functional library)",
+        "Client threads submit CKKS bootstraps to a BootstrapService "
+        "over a 3-secondary distributed bootstrapper; the scheduler "
+        "packs blind-rotate items from different requests into "
+        "shared batches. Emits BENCH_serve.json.");
+
+    ckks::CkksParams p;
+    p.n = 64;
+    p.limbBits = 30;
+    p.levels = 2;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    p.secretHamming = 16;
+    ckks::Context ctx(p, 42);
+    ckks::Evaluator ev(ctx);
+    boot::DistributedBootstrapper dist(
+        ctx, 3, rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6});
+
+    constexpr size_t kRequests = 12;
+    constexpr size_t kClients = 4;
+    std::vector<ckks::Ciphertext> inputs;
+    for (size_t r = 0; r < kRequests; ++r) {
+        std::vector<ckks::Complex> z;
+        for (size_t i = 0; i < 16; ++i) {
+            z.emplace_back(
+                0.6 * std::cos(0.3 * static_cast<double>(i + r)),
+                0.3 * std::sin(0.2 * static_cast<double>(i) - 0.1 * r));
+        }
+        auto ct = ctx.encrypt(std::span<const ckks::Complex>(z));
+        ev.dropToLevel(ct, 1);
+        inputs.push_back(std::move(ct));
+    }
+
+    const hw::FpgaConfig cfg;
+    const hw::HeapParams hp;
+    const hw::BootstrapModel model(cfg, hp, 8);
+    serve::ServiceConfig scfg;
+    scfg.workers = 4;
+    scfg.maxQueuedRequests = kRequests;
+    scfg.maxBatchItems = 48; // < N: batches straddle requests
+    scfg.costModel = &model;
+    serve::BootstrapService svc(dist, scfg);
+
+    std::vector<std::shared_ptr<serve::BootstrapTicket>> tickets(
+        kRequests);
+    Timer wall;
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (size_t r = c; r < kRequests; r += kClients) {
+                tickets[r] = svc.submit(inputs[r]);
+            }
+        });
+    }
+    for (auto& t : clients) {
+        t.join();
+    }
+    const double submitMs = wall.millis();
+    serve::LatencyReservoir lat;
+    for (auto& t : tickets) {
+        (void)t->wait();
+        lat.record(t->report().totalMs);
+    }
+    const double totalMs = wall.millis();
+    const serve::ServiceMetrics m = svc.metrics();
+
+    const double offeredRps = submitMs > 0
+                                  ? 1e3 * kRequests / submitMs
+                                  : 0.0;
+    const double goodputRps =
+        totalMs > 0 ? 1e3 * static_cast<double>(m.completed) / totalMs
+                    : 0.0;
+    const auto sum = bench::summarizeLatency(lat);
+
+    Table t({"metric", "value"});
+    t.addRow({"requests", Table::num(kRequests, 0)});
+    t.addRow({"client threads", Table::num(kClients, 0)});
+    t.addRow({"offered load (req/s)", Table::num(offeredRps, 1)});
+    t.addRow({"goodput (req/s)", Table::num(goodputRps, 2)});
+    t.addRow({"batches", Table::num(
+                  static_cast<double>(m.batches), 0)});
+    t.addRow({"batch occupancy (reqs)",
+              Table::num(m.batchOccupancy, 2)});
+    t.addRow({"mean batch items", Table::num(m.meanBatchItems, 1)});
+    t.addRow({"latency", bench::latencyCell(sum)});
+    t.addRow({"wire bytes out", Table::num(
+                  static_cast<double>(m.wireBytesOut), 0)});
+    t.addRow({"wire bytes in", Table::num(
+                  static_cast<double>(m.wireBytesIn), 0)});
+    t.addRow({"min returned budget (bits)",
+              Table::num(m.minReturnedBudgetBits, 1)});
+    t.print();
+
+    FILE* f = std::fopen("BENCH_serve.json", "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"requests\": %zu,\n"
+        "  \"client_threads\": %zu,\n"
+        "  \"offered_load_rps\": %s,\n"
+        "  \"goodput_rps\": %s,\n"
+        "  \"completed\": %llu,\n"
+        "  \"rejected\": %llu,\n"
+        "  \"deadline_misses\": %llu,\n"
+        "  \"batches\": %llu,\n"
+        "  \"batch_occupancy\": %s,\n"
+        "  \"mean_batch_items\": %s,\n"
+        "  \"latency_ms\": {\"p50\": %s, \"p95\": %s, \"p99\": %s, "
+        "\"mean\": %s},\n"
+        "  \"wire_bytes_out\": %llu,\n"
+        "  \"wire_bytes_in\": %llu,\n"
+        "  \"retransmits\": %llu,\n"
+        "  \"min_returned_budget_bits\": %s,\n"
+        "  \"guard_trips\": %llu\n"
+        "}\n",
+        kRequests, kClients, jsonNum(offeredRps).c_str(),
+        jsonNum(goodputRps).c_str(),
+        static_cast<unsigned long long>(m.completed),
+        static_cast<unsigned long long>(m.rejected),
+        static_cast<unsigned long long>(m.deadlineMisses),
+        static_cast<unsigned long long>(m.batches),
+        jsonNum(m.batchOccupancy).c_str(),
+        jsonNum(m.meanBatchItems).c_str(), jsonNum(sum.p50Ms).c_str(),
+        jsonNum(sum.p95Ms).c_str(), jsonNum(sum.p99Ms).c_str(),
+        jsonNum(sum.meanMs).c_str(),
+        static_cast<unsigned long long>(m.wireBytesOut),
+        static_cast<unsigned long long>(m.wireBytesIn),
+        static_cast<unsigned long long>(m.retransmits),
+        jsonNum(m.minReturnedBudgetBits).c_str(),
+        static_cast<unsigned long long>(m.guardTrips));
+    std::fclose(f);
+    std::printf("\nwrote BENCH_serve.json\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The bootstrap serving runtime end to end: a BootstrapService wraps
+ * the Section V distributed bootstrapper (primary + 2 secondaries)
+ * and serves TWO encrypted logistic-regression trainers concurrently
+ * — each trainer plugs the service in as its refresher, so when
+ * training exhausts the level budget, the weight ciphertexts from
+ * both clients are decomposed into blind-rotate work items and packed
+ * into shared batches (vLLM-style continuous batching, applied to
+ * FHE bootstrapping).
+ *
+ * Build & run:  ./build/examples/bootstrap_service
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "apps/logreg.h"
+#include "boot/distributed.h"
+#include "common/timer.h"
+#include "serve/service.h"
+
+int
+main()
+{
+    using namespace heap;
+    using namespace heap::apps;
+
+    const size_t features = 8, batch = 4;
+    ckks::CkksParams p;
+    p.n = 64;
+    p.limbBits = 30;
+    p.levels = 5;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    p.secretHamming = 16;
+    ckks::Context ctx(p, 99);
+
+    std::printf("generating distributed bootstrap keys "
+                "(primary + 2 secondaries)...\n");
+    boot::DistributedBootstrapper dist(
+        ctx, 2, rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6});
+
+    // The shared serving runtime: 2 dispatch workers, batches capped
+    // below N so refreshes from different trainers can share one.
+    serve::ServiceConfig scfg;
+    scfg.workers = 2;
+    scfg.maxBatchItems = 48;
+    serve::BootstrapService svc(dist, scfg);
+
+    // Two tenants, each training on its own synthetic dataset. The
+    // refresher hook routes every level-exhaustion refresh through
+    // the shared service instead of a private bootstrapper.
+    Rng rngA(3), rngB(17);
+    const auto dataA = makeSyntheticMnist38(batch, features, rngA);
+    const auto dataB = makeSyntheticMnist38(batch, features, rngB);
+    EncryptedLogisticRegression tenantA(ctx, features, batch, nullptr,
+                                        /*sigmoidDegree=*/1);
+    EncryptedLogisticRegression tenantB(ctx, features, batch, nullptr,
+                                        /*sigmoidDegree=*/1);
+    for (EncryptedLogisticRegression* t : {&tenantA, &tenantB}) {
+        t->setRefresher([&svc](const ckks::Ciphertext& w) {
+            return svc.submit(w)->wait();
+        });
+    }
+    const auto batchA = tenantA.encryptBatch(dataA, 0);
+    const auto batchB = tenantB.encryptBatch(dataB, 0);
+
+    std::printf("training two tenants concurrently (3 GD iterations "
+                "each; levels force mid-training refreshes)...\n");
+    Timer t;
+    std::thread a([&] { tenantA.train(batchA, 3, 1.0); });
+    std::thread b([&] { tenantB.train(batchB, 3, 1.0); });
+    a.join();
+    b.join();
+    std::printf("done in %.1f s — tenant A refreshed %zu time(s), "
+                "tenant B %zu time(s)\n\n",
+                t.seconds(), tenantA.bootstrapCount(),
+                tenantB.bootstrapCount());
+
+    const serve::ServiceMetrics m = svc.metrics();
+    std::printf("service metrics:\n"
+                "  completed            %llu\n"
+                "  batches              %llu\n"
+                "  batch occupancy      %.2f distinct requests/batch\n"
+                "  mean batch items     %.1f\n"
+                "  latency p50/p99      %.0f / %.0f ms\n"
+                "  min returned budget  %.1f bits (guard trips: %llu)\n",
+                static_cast<unsigned long long>(m.completed),
+                static_cast<unsigned long long>(m.batches),
+                m.batchOccupancy, m.meanBatchItems, m.p50Ms, m.p99Ms,
+                m.minReturnedBudgetBits,
+                static_cast<unsigned long long>(m.guardTrips));
+
+    const auto wA = tenantA.decryptWeights();
+    const auto wB = tenantB.decryptWeights();
+    std::printf("\ntenant A w[0..3]: %.4f %.4f %.4f %.4f\n", wA[0],
+                wA[1], wA[2], wA[3]);
+    std::printf("tenant B w[0..3]: %.4f %.4f %.4f %.4f\n", wB[0],
+                wB[1], wB[2], wB[3]);
+    std::printf("\nBoth trainings stayed correct while sharing one "
+                "bootstrap pod — see DESIGN.md \"Serving layer\".\n");
+    return 0;
+}

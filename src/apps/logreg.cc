@@ -212,10 +212,10 @@ EncryptedLogisticRegression::refreshIfNeeded()
     if (!exhausted) {
         return;
     }
-    HEAP_CHECK(boot_ != nullptr,
+    HEAP_CHECK(refresher_ || boot_ != nullptr,
                "out of levels: attach a bootstrapper or raise levels");
     ev_.dropToLevel(w_, 1);
-    w_ = boot_->bootstrap(w_);
+    w_ = refresher_ ? refresher_(w_) : boot_->bootstrap(w_);
     ++bootstraps_;
 }
 

@@ -16,6 +16,7 @@
 #ifndef HEAP_APPS_LOGREG_H
 #define HEAP_APPS_LOGREG_H
 
+#include <functional>
 #include <optional>
 
 #include "apps/dataset.h"
@@ -106,6 +107,17 @@ class EncryptedLogisticRegression {
     /** Bootstraps performed so far. */
     size_t bootstrapCount() const { return bootstraps_; }
 
+    /**
+     * Pluggable refresh backend: takes the level-1 weight ciphertext,
+     * returns it bootstrapped. When set, it is preferred over the
+     * constructor's bootstrapper — this is how a shared
+     * serve::BootstrapService drives the trainer's refreshes (submit
+     * the ciphertext, wait on the ticket). An empty function restores
+     * the constructor behaviour.
+     */
+    using Refresher = std::function<ckks::Ciphertext(const ckks::Ciphertext&)>;
+    void setRefresher(Refresher refresher) { refresher_ = std::move(refresher); }
+
   private:
     ckks::Ciphertext innerProducts(const ckks::Ciphertext& z) const;
     /** Evaluates factor * sigma(-u) (the learning-rate/batch factor
@@ -119,6 +131,7 @@ class EncryptedLogisticRegression {
     ckks::Context* ctx_;
     ckks::Evaluator ev_;
     const boot::SchemeSwitchBootstrapper* boot_;
+    Refresher refresher_;
     int sigmoidDegree_;
     size_t features_;
     size_t batch_;

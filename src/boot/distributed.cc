@@ -6,6 +6,7 @@
 #include "ckks/serialize.h"
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/vtime.h"
 #include "lwe/serialize.h"
 
 namespace heap::boot {
@@ -272,27 +273,48 @@ DistributedBootstrapper::setRetryPolicy(const RetryPolicy& policy)
     retry_ = policy;
 }
 
+double
+DistributedBootstrapper::bootBlindRotateSigma() const
+{
+    const auto basis = ctx_->basis();
+    return tfhe::blindRotateSigma(brk_, basis->size(), basis->n());
+}
+
+std::vector<rlwe::Ciphertext>
+DistributedBootstrapper::rotateLocal(
+    std::span<const lwe::LweCiphertext> lwes) const
+{
+    return tfhe::blindRotateBatch(lwes, testPoly_, brk_);
+}
+
 /**
  * One batch exchange with secondary `s`, playing both protocol roles
  * over the faulty links (the secondary's engine runs when the primary
  * pumps its inbound link, as the paper's nodes run when frames hit
- * their CMACs). Touches only this secondary's links, node, stats, and
- * rotated[begin, end), so exchanges for different secondaries are
- * data-race-free and the per-link fault streams see identical message
- * sequences for every worker count.
+ * their CMACs). Touches only this secondary's links, node, and stats,
+ * so exchanges for different secondaries are data-race-free and the
+ * per-link fault streams see identical message sequences for every
+ * worker count.
  */
-void
-DistributedBootstrapper::runExchange(size_t s, size_t begin, size_t end,
-                                     std::span<const uint8_t> payload,
-                                     const ModSwitched& ms, uint64_t twoN,
-                                     std::vector<rlwe::Ciphertext>& rotated,
-                                     ExchangeStats& st) const
+std::vector<rlwe::Ciphertext>
+DistributedBootstrapper::exchangeRotate(
+    size_t s, uint64_t seq, std::span<const lwe::LweCiphertext> lwes,
+    ExchangeStats& st) const
 {
+    HEAP_CHECK(s < nodes_.size(), "bad secondary index " << s);
+    HEAP_CHECK(seq != 0, "sequence number 0 marks unreadable frames");
+    HEAP_CHECK(!lwes.empty(), "empty batch");
     const size_t outBytesBefore = out_[s].bytesTransferred();
     const size_t inBytesBefore = in_[s].bytesTransferred();
-    const size_t expected = end - begin;
-    const uint64_t seq = s + 1; // nonzero: seq 0 marks "frame unreadable"
+    const size_t expected = lwes.size();
+    ByteWriter pw;
+    pw.u64(lwes.size());
+    for (const auto& ct : lwes) {
+        lwe::saveLwe(ct, pw);
+    }
+    const std::vector<uint8_t>& payload = pw.bytes();
     const auto framed = frameMessage(FrameType::Batch, seq, payload);
+    std::vector<rlwe::Ciphertext> rotated(expected);
 
     // The secondary's protocol state for this bootstrap: framed
     // replies cached by sequence number, so duplicated or NACKed
@@ -357,7 +379,11 @@ DistributedBootstrapper::runExchange(size_t s, size_t begin, size_t end,
         const size_t polls =
             std::min(retry_.maxPolls, retry_.basePolls << shift);
         bool resendNow = false;
-        for (size_t p = 0; p < polls && !accepted && !resendNow; ++p) {
+        // One virtual-time poll per step; pollWait yields the CPU
+        // between misses so waiting exchanges don't starve compute
+        // threads (poll counts — and so RetryPolicy semantics and the
+        // traffic counters — are exactly as before).
+        pollWait(polls, [&] {
             pumpSecondary();
             while (auto msg = in_[s].tryReceive()) {
                 Frame f;
@@ -385,32 +411,49 @@ DistributedBootstrapper::runExchange(size_t s, size_t begin, size_t end,
                                                  ctx_->basis());
                 st.accBytesIn += msg->size();
                 for (size_t i = 0; i < accs.size(); ++i) {
-                    rotated[begin + i] = std::move(accs[i]);
+                    rotated[i] = std::move(accs[i]);
                 }
                 accepted = true;
             }
-        }
+            return accepted || resendNow;
+        });
     }
 
     if (accepted) {
         st.lweBytesOut += framed.size();
     } else {
-        // Retries exhausted: the secondary is dead for this bootstrap.
+        // Retries exhausted: the secondary is dead for this exchange.
         // Reclaim its share on the primary — correct result, slower
         // wall-clock — exactly as a lost FPGA would be absorbed.
         st.dead = true;
-        std::vector<lwe::LweCiphertext> mine;
-        mine.reserve(expected);
-        for (size_t i = begin; i < end; ++i) {
-            mine.push_back(lwe::extractLwe(ms.aMs, ms.bMs, i, twoN));
-        }
-        auto accs = tfhe::blindRotateBatch(mine, testPoly_, brk_);
+        auto accs = tfhe::blindRotateBatch(lwes, testPoly_, brk_);
         for (size_t i = 0; i < accs.size(); ++i) {
-            rotated[begin + i] = std::move(accs[i]);
+            rotated[i] = std::move(accs[i]);
         }
     }
     st.wireOut = out_[s].bytesTransferred() - outBytesBefore;
     st.wireIn = in_[s].bytesTransferred() - inBytesBefore;
+    return rotated;
+}
+
+void
+DistributedBootstrapper::resetProtocolRun() const
+{
+    ++runCounter_;
+    const size_t nsec = nodes_.size();
+    for (size_t s = 0; s < nsec; ++s) {
+        out_[s].clear();
+        in_[s].clear();
+        if (faultSpecs_[s].enabled()) {
+            const uint64_t base =
+                faultSpecs_[s].seed ^ (runCounter_ * 0x10001ULL);
+            out_[s].setFaults(faultSpecs_[s], mixSeed(base + 2 * s));
+            in_[s].setFaults(faultSpecs_[s], mixSeed(base + 2 * s + 1));
+        } else {
+            out_[s].clearFaults();
+            in_[s].clearFaults();
+        }
+    }
 }
 
 ckks::Ciphertext
@@ -435,21 +478,8 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
     // (late duplicates, delayed frames) and restart the per-link fault
     // streams from seeds derived off the spec seed, the link index,
     // and the run ordinal.
-    ++runCounter_;
+    resetProtocolRun();
     const size_t nsec = nodes_.size();
-    for (size_t s = 0; s < nsec; ++s) {
-        out_[s].clear();
-        in_[s].clear();
-        if (faultSpecs_[s].enabled()) {
-            const uint64_t base =
-                faultSpecs_[s].seed ^ (runCounter_ * 0x10001ULL);
-            out_[s].setFaults(faultSpecs_[s], mixSeed(base + 2 * s));
-            in_[s].setFaults(faultSpecs_[s], mixSeed(base + 2 * s + 1));
-        } else {
-            out_[s].clearFaults();
-            in_[s].clearFaults();
-        }
-    }
 
     // Partition the N extracted ciphertexts evenly over all nodes;
     // the primary keeps the first share (Section V).
@@ -457,11 +487,11 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
     const size_t share = (n + nodesTotal - 1) / nodesTotal;
     traffic_ = DistributedTraffic{};
 
-    // Serialize one batch payload per secondary (unframed; the
-    // exchange frames it with this batch's sequence number).
+    // Extract one LWE batch per secondary (unframed; the exchange
+    // serializes and frames it with this batch's sequence number).
     struct Plan {
         size_t begin = 0, end = 0;
-        std::vector<uint8_t> payload;
+        std::vector<lwe::LweCiphertext> lwes;
     };
     std::vector<Plan> plans(nsec);
     for (size_t s = 0; s < nsec; ++s) {
@@ -474,16 +504,16 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
         // 2N/q0: stamp that on the wire so budgets survive the link.
         const double msScale = static_cast<double>(twoN)
                                / static_cast<double>(basis->modulus(0));
-        ByteWriter w;
-        w.u64(end - begin);
+        Plan plan{begin, end, {}};
+        plan.lwes.reserve(end - begin);
         for (size_t i = begin; i < end; ++i) {
             auto ext = lwe::extractLwe(ms.aMs, ms.bMs, i, twoN);
             ext.budget = in.budget;
             ext.budget.sigma = in.budget.sigma * msScale;
             ext.budget.messageRms = in.budget.messageRms * msScale;
-            lwe::saveLwe(ext, w);
+            plan.lwes.push_back(std::move(ext));
         }
-        plans[s] = Plan{begin, end, w.bytes()};
+        plans[s] = std::move(plan);
         ++traffic_.batches;
     }
 
@@ -494,7 +524,7 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
         for (size_t i = 0; i < std::min(n, share); ++i) {
             mine.push_back(lwe::extractLwe(ms.aMs, ms.bMs, i, twoN));
         }
-        auto accs = tfhe::blindRotateBatch(mine, testPoly_, brk_);
+        auto accs = rotateLocal(mine);
         for (size_t i = 0; i < accs.size(); ++i) {
             rotated[i] = std::move(accs[i]);
         }
@@ -512,8 +542,11 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
         if (plan.begin >= plan.end) {
             return;
         }
-        runExchange(s, plan.begin, plan.end, plan.payload, ms, twoN,
-                    rotated, stats[s]);
+        // seq = s + 1: nonzero, and unique per link pair within a run.
+        auto accs = exchangeRotate(s, s + 1, plan.lwes, stats[s]);
+        for (size_t i = 0; i < accs.size(); ++i) {
+            rotated[plan.begin + i] = std::move(accs[i]);
+        }
     });
     for (const ExchangeStats& st : stats) {
         traffic_.lweBytesOut += st.lweBytesOut;

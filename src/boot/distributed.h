@@ -185,6 +185,22 @@ struct RetryPolicy {
     size_t maxPolls = 64;  ///< backoff cap, in polls
 };
 
+/**
+ * Outcome of one batch exchange (exchangeRotate), reduced into a
+ * DistributedTraffic by bootstrap() and by the serving layer.
+ */
+struct ExchangeStats {
+    size_t lweBytesOut = 0;
+    size_t accBytesIn = 0;
+    size_t wireOut = 0;
+    size_t wireIn = 0;
+    size_t retransmits = 0;
+    size_t nacks = 0;
+    size_t corruptFrames = 0;
+    size_t duplicateFrames = 0;
+    bool dead = false;
+};
+
 /** Per-bootstrap communication accounting. */
 struct DistributedTraffic {
     size_t lweBytesOut = 0; ///< goodput: accepted batch frames
@@ -250,26 +266,50 @@ class DistributedBootstrapper {
     size_t secondaryCount() const { return nodes_.size(); }
     const DistributedTraffic& lastTraffic() const { return traffic_; }
     const SecondaryNode& node(size_t i) const { return *nodes_[i]; }
+    const ckks::Context& context() const { return *ctx_; }
+    const tfhe::PackingKeys& packingKeys() const { return packKeys_; }
+    const math::RnsPoly& bootTestPoly() const { return testPoly_; }
+
+    /** Predicted accumulator error stddev of one blind rotation with
+     *  this object's keys (feeds bootstrapOutputBudget). */
+    double bootBlindRotateSigma() const;
+
+    // --- batch-level protocol API (used by bootstrap() itself and by
+    // --- the serving layer, serve::BootstrapService) -----------------
+
+    /**
+     * Runs one framed batch exchange with secondary `s`: serializes
+     * `lwes`, frames them under sequence number `seq` (nonzero, unique
+     * among exchanges concurrently in flight on this secondary's
+     * links), drives the retry protocol, and returns the blind-rotated
+     * accumulators in input order. When retries are exhausted the
+     * secondary is dead for this exchange (st.dead) and the share is
+     * blind-rotated locally, so the returned accumulators are always
+     * byte-identical to a fault-free exchange. Thread-safe for
+     * distinct `s`; callers must not run two exchanges on the same
+     * secondary concurrently (replies would be mistaken for
+     * duplicates).
+     */
+    std::vector<rlwe::Ciphertext> exchangeRotate(
+        size_t s, uint64_t seq, std::span<const lwe::LweCiphertext> lwes,
+        ExchangeStats& st) const;
+
+    /** Blind-rotates a batch on the primary (no links involved). */
+    std::vector<rlwe::Ciphertext> rotateLocal(
+        std::span<const lwe::LweCiphertext> lwes) const;
+
+    /**
+     * Starts a fresh protocol run: drops anything a previous run left
+     * queued on the links (late duplicates, delayed frames) and
+     * reseeds the per-link fault streams from the spec seed, the link
+     * index, and a run ordinal. bootstrap() calls this internally;
+     * external drivers call it once before a stream of
+     * exchangeRotate() calls. Not thread-safe against in-flight
+     * exchanges.
+     */
+    void resetProtocolRun() const;
 
   private:
-    /** Per-secondary protocol outcome, reduced into traffic_. */
-    struct ExchangeStats {
-        size_t lweBytesOut = 0;
-        size_t accBytesIn = 0;
-        size_t wireOut = 0;
-        size_t wireIn = 0;
-        size_t retransmits = 0;
-        size_t nacks = 0;
-        size_t corruptFrames = 0;
-        size_t duplicateFrames = 0;
-        bool dead = false;
-    };
-
-    void runExchange(size_t s, size_t begin, size_t end,
-                     std::span<const uint8_t> payload,
-                     const ModSwitched& ms, uint64_t twoN,
-                     std::vector<rlwe::Ciphertext>& rotated,
-                     ExchangeStats& st) const;
 
     const ckks::Context* ctx_;
     tfhe::BlindRotateKey brk_;

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Virtual-time polling for the simulated link protocols.
+ *
+ * The Section V retry protocol measures time in *polls*: one poll
+ * pumps a link once and ages every delayed message by one tick. The
+ * original retry loop spun through its poll budget back to back,
+ * which is harmless for a single bootstrap but burns a whole core
+ * per worker once the serving layer keeps several exchanges waiting
+ * concurrently on a small machine. pollWait() keeps the exact poll
+ * accounting (RetryPolicy counters are unchanged) while yielding the
+ * CPU between unsuccessful polls — first a scheduler yield, then,
+ * past a small threshold, a short sleep — so waiting exchanges do not
+ * starve the threads doing actual blind-rotate work.
+ */
+
+#ifndef HEAP_COMMON_VTIME_H
+#define HEAP_COMMON_VTIME_H
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+namespace heap {
+
+/**
+ * Runs `step` up to `polls` times, stopping early when it returns
+ * true. Between unsuccessful polls the calling thread yields; after
+ * `kSpinPolls` consecutive misses it sleeps briefly instead, bounding
+ * the busy-wait to a handful of scheduler quanta.
+ *
+ * @return true when `step` returned true within the poll budget.
+ */
+inline bool
+pollWait(size_t polls, const std::function<bool()>& step)
+{
+    constexpr size_t kSpinPolls = 4;
+    constexpr auto kNap = std::chrono::microseconds(50);
+    for (size_t p = 0; p < polls; ++p) {
+        if (step()) {
+            return true;
+        }
+        if (p + 1 == polls) {
+            break; // budget exhausted; no need to wait again
+        }
+        if (p < kSpinPolls) {
+            std::this_thread::yield();
+        } else {
+            std::this_thread::sleep_for(kNap);
+        }
+    }
+    return false;
+}
+
+} // namespace heap
+
+#endif // HEAP_COMMON_VTIME_H

@@ -98,6 +98,31 @@ BootstrapModel::tMultPerSlotUs(size_t slots) const
     return (b.totalMs + multSum) * 1e3 / (levels * n);
 }
 
+double
+BootstrapModel::blindRotateBatchMs(size_t count) const
+{
+    HEAP_CHECK(count >= 1, "empty batch");
+    return kAnchorBlindRotateMs
+           * (static_cast<double>(count) / kAnchorCtsPerFpga)
+           * (static_cast<double>(params_.nt) / kAnchorNt);
+}
+
+double
+BootstrapModel::batchCommMs(size_t count) const
+{
+    HEAP_CHECK(count >= 1, "empty batch");
+    // A batch crosses the link twice (LWEs out, accumulators back);
+    // a lossy link retransmits each frame 1/(1-p) times in
+    // expectation. One CMAC RLWE-ciphertext time models the framing
+    // and turnaround overhead of the exchange.
+    const double wireBytes = 2.0 * static_cast<double>(count)
+                             * params_.lweBytes()
+                             / (1.0 - linkLossRate_);
+    const double turnaroundMs =
+        ops_.cyclesToMs(static_cast<double>(cfg_.cmacCyclesPerRlwe));
+    return wireBytes / (cfg_.cmacBps / 8.0) * 1e3 + turnaroundMs;
+}
+
 void
 BootstrapModel::setLinkLossRate(double rate)
 {

@@ -71,6 +71,22 @@ class BootstrapModel {
     double firstPrinciplesBlindRotateMs(size_t slots) const;
 
     /**
+     * Modeled time for ONE node to blind-rotate a batch of `count`
+     * LWE ciphertexts (the per-batch compute term the serving
+     * scheduler packs against; same anchor scaling as bootstrap()).
+     */
+    double blindRotateBatchMs(size_t count) const;
+
+    /**
+     * Modeled 100G-link time to ship a `count`-ciphertext batch to a
+     * secondary and its accumulators back, including the retransmit
+     * inflation of setLinkLossRate(). Zero-cost batches don't exist:
+     * the frame header and protocol turnaround are folded in as one
+     * link round trip.
+     */
+    double batchCommMs(size_t count) const;
+
+    /**
      * Fraction of frames lost/corrupted per link traversal and paid
      * for by retransmission (the fault-tolerance layer of the
      * functional model). 0 (the default) reproduces the paper's

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Client-facing request types of the bootstrap serving runtime:
+ * submission options (priority, deadline) and the ticket a client
+ * blocks on for its refreshed ciphertext plus a per-request report
+ * (queue/service latency, batches spanned, deadline outcome, noise
+ * budget of the returned ciphertext).
+ */
+
+#ifndef HEAP_SERVE_REQUEST_H
+#define HEAP_SERVE_REQUEST_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+
+#include "ckks/context.h"
+
+namespace heap::serve {
+
+/** Per-request scheduling knobs. */
+struct SubmitOptions {
+    /** Larger runs sooner; ties break earliest-deadline-first, then
+     *  arrival order. */
+    int priority = 0;
+    /** Soft completion deadline relative to submission, in
+     *  milliseconds. Missing it is *accounted*, never dropped: FHE
+     *  results stay correct, the miss shows up in the report and the
+     *  service counters. */
+    std::optional<double> deadlineMs;
+};
+
+/** Final per-request accounting, valid once the ticket is done. */
+struct RequestReport {
+    uint64_t id = 0;
+    double queueMs = 0;   ///< submission -> first batch dispatched
+    double totalMs = 0;   ///< submission -> result ready
+    bool deadlineMissed = false;
+    size_t batches = 0;   ///< blind-rotate batches this request rode
+    /** Completion sequence number (service-wide, 1-based): request k
+     *  finished k-th. */
+    uint64_t completionSeq = 0;
+    /** Remaining noise budget (bits to predicted decryption failure)
+     *  of the returned ciphertext; infinity when untracked. */
+    double budgetBits = 0;
+    /** Predicted precision log2(scale/sigma) of the returned
+     *  ciphertext; infinity when untracked. */
+    double precisionBits = 0;
+};
+
+/**
+ * Completion handle for one submitted bootstrap. Created by
+ * BootstrapService::submit(); the service fulfils it exactly once.
+ */
+class BootstrapTicket {
+  public:
+    /** Blocks until the request completes; returns the refreshed
+     *  ciphertext or rethrows the failure. May be called once. */
+    ckks::Ciphertext
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_.wait(lock, [&] { return done_; });
+        if (error_) {
+            std::rethrow_exception(error_);
+        }
+        ckks::Ciphertext out = std::move(*result_);
+        result_.reset();
+        return out;
+    }
+
+    bool
+    ready() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return done_;
+    }
+
+    /** The per-request report; valid once ready() (also on failure,
+     *  with timing fields filled). */
+    RequestReport
+    report() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return report_;
+    }
+
+  private:
+    friend class BootstrapService;
+
+    void
+    fulfil(ckks::Ciphertext&& out, const RequestReport& report)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            result_ = std::move(out);
+            report_ = report;
+            done_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    void
+    fail(std::exception_ptr error, const RequestReport& report)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            error_ = std::move(error);
+            report_ = report;
+            done_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    std::optional<ckks::Ciphertext> result_;
+    std::exception_ptr error_;
+    RequestReport report_;
+};
+
+} // namespace heap::serve
+
+#endif // HEAP_SERVE_REQUEST_H

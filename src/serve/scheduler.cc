@@ -1,0 +1,154 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace heap::serve {
+
+ItemQueue::ItemQueue(size_t starvationPasses)
+    : starvationPasses_(starvationPasses)
+{
+    HEAP_CHECK(starvationPasses >= 1, "bad starvation threshold");
+}
+
+void
+ItemQueue::addRequest(uint64_t id, int priority, double deadlineAbsMs,
+                      size_t itemCount)
+{
+    HEAP_CHECK(itemCount >= 1, "request with no work items");
+    Entry e;
+    e.id = id;
+    e.priority = priority;
+    e.deadlineAbsMs = deadlineAbsMs;
+    e.arrivalSeq = arrivalCounter_++;
+    e.itemCount = itemCount;
+    pending_.push_back(e);
+    pendingItems_ += itemCount;
+}
+
+double
+ItemQueue::minDeadlineAbsMs() const
+{
+    double min = std::numeric_limits<double>::infinity();
+    for (const Entry& e : pending_) {
+        min = std::min(min, e.deadlineAbsMs);
+    }
+    return min;
+}
+
+bool
+ItemQueue::ranksBefore(const Entry& a, const Entry& b) const
+{
+    // Starvation boost dominates everything: a request skipped by
+    // starvationPasses_ consecutive batches goes first, oldest first,
+    // so a stream of high-priority arrivals cannot starve the tail.
+    const bool aBoost = a.passes >= starvationPasses_;
+    const bool bBoost = b.passes >= starvationPasses_;
+    if (aBoost != bBoost) {
+        return aBoost;
+    }
+    if (aBoost) {
+        return a.arrivalSeq < b.arrivalSeq;
+    }
+    if (a.priority != b.priority) {
+        return a.priority > b.priority;
+    }
+    if (a.deadlineAbsMs != b.deadlineAbsMs) {
+        return a.deadlineAbsMs < b.deadlineAbsMs;
+    }
+    return a.arrivalSeq < b.arrivalSeq;
+}
+
+PlannedBatch
+ItemQueue::formBatch(size_t maxItems)
+{
+    HEAP_CHECK(maxItems >= 1, "empty batch requested");
+    PlannedBatch batch;
+    if (pending_.empty()) {
+        return batch;
+    }
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [&](const Entry& a, const Entry& b) {
+                         return ranksBefore(a, b);
+                     });
+    size_t taken = 0;
+    for (Entry& e : pending_) {
+        if (taken == maxItems) {
+            ++e.passes; // skipped entirely by this batch
+            continue;
+        }
+        const size_t want = e.itemCount - e.nextIndex;
+        const size_t grab = std::min(want, maxItems - taken);
+        for (size_t k = 0; k < grab; ++k) {
+            batch.items.push_back(WorkItem{e.id, e.nextIndex + k});
+        }
+        e.nextIndex += grab;
+        taken += grab;
+        ++batch.distinctRequests;
+        // Served (even partially): the starvation counter restarts.
+        e.passes = 0;
+    }
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [](const Entry& e) {
+                                      return e.nextIndex == e.itemCount;
+                                  }),
+                   pending_.end());
+    pendingItems_ -= batch.items.size();
+    return batch;
+}
+
+BatchPlanner::BatchPlanner(const hw::BootstrapModel* model, Config cfg)
+    : model_(model), cfg_(cfg)
+{
+    HEAP_CHECK(cfg.maxBatchItems >= 1, "bad batch cap");
+    HEAP_CHECK(cfg.dispatchOverheadMs >= 0, "bad dispatch overhead");
+}
+
+double
+BatchPlanner::batchCostMs(size_t items, bool remote) const
+{
+    double cost = cfg_.dispatchOverheadMs;
+    if (model_ != nullptr) {
+        cost += model_->blindRotateBatchMs(items);
+        if (remote) {
+            cost += model_->batchCommMs(items);
+        }
+    } else {
+        // Modelless fallback: cost proportional to the item count so
+        // lane balancing still prefers the shorter backlog.
+        cost += static_cast<double>(items) * 0.01;
+    }
+    return cost;
+}
+
+size_t
+BatchPlanner::chooseBatchSize(size_t pendingItems, double slackMs) const
+{
+    HEAP_CHECK(pendingItems >= 1, "no pending items");
+    size_t size = std::min(pendingItems, cfg_.maxBatchItems);
+    if (model_ == nullptr || !std::isfinite(slackMs)) {
+        return size;
+    }
+    // batchCostMs is monotone in the item count: binary-search the
+    // largest batch whose modeled latency still fits the slack. When
+    // even a single item does not fit, the deadline is already lost —
+    // dispatch a full batch and let the miss be accounted.
+    if (batchCostMs(1, true) > slackMs) {
+        return size;
+    }
+    size_t lo = 1, hi = size;
+    while (lo < hi) {
+        const size_t mid = lo + (hi - lo + 1) / 2;
+        if (batchCostMs(mid, true) <= slackMs) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    return lo;
+}
+
+} // namespace heap::serve

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Scheduling core of the bootstrap serving runtime, split from the
+ * threaded service so the policy is unit-testable in isolation:
+ *
+ *  - ItemQueue: the continuous-batching work-item queue. Every
+ *    admitted request contributes `itemCount` independent
+ *    blind-rotate items (Algorithm 2's n LWE extractions); batches
+ *    are formed from the *globally* highest-ranked items, so one
+ *    batch freely mixes items from different requests and a
+ *    straggler request no longer leaves a node idle. Ranking is
+ *    priority, then earliest deadline, then arrival order, with
+ *    starvation protection: a request skipped by too many
+ *    consecutive batch formations is boosted ahead of everything.
+ *
+ *  - BatchPlanner: picks the batch size from hw::BootstrapModel cost
+ *    estimates — as large as the pending work allows (amortizing the
+ *    per-batch dispatch/framing overhead) but capped so the modeled
+ *    batch latency still fits the tightest pending deadline's slack.
+ */
+
+#ifndef HEAP_SERVE_SCHEDULER_H
+#define HEAP_SERVE_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/bootstrap_model.h"
+
+namespace heap::serve {
+
+/** One blind-rotate work item: request + extraction index. */
+struct WorkItem {
+    uint64_t requestId = 0;
+    size_t index = 0;
+};
+
+/** A formed batch plus its packing statistics. */
+struct PlannedBatch {
+    std::vector<WorkItem> items;
+    size_t distinctRequests = 0;
+};
+
+/**
+ * Priority/deadline/aging-ordered pool of pending blind-rotate items.
+ * Not thread-safe; the service mutates it under its own lock.
+ */
+class ItemQueue {
+  public:
+    /** @param starvationPasses consecutive batch formations a request
+     *         may be skipped by before it is boosted to the front. */
+    explicit ItemQueue(size_t starvationPasses);
+
+    /**
+     * Admits a request's items. `deadlineAbsMs` is the absolute
+     * deadline on the caller's clock (infinity when none); requests
+     * admitted earlier win ties.
+     */
+    void addRequest(uint64_t id, int priority, double deadlineAbsMs,
+                    size_t itemCount);
+
+    bool empty() const { return pendingItems_ == 0; }
+    size_t pendingItems() const { return pendingItems_; }
+
+    /** Tightest absolute deadline among pending requests (infinity
+     *  when none carries one); feeds the planner's slack cap. */
+    double minDeadlineAbsMs() const;
+
+    /**
+     * Forms the next batch of up to `maxItems` items in rank order
+     * (within one request, items go out in ascending index order).
+     * Requests left with pending items accrue one starvation pass;
+     * included requests reset theirs.
+     */
+    PlannedBatch formBatch(size_t maxItems);
+
+  private:
+    struct Entry {
+        uint64_t id = 0;
+        int priority = 0;
+        double deadlineAbsMs = 0;
+        uint64_t arrivalSeq = 0;
+        size_t nextIndex = 0; ///< first undispatched item
+        size_t itemCount = 0;
+        size_t passes = 0;    ///< consecutive batches that skipped it
+    };
+
+    /** True when a ranks strictly before b under the policy. */
+    bool ranksBefore(const Entry& a, const Entry& b) const;
+
+    std::vector<Entry> pending_;
+    size_t starvationPasses_;
+    size_t pendingItems_ = 0;
+    uint64_t arrivalCounter_ = 0;
+};
+
+/**
+ * Cost-model-driven batch sizing. Without a model it degrades to
+ * "fill up to maxBatchItems" — correctness never depends on the
+ * model, only batch shape does.
+ */
+class BatchPlanner {
+  public:
+    struct Config {
+        size_t maxBatchItems = 64;    ///< hard cap (<= ring N)
+        double dispatchOverheadMs = 0.05; ///< per-batch fixed cost
+    };
+
+    /** @param model optional; not owned, must outlive the planner. */
+    BatchPlanner(const hw::BootstrapModel* model, Config cfg);
+
+    /**
+     * Batch size for the next dispatch: min(pendingItems,
+     * maxBatchItems), shrunk while the modeled remote batch latency
+     * exceeds `slackMs` (the tightest pending deadline minus now).
+     * Never below 1; unlimited slack (infinity) keeps the full size.
+     */
+    size_t chooseBatchSize(size_t pendingItems, double slackMs) const;
+
+    /**
+     * Modeled wall-clock of one batch: dispatch overhead + blind
+     * rotation, plus link time for remote lanes. Used for batch
+     * sizing and for least-modeled-backlog lane assignment.
+     */
+    double batchCostMs(size_t items, bool remote) const;
+
+    const Config& config() const { return cfg_; }
+
+  private:
+    const hw::BootstrapModel* model_;
+    Config cfg_;
+};
+
+} // namespace heap::serve
+
+#endif // HEAP_SERVE_SCHEDULER_H

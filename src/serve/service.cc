@@ -1,0 +1,479 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace heap::serve {
+
+BootstrapService::BootstrapService(boot::DistributedBootstrapper& dist,
+                                   ServiceConfig cfg)
+    : dist_(&dist),
+      cfg_(cfg),
+      planner_(cfg.costModel,
+               BatchPlanner::Config{
+                   cfg.maxBatchItems == 0 ? dist.context().basis()->n()
+                                          : cfg.maxBatchItems,
+                   cfg.dispatchOverheadMs}),
+      queue_(cfg.starvationPasses),
+      epoch_(std::chrono::steady_clock::now())
+{
+    HEAP_CHECK(cfg.workers >= 1 && cfg.workers <= 64,
+               "bad worker count " << cfg.workers);
+    HEAP_CHECK(cfg.maxQueuedRequests >= 1, "bad admission cap");
+    const size_t n = dist.context().basis()->n();
+    HEAP_CHECK(planner_.config().maxBatchItems <= n,
+               "batch cap " << planner_.config().maxBatchItems
+                            << " exceeds the ring dimension " << n);
+    // The service owns the link protocol from here on: start from a
+    // clean run (empty links, reseeded fault streams).
+    dist.resetProtocolRun();
+    laneBusy_.assign(dist.secondaryCount() + 1, 0);
+    laneLoadMs_.assign(dist.secondaryCount() + 1, 0.0);
+    workers_.reserve(cfg.workers);
+    for (size_t i = 0; i < cfg.workers; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+BootstrapService::~BootstrapService()
+{
+    shutdown();
+}
+
+double
+BootstrapService::nowMs() const
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+std::shared_ptr<BootstrapTicket>
+BootstrapService::submit(const ckks::Ciphertext& in, SubmitOptions opts)
+{
+    HEAP_CHECK(in.level() == 1,
+               "bootstrap expects a level-1 (single limb) ciphertext");
+    if (opts.deadlineMs) {
+        HEAP_CHECK(*opts.deadlineMs >= 0,
+                   "negative deadline " << *opts.deadlineMs);
+    }
+    auto ticket = std::make_shared<BootstrapTicket>();
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        if (stopping_) {
+            ++rejected_;
+            HEAP_FATAL("bootstrap service is shutting down: "
+                       "request rejected");
+        }
+        if (live_.size() >= cfg_.maxQueuedRequests) {
+            // Backpressure: bounded queueing, reject-with-error.
+            ++rejected_;
+            HEAP_FATAL("bootstrap service at capacity ("
+                       << live_.size() << " live requests): "
+                       << "request rejected");
+        }
+        auto p = std::make_unique<Request>();
+        p->id = nextId_++;
+        p->ticket = ticket;
+        p->input = in;
+        p->opts = opts;
+        p->arrivalMs = nowMs();
+        p->deadlineAbsMs =
+            opts.deadlineMs
+                ? p->arrivalMs + *opts.deadlineMs
+                : std::numeric_limits<double>::infinity();
+        intake_.push_back(p->id);
+        live_.emplace(p->id, std::move(p));
+        ++submitted_;
+        maxQueueDepth_ = std::max(maxQueueDepth_, live_.size());
+    }
+    workCv_.notify_all();
+    return ticket;
+}
+
+void
+BootstrapService::pause()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    paused_ = true;
+}
+
+void
+BootstrapService::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        paused_ = false;
+    }
+    workCv_.notify_all();
+}
+
+void
+BootstrapService::drain()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    HEAP_CHECK(!paused_, "drain() on a paused service cannot finish");
+    doneCv_.wait(lock, [&] { return live_.empty(); });
+}
+
+void
+BootstrapService::shutdown()
+{
+    std::vector<std::thread> toJoin;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stopping_ = true;
+        paused_ = false; // the drain needs the workers running
+        if (!joined_) {
+            joined_ = true;
+            toJoin.swap(workers_);
+        }
+    }
+    workCv_.notify_all();
+    // Workers exit only once every accepted request has completed, so
+    // joining them IS the drain.
+    for (std::thread& t : toJoin) {
+        t.join();
+    }
+}
+
+size_t
+BootstrapService::pickLaneLocked() const
+{
+    size_t best = laneBusy_.size();
+    for (size_t i = 0; i < laneBusy_.size(); ++i) {
+        if (laneBusy_[i]) {
+            continue;
+        }
+        if (best == laneBusy_.size()
+            || laneLoadMs_[i] < laneLoadMs_[best]) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+bool
+BootstrapService::haveRunnableWorkLocked() const
+{
+    if (paused_) {
+        return false;
+    }
+    if (!intake_.empty()) {
+        return true;
+    }
+    return !queue_.empty() && pickLaneLocked() != laneBusy_.size();
+}
+
+bool
+BootstrapService::idleLocked() const
+{
+    return intake_.empty() && queue_.empty() && inFlight_ == 0;
+}
+
+std::exception_ptr
+BootstrapService::runFront(Request* p) const
+{
+    try {
+        const ckks::Context& ctx = dist_->context();
+        const ckks::Ciphertext& in = p->input;
+        boot::checkBootstrappable(ctx, in, 1.0, "serve bootstrap");
+        const auto basis = ctx.basis();
+        const size_t n = basis->n();
+        const uint64_t twoN = 2 * n;
+
+        // Steps 1-2 of Algorithm 2, exactly as the sequential
+        // bootstrap() runs them on the primary.
+        rlwe::Ciphertext ct = in.ct;
+        ct.toCoeff();
+        p->ms = boot::modSwitchSplit(ct, *basis);
+
+        // Extract all n work items, stamping the modulus-switched
+        // budget on every item: any item may be dispatched over a
+        // link, and the budget never feeds the rotation arithmetic,
+        // so local and remote lanes stay interchangeable.
+        const double msScale = static_cast<double>(twoN)
+                               / static_cast<double>(basis->modulus(0));
+        p->lwes.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+            auto ext = lwe::extractLwe(p->ms.aMs, p->ms.bMs, i, twoN);
+            ext.budget = in.budget;
+            ext.budget.sigma = in.budget.sigma * msScale;
+            ext.budget.messageRms = in.budget.messageRms * msScale;
+            p->lwes.push_back(std::move(ext));
+        }
+        p->rotated.resize(n);
+        p->remaining = n;
+        return nullptr;
+    } catch (...) {
+        return std::current_exception();
+    }
+}
+
+void
+BootstrapService::failRequestLocked(Request* p, std::exception_ptr err)
+{
+    RequestReport rep;
+    const double now = nowMs();
+    rep.id = p->id;
+    rep.totalMs = now - p->arrivalMs;
+    rep.queueMs =
+        (p->firstDispatchMs >= 0 ? p->firstDispatchMs : now)
+        - p->arrivalMs;
+    rep.batches = p->batches;
+    rep.deadlineMissed = now > p->deadlineAbsMs;
+    rep.completionSeq = ++completionSeq_;
+    rep.budgetBits = std::numeric_limits<double>::infinity();
+    rep.precisionBits = std::numeric_limits<double>::infinity();
+    ++failed_;
+    auto ticket = std::move(p->ticket);
+    live_.erase(p->id);
+    // The ticket's lock nests inside m_ only, never the reverse.
+    ticket->fail(std::move(err), rep);
+    doneCv_.notify_all();
+}
+
+void
+BootstrapService::runBatch(size_t lane, const PlannedBatch& batch,
+                           const std::vector<ItemRef>& refs)
+{
+    // Snapshot the items. Safe without the lock: a request's front
+    // phase happened-before its items were queued, and its lwes are
+    // immutable until every outstanding item settles below.
+    std::vector<lwe::LweCiphertext> lwes;
+    lwes.reserve(refs.size());
+    for (const ItemRef& r : refs) {
+        lwes.push_back(r.req->lwes[r.index]);
+    }
+
+    std::vector<rlwe::Ciphertext> accs;
+    boot::ExchangeStats st{};
+    std::exception_ptr err;
+    try {
+        accs = lane == 0
+                   ? dist_->rotateLocal(lwes)
+                   : dist_->exchangeRotate(
+                         lane - 1,
+                         seq_.fetch_add(1, std::memory_order_relaxed),
+                         lwes, st);
+    } catch (...) {
+        err = std::current_exception();
+    }
+
+    std::vector<Request*> finished;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        wireOut_ += st.wireOut;
+        wireIn_ += st.wireIn;
+        retransmits_ += st.retransmits;
+        if (st.dead) {
+            ++reclaimed_;
+        }
+        for (size_t i = 0; i < refs.size(); ++i) {
+            Request* p = refs[i].req;
+            if (err) {
+                if (!p->batchError) {
+                    p->batchError = err;
+                }
+            } else {
+                p->rotated[refs[i].index] = std::move(accs[i]);
+            }
+            --p->remaining;
+            if (p->remaining == 0) {
+                finished.push_back(p);
+            }
+        }
+    }
+    for (Request* p : finished) {
+        finishRequest(p);
+    }
+}
+
+void
+BootstrapService::finishRequest(Request* p)
+{
+    const ckks::Context& ctx = dist_->context();
+    ckks::Ciphertext out;
+    double budgetBits = std::numeric_limits<double>::infinity();
+    double precisionBits = std::numeric_limits<double>::infinity();
+    bool tripped = false;
+    std::exception_ptr err = p->batchError;
+    if (!err) {
+        try {
+            // Steps 3-5 tail, identical to the sequential path: the
+            // repack consumes the accumulators in extraction order and
+            // the output budget is computed analytically, so the
+            // result does not depend on batch shape, lane, worker
+            // count, or link faults.
+            const auto basis = ctx.basis();
+            rlwe::Ciphertext ctKq =
+                tfhe::packRlwes(p->rotated, dist_->packingKeys());
+            out = boot::finishBootstrap(std::move(ctKq), p->ms, *basis,
+                                        p->input.scale, p->input.slots);
+            out.budget = boot::bootstrapOutputBudget(
+                ctx, p->input, dist_->bootBlindRotateSigma(), *basis);
+            ctx.noiseGuardCheck(out, "bootstrap");
+            budgetBits = ctx.noiseBudgetBits(out);
+            precisionBits = ctx.noisePrecisionBits(out);
+            tripped = budgetBits <= 0
+                      || precisionBits
+                             <= ctx.noiseGuard().minPrecisionBits;
+        } catch (...) {
+            err = std::current_exception();
+        }
+    }
+
+    RequestReport rep;
+    std::shared_ptr<BootstrapTicket> ticket;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        const double now = nowMs();
+        rep.id = p->id;
+        rep.totalMs = now - p->arrivalMs;
+        rep.queueMs =
+            (p->firstDispatchMs >= 0 ? p->firstDispatchMs : now)
+            - p->arrivalMs;
+        rep.batches = p->batches;
+        rep.deadlineMissed = now > p->deadlineAbsMs;
+        rep.completionSeq = ++completionSeq_;
+        rep.budgetBits = budgetBits;
+        rep.precisionBits = precisionBits;
+        if (err) {
+            ++failed_;
+        } else {
+            ++completed_;
+            latency_.record(rep.totalMs);
+            if (rep.deadlineMissed) {
+                ++deadlineMisses_;
+            }
+            minReturnedBudgetBits_ =
+                std::min(minReturnedBudgetBits_, budgetBits);
+            if (tripped) {
+                ++guardTrips_;
+            }
+        }
+        ticket = std::move(p->ticket);
+        live_.erase(p->id);
+    }
+    if (err) {
+        ticket->fail(std::move(err), rep);
+    } else {
+        ticket->fulfil(std::move(out), rep);
+    }
+    doneCv_.notify_all();
+}
+
+void
+BootstrapService::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    for (;;) {
+        workCv_.wait(lock, [&] {
+            return haveRunnableWorkLocked()
+                   || (stopping_ && idleLocked());
+        });
+        if (stopping_ && idleLocked()) {
+            return;
+        }
+
+        if (!intake_.empty()) {
+            // Front phase: modulus switch + extraction, off the lock.
+            const uint64_t id = intake_.front();
+            intake_.pop_front();
+            Request* p = live_.at(id).get();
+            ++inFlight_;
+            lock.unlock();
+            std::exception_ptr err = runFront(p);
+            lock.lock();
+            --inFlight_;
+            if (err) {
+                failRequestLocked(p, std::move(err));
+            } else {
+                queue_.addRequest(p->id, p->opts.priority,
+                                  p->deadlineAbsMs, p->lwes.size());
+            }
+            workCv_.notify_all();
+            continue;
+        }
+
+        // Batch dispatch: form the next batch for the least-loaded
+        // free lane (both decided under the lock, so the scheduler
+        // state is consistent), run the exchange off the lock.
+        const size_t lane = pickLaneLocked();
+        if (queue_.empty() || lane == laneBusy_.size()) {
+            continue; // lost a race; re-evaluate the wait predicate
+        }
+        const double slackMs = queue_.minDeadlineAbsMs() - nowMs();
+        const size_t size =
+            planner_.chooseBatchSize(queue_.pendingItems(), slackMs);
+        PlannedBatch batch = queue_.formBatch(size);
+        HEAP_ASSERT(!batch.items.empty(), "empty batch formed");
+
+        std::vector<ItemRef> refs;
+        refs.reserve(batch.items.size());
+        const double now = nowMs();
+        Request* lastReq = nullptr;
+        for (const WorkItem& w : batch.items) {
+            Request* p = live_.at(w.requestId).get();
+            refs.push_back(ItemRef{p, w.index});
+            if (p != lastReq) { // items arrive grouped per request
+                if (p->firstDispatchMs < 0) {
+                    p->firstDispatchMs = now;
+                }
+                ++p->batches;
+                lastReq = p;
+            }
+        }
+        ++batches_;
+        occupancySum_ += batch.distinctRequests;
+        itemsSum_ += batch.items.size();
+        laneBusy_[lane] = 1;
+        laneLoadMs_[lane] +=
+            planner_.batchCostMs(batch.items.size(), lane > 0);
+        ++inFlight_;
+        lock.unlock();
+        runBatch(lane, batch, refs);
+        lock.lock();
+        --inFlight_;
+        laneBusy_[lane] = 0;
+        workCv_.notify_all();
+    }
+}
+
+ServiceMetrics
+BootstrapService::metrics() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    ServiceMetrics m;
+    m.submitted = submitted_;
+    m.completed = completed_;
+    m.failed = failed_;
+    m.rejected = rejected_;
+    m.deadlineMisses = deadlineMisses_;
+    m.queueDepth = live_.size();
+    m.maxQueueDepth = maxQueueDepth_;
+    m.batches = batches_;
+    if (batches_ > 0) {
+        m.batchOccupancy = static_cast<double>(occupancySum_)
+                           / static_cast<double>(batches_);
+        m.meanBatchItems = static_cast<double>(itemsSum_)
+                           / static_cast<double>(batches_);
+    }
+    if (latency_.count() > 0) {
+        m.p50Ms = latency_.percentile(50);
+        m.p95Ms = latency_.percentile(95);
+        m.p99Ms = latency_.percentile(99);
+        m.meanMs = latency_.mean();
+    }
+    m.wireBytesOut = wireOut_;
+    m.wireBytesIn = wireIn_;
+    m.retransmits = retransmits_;
+    m.reclaimedBatches = reclaimed_;
+    m.minReturnedBudgetBits = minReturnedBudgetBits_;
+    m.guardTrips = guardTrips_;
+    return m;
+}
+
+} // namespace heap::serve

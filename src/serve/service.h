@@ -1,0 +1,205 @@
+/**
+ * @file
+ * BootstrapService — the bootstrap serving runtime (the software
+ * analogue of operating HEAP's 8-FPGA pod as a shared service).
+ *
+ * Many client threads submit() level-1 CKKS ciphertexts with a
+ * priority and an optional deadline; the service decomposes each
+ * request into its n independent blind-rotate work items (Algorithm
+ * 2's Extract) and a continuous-batching scheduler packs items from
+ * *different* requests into fixed-size batches dispatched over the
+ * DistributedBootstrapper's link protocol — so a straggler request no
+ * longer leaves secondaries idle between per-request bootstraps.
+ *
+ * Guarantees:
+ *  - Determinism: each returned ciphertext is byte-identical to what
+ *    a sequential DistributedBootstrapper::bootstrap() of the same
+ *    input under the same keys produces, for every worker count,
+ *    batch shape, and link-fault pattern (blind rotation is a pure
+ *    per-item function; the repack/finish runs per request in index
+ *    order; the output budget is computed analytically on the
+ *    primary). tests/serve_test.cc asserts this exactly.
+ *  - Backpressure: admission control rejects submissions beyond
+ *    maxQueuedRequests with a UserError — queueing is bounded, the
+ *    service never OOMs under load.
+ *  - Liveness: priority scheduling with starvation protection (see
+ *    serve/scheduler.h); deadline misses are accounted, never
+ *    dropped.
+ *  - Clean shutdown: shutdown()/destruction stops intake, finishes
+ *    every accepted request, and joins the workers.
+ */
+
+#ifndef HEAP_SERVE_SERVICE_H
+#define HEAP_SERVE_SERVICE_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "boot/distributed.h"
+#include "serve/metrics.h"
+#include "serve/request.h"
+#include "serve/scheduler.h"
+
+namespace heap::serve {
+
+/** Service construction knobs. */
+struct ServiceConfig {
+    /** Dispatch worker threads (front phases, batch exchanges, and
+     *  finish phases all run on these). */
+    size_t workers = 1;
+    /** Admission cap: live requests (queued + running) beyond this
+     *  are rejected at submit(). Bounds service memory. */
+    size_t maxQueuedRequests = 64;
+    /** Batch size cap in LWE items; 0 = the ring dimension N (the
+     *  largest batch a SecondaryNode accepts). */
+    size_t maxBatchItems = 0;
+    /** Batches a pending request may be skipped by before it jumps
+     *  the priority order (starvation protection). */
+    size_t starvationPasses = 8;
+    /** Modeled fixed cost per dispatched batch (batch sizing). */
+    double dispatchOverheadMs = 0.05;
+    /** Optional accelerator cost model driving batch sizing and lane
+     *  assignment; not owned, may be nullptr (fixed-size batches). */
+    const hw::BootstrapModel* costModel = nullptr;
+};
+
+/**
+ * Asynchronous, continuously-batched bootstrap server on top of a
+ * DistributedBootstrapper. The service logically owns the
+ * bootstrapper's link protocol while alive: do not call
+ * dist.bootstrap() or mutate its faults/retry policy concurrently
+ * with a running service.
+ */
+class BootstrapService {
+  public:
+    BootstrapService(boot::DistributedBootstrapper& dist,
+                     ServiceConfig cfg = {});
+
+    /** Drains accepted work, then joins the workers (shutdown()). */
+    ~BootstrapService();
+
+    BootstrapService(const BootstrapService&) = delete;
+    BootstrapService& operator=(const BootstrapService&) = delete;
+
+    /**
+     * Submits one bootstrap request. Throws UserError immediately
+     * when the input is not level-1, when the service is shutting
+     * down, or when admission control is at capacity (backpressure —
+     * the rejection is counted, nothing is queued). Otherwise returns
+     * the ticket the caller blocks on for the refreshed ciphertext.
+     */
+    std::shared_ptr<BootstrapTicket> submit(const ckks::Ciphertext& in,
+                                            SubmitOptions opts = {});
+
+    /**
+     * Stops forming batches and front phases (intake still accepts up
+     * to capacity). For tests and maintenance windows; resume() picks
+     * the backlog up again.
+     */
+    void pause();
+    void resume();
+
+    /** Blocks until every accepted request has completed. Must not be
+     *  called while paused. */
+    void drain();
+
+    /**
+     * Stops intake (further submits are rejected), completes every
+     * accepted request — including in-flight batches — and joins the
+     * workers. Idempotent.
+     */
+    void shutdown();
+
+    /** Point-in-time service metrics snapshot. */
+    ServiceMetrics metrics() const;
+
+    /** Dispatch lanes: 1 local (primary) + one per secondary. */
+    size_t lanes() const { return laneLoadMs_.size(); }
+
+  private:
+    /** Server-side state of one accepted request. */
+    struct Request {
+        uint64_t id = 0;
+        std::shared_ptr<BootstrapTicket> ticket;
+        ckks::Ciphertext input;
+        SubmitOptions opts;
+        double arrivalMs = 0;
+        double deadlineAbsMs = 0; ///< infinity when none
+        double firstDispatchMs = -1;
+        boot::ModSwitched ms;
+        std::vector<lwe::LweCiphertext> lwes; ///< extracted items
+        std::vector<rlwe::Ciphertext> rotated;
+        size_t remaining = 0; ///< accumulators still outstanding
+        size_t batches = 0;
+        /** First failure of a batch carrying this request's items;
+         *  the ticket fails with it once every item settles. */
+        std::exception_ptr batchError;
+    };
+
+    /** (request, item) reference resolved while the lock is held. */
+    struct ItemRef {
+        Request* req = nullptr;
+        size_t index = 0;
+    };
+
+    void workerLoop();
+    /** Pure compute: Extract front half. Returns nullptr on success. */
+    std::exception_ptr runFront(Request* p) const;
+    /** Dispatches one batch on `lane` and scatters the results. */
+    void runBatch(size_t lane, const PlannedBatch& batch,
+                  const std::vector<ItemRef>& refs);
+    /** Repack + finish + fulfil; called by the worker that completed
+     *  the request's last item. */
+    void finishRequest(Request* p);
+    void failRequestLocked(Request* p, std::exception_ptr err);
+    /** Free lane with the least cumulative modeled load; lanes()
+     *  when every lane is busy. */
+    size_t pickLaneLocked() const;
+    double nowMs() const;
+    bool haveRunnableWorkLocked() const;
+    bool idleLocked() const;
+
+    boot::DistributedBootstrapper* dist_;
+    ServiceConfig cfg_;
+    BatchPlanner planner_;
+    ItemQueue queue_;
+
+    mutable std::mutex m_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    std::vector<std::thread> workers_;
+    std::deque<uint64_t> intake_; ///< admitted, front phase pending
+    std::unordered_map<uint64_t, std::unique_ptr<Request>> live_;
+    std::vector<uint8_t> laneBusy_;
+    std::vector<double> laneLoadMs_; ///< cumulative modeled work
+    bool paused_ = false;
+    bool stopping_ = false;
+    bool joined_ = false;
+    size_t inFlight_ = 0; ///< front phases + batches being computed
+    uint64_t nextId_ = 1;
+    std::atomic<uint64_t> seq_{1}; ///< framing sequence numbers
+
+    // Metrics (guarded by m_).
+    std::chrono::steady_clock::time_point epoch_;
+    uint64_t submitted_ = 0, completed_ = 0, failed_ = 0,
+             rejected_ = 0, deadlineMisses_ = 0, completionSeq_ = 0;
+    size_t maxQueueDepth_ = 0;
+    uint64_t batches_ = 0, occupancySum_ = 0, itemsSum_ = 0;
+    uint64_t wireOut_ = 0, wireIn_ = 0, retransmits_ = 0,
+             reclaimed_ = 0;
+    LatencyReservoir latency_;
+    double minReturnedBudgetBits_ =
+        std::numeric_limits<double>::infinity();
+    uint64_t guardTrips_ = 0;
+};
+
+} // namespace heap::serve
+
+#endif // HEAP_SERVE_SERVICE_H

@@ -131,6 +131,26 @@ TEST_F(HwFixture, BootstrapScalesWithFpgasAndSlots)
               eight.bootstrap(4096).totalMs);
 }
 
+TEST_F(HwFixture, BatchCostTermsScaleForTheServingScheduler)
+{
+    BootstrapModel bm(cfg, params, 8);
+    // Compute term: strictly monotone in the batch size, and at the
+    // anchor batch (512 cts on one FPGA) it reproduces the measured
+    // BlindRotate stage time.
+    EXPECT_GT(bm.blindRotateBatchMs(64), bm.blindRotateBatchMs(1));
+    EXPECT_GT(bm.blindRotateBatchMs(512), bm.blindRotateBatchMs(64));
+    EXPECT_NEAR(bm.blindRotateBatchMs(512), 1.3303, 0.01);
+    // Communication term: monotone, and never free (the per-batch
+    // CMAC framing overhead survives even a 1-ct batch).
+    EXPECT_GT(bm.batchCommMs(64), bm.batchCommMs(1));
+    EXPECT_GT(bm.batchCommMs(1), 0.0);
+    // Link loss inflates the wire time of the same batch.
+    const double clean = bm.batchCommMs(64);
+    bm.setLinkLossRate(0.2);
+    EXPECT_GT(bm.batchCommMs(64), clean);
+    EXPECT_NEAR(bm.batchCommMs(64) / clean, 1.0 / 0.8, 0.2);
+}
+
 TEST_F(HwFixture, TMultPerSlotNearTableV)
 {
     const BootstrapModel bm(cfg, params, 8);

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "math/kernels.h"
 #include "math/modarith.h"
 #include "math/ntt.h"
 #include "math/primes.h"
@@ -86,6 +87,45 @@ BM_NttForward(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_NttForward)->Arg(256)->Arg(1024)->Arg(4096)->Arg(8192);
+
+// Per-variant NTT throughput: the pinned portable table vs the
+// dispatched SIMD table, same tables and data, reported as
+// elements/s so the kernel variants can be compared directly.
+void
+nttVariantBench(benchmark::State& state, const math::KernelOps& ops)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    const uint64_t q = pickPrime(n, 36);
+    const math::NttTables ntt(n, q);
+    Rng rng(4);
+    std::vector<uint64_t> poly(n);
+    for (auto& v : poly) {
+        v = rng.uniform(q);
+    }
+    for (auto _ : state) {
+        ops.nttForward(poly.data(), ntt.view());
+        ops.nttInverse(poly.data(), ntt.view());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * 2 *
+                            static_cast<int64_t>(n));
+    state.SetLabel(std::string("variant=") +
+                   math::simdLevelName(ops.level));
+}
+
+void
+BM_NttRoundTripScalar(benchmark::State& state)
+{
+    nttVariantBench(state, math::scalarKernels());
+}
+BENCHMARK(BM_NttRoundTripScalar)->Arg(1024)->Arg(8192);
+
+void
+BM_NttRoundTripSimd(benchmark::State& state)
+{
+    nttVariantBench(state, math::kernels());
+}
+BENCHMARK(BM_NttRoundTripSimd)->Arg(1024)->Arg(8192);
 
 void
 BM_NttForwardOnTheFly(benchmark::State& state)

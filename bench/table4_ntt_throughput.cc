@@ -10,8 +10,30 @@
 #include "common/timer.h"
 #include "hw/op_model.h"
 #include "hw/reference.h"
+#include "math/kernels.h"
 #include "math/ntt.h"
 #include "math/primes.h"
+
+namespace {
+
+/** Seconds per forward NTT through a specific kernel table. */
+double
+timeForward(const heap::math::KernelOps& ops,
+            const heap::math::NttTables& ntt,
+            std::vector<uint64_t>& poly, int reps)
+{
+    // Warm up caches and the dispatch table.
+    for (int i = 0; i < 10; ++i) {
+        ops.nttForward(poly.data(), ntt.view());
+    }
+    heap::Timer timer;
+    for (int i = 0; i < reps; ++i) {
+        ops.nttForward(poly.data(), ntt.view());
+    }
+    return timer.seconds() / reps;
+}
+
+} // namespace
 
 int
 main()
@@ -38,23 +60,66 @@ main()
     t.addRow({"HEAP (model)", Table::num(model / 1e3, 1) + "K", "-"});
     t.print();
 
-    // Functional software kernel measurement (this library's NTT).
+    // Functional software kernel measurement (this library's NTT):
+    // the portable scalar table vs the runtime-dispatched SIMD table,
+    // per kernel variant, in elements/s. Also emitted as
+    // BENCH_ntt.json for CI tracking.
     const size_t n = 8192;
-    const uint64_t q = math::generateNttPrimes(36, n, 1)[0];
+    const int bits = 36;
+    const uint64_t q = math::generateNttPrimes(bits, n, 1)[0];
     const math::NttTables ntt(n, q);
     std::vector<uint64_t> poly(n);
     heap::Rng rng(1);
     for (auto& v : poly) {
         v = rng.uniform(q);
     }
-    Timer timer;
-    const int reps = 200;
-    for (int i = 0; i < reps; ++i) {
-        ntt.forward(poly);
+    const int reps = 400;
+    const double scalarSec =
+        timeForward(math::scalarKernels(), ntt, poly, reps);
+    const double simdSec =
+        timeForward(math::kernels(), ntt, poly, reps);
+    const char* simdName = math::simdLevelName(math::kernels().level);
+    const double speedup = simdSec > 0 ? scalarSec / simdSec : 0.0;
+
+    Table k({"Kernel variant", "us / NTT", "elements/s",
+             "ct ops/s (SW)"});
+    const auto row = [&](const char* name, double sec) {
+        k.addRow({name, Table::num(sec * 1e6, 1),
+                  Table::num(static_cast<double>(n) / sec / 1e6, 1) +
+                      "M",
+                  Table::num(1.0 / (sec * 12.0), 1)});
+    };
+    row("scalar", scalarSec);
+    row(simdName, simdSec);
+    std::printf("\nFunctional single-limb NTT, N=%zu, %d-bit q "
+                "(this library, CPU):\n",
+                n, bits);
+    k.print();
+    std::printf("dispatched (%s) speedup over scalar: %.2fx\n",
+                simdName, speedup);
+
+    FILE* f = std::fopen("BENCH_ntt.json", "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write BENCH_ntt.json\n");
+        return 1;
     }
-    const double perLimb = timer.seconds() / reps;
-    std::printf("\nFunctional single-limb NTT (this library, CPU): "
-                "%.1f us -> %.1f full-ciphertext ops/s softwre-only.\n",
-                perLimb * 1e6, 1.0 / (perLimb * 12.0));
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"n\": %zu,\n"
+        "  \"modulus_bits\": %d,\n"
+        "  \"variants\": {\n"
+        "    \"scalar\": {\"us_per_ntt\": %.3f, "
+        "\"elements_per_sec\": %.0f},\n"
+        "    \"dispatched\": {\"level\": \"%s\", "
+        "\"us_per_ntt\": %.3f, \"elements_per_sec\": %.0f}\n"
+        "  },\n"
+        "  \"simd_speedup\": %.3f\n"
+        "}\n",
+        n, bits, scalarSec * 1e6, static_cast<double>(n) / scalarSec,
+        simdName, simdSec * 1e6, static_cast<double>(n) / simdSec,
+        speedup);
+    std::fclose(f);
+    std::printf("wrote BENCH_ntt.json\n");
     return 0;
 }

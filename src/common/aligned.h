@@ -1,0 +1,107 @@
+/**
+ * @file
+ * 64-byte-aligned uint64_t buffer for the limb-major math core.
+ *
+ * RnsPoly stores all of its limbs in one contiguous allocation so the
+ * flat kernels in math/kernels.h can stream through cache lines the
+ * way the paper's NTT datapath streams through BRAM banks (Section
+ * IV-D). The 64-byte alignment matches both the cache line and the
+ * widest vector width the runtime dispatch may select.
+ */
+
+#ifndef HEAP_COMMON_ALIGNED_H
+#define HEAP_COMMON_ALIGNED_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <utility>
+
+namespace heap {
+
+/** Owning, zero-initialized, 64-byte-aligned array of uint64_t. */
+class AlignedU64 {
+  public:
+    AlignedU64() = default;
+
+    explicit AlignedU64(size_t words) { allocate(words); }
+
+    AlignedU64(const AlignedU64& other)
+    {
+        allocate(other.words_);
+        if (words_ > 0) {
+            std::memcpy(data_, other.data_, words_ * sizeof(uint64_t));
+        }
+    }
+
+    AlignedU64(AlignedU64&& other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          words_(std::exchange(other.words_, 0))
+    {
+    }
+
+    AlignedU64&
+    operator=(const AlignedU64& other)
+    {
+        if (this != &other) {
+            AlignedU64 tmp(other);
+            *this = std::move(tmp);
+        }
+        return *this;
+    }
+
+    AlignedU64&
+    operator=(AlignedU64&& other) noexcept
+    {
+        if (this != &other) {
+            release();
+            data_ = std::exchange(other.data_, nullptr);
+            words_ = std::exchange(other.words_, 0);
+        }
+        return *this;
+    }
+
+    ~AlignedU64() { release(); }
+
+    size_t size() const { return words_; }
+    uint64_t* data() { return data_; }
+    const uint64_t* data() const { return data_; }
+    std::span<uint64_t> span() { return {data_, words_}; }
+    std::span<const uint64_t> span() const { return {data_, words_}; }
+
+  private:
+    void
+    allocate(size_t words)
+    {
+        words_ = words;
+        if (words == 0) {
+            data_ = nullptr;
+            return;
+        }
+        // aligned_alloc requires the size to be a multiple of the
+        // alignment; round the byte count up to the next cache line.
+        const size_t bytes = (words * sizeof(uint64_t) + 63) & ~size_t{63};
+        data_ = static_cast<uint64_t*>(std::aligned_alloc(64, bytes));
+        if (data_ == nullptr) {
+            throw std::bad_alloc();
+        }
+        std::memset(data_, 0, bytes);
+    }
+
+    void
+    release()
+    {
+        std::free(data_);
+        data_ = nullptr;
+        words_ = 0;
+    }
+
+    uint64_t* data_ = nullptr;
+    size_t words_ = 0;
+};
+
+} // namespace heap
+
+#endif // HEAP_COMMON_ALIGNED_H

@@ -10,6 +10,7 @@
 #define HEAP_COMMON_SERIALIZE_H
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -44,8 +45,16 @@ class ByteWriter {
     u64Span(std::span<const uint64_t> v)
     {
         u64(v.size());
-        for (const uint64_t x : v) {
-            u64(x);
+        if constexpr (std::endian::native == std::endian::little) {
+            // Wire format is little-endian words, so the whole span
+            // is one bulk append on LE hosts (RnsPoly limbs are the
+            // dominant payload; format unchanged).
+            const auto* p = reinterpret_cast<const uint8_t*>(v.data());
+            buf_.insert(buf_.end(), p, p + v.size() * 8);
+        } else {
+            for (const uint64_t x : v) {
+                u64(x);
+            }
         }
     }
 
@@ -98,9 +107,16 @@ class ByteReader {
     {
         const uint64_t count = u64();
         HEAP_CHECK(count <= maxCount, "serialized vector too large");
+        HEAP_CHECK(count * 8 <= data_.size() - pos_,
+                   "serialized data truncated at offset " << pos_);
         std::vector<uint64_t> v(count);
-        for (auto& x : v) {
-            x = u64();
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(v.data(), data_.data() + pos_, count * 8);
+            pos_ += count * 8;
+        } else {
+            for (auto& x : v) {
+                x = u64();
+            }
         }
         return v;
     }

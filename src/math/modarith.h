@@ -143,6 +143,23 @@ shoupPrecompute(uint64_t w, uint64_t q)
 }
 
 /**
+ * Modulus bound for the 52-bit (AVX-512 IFMA) Shoup path: Harvey's
+ * lazy bound with beta = 2^52 needs q < beta/4, and every lazy NTT
+ * intermediate (< 4q) must fit the 52-bit multiplier operands.
+ */
+inline constexpr int kIfmaMaxModulusBits = 50;
+
+/**
+ * Precomputes the 52-bit Shoup companion floor(w * 2^52 / q) used by
+ * the IFMA kernels (52x52-bit fused multipliers). @pre w < q < 2^50.
+ */
+inline uint64_t
+shoupPrecompute52(uint64_t w, uint64_t q)
+{
+    return static_cast<uint64_t>((static_cast<uint128>(w) << 52) / q);
+}
+
+/**
  * Multiplies a by the fixed constant w using its Shoup companion.
  * @pre w < q, wShoup = shoupPrecompute(w, q), a < 2q (lazy inputs OK).
  * @return a * w mod q, in [0, q).
@@ -153,6 +170,18 @@ mulModShoup(uint64_t a, uint64_t w, uint64_t wShoup, uint64_t q)
     const uint64_t hi = mulHi64(a, wShoup);
     uint64_t r = a * w - hi * q;
     return r >= q ? r - q : r;
+}
+
+/**
+ * Lazy Shoup multiplication (Harvey): returns a value congruent to
+ * a * w mod q in [0, 2q) without the final conditional subtract.
+ * @pre w < q < 2^62, wShoup = shoupPrecompute(w, q); a may be any
+ * 64-bit value (lazily-reduced NTT intermediates included).
+ */
+inline uint64_t
+mulModShoupLazy(uint64_t a, uint64_t w, uint64_t wShoup, uint64_t q)
+{
+    return a * w - mulHi64(a, wShoup) * q;
 }
 
 /** Returns base^exp mod q (binary exponentiation). */

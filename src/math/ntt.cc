@@ -63,10 +63,63 @@ NttTables::NttTables(size_t n, uint64_t q)
     itwShoup_ = shoupify(itw_);
     psiPowShoup_ = shoupify(psiPow_);
     ipsiPowScaledShoup_ = shoupify(ipsiPowScaled_);
+
+    // 52-bit companions for the IFMA butterflies: only valid (and only
+    // precomputed) when the modulus leaves the 2^52 operand headroom.
+    if ((q >> kIfmaMaxModulusBits) == 0) {
+        auto shoupify52 = [&](const std::vector<uint64_t>& v) {
+            std::vector<uint64_t> s(v.size());
+            for (size_t i = 0; i < v.size(); ++i) {
+                s[i] = shoupPrecompute52(v[i], q);
+            }
+            return s;
+        };
+        tw52_ = shoupify52(tw_);
+        itw52_ = shoupify52(itw_);
+        psiPow52_ = shoupify52(psiPow_);
+        ipsiPowScaled52_ = shoupify52(ipsiPowScaled_);
+    }
+}
+
+NttTablesView
+NttTables::view() const
+{
+    NttTablesView v;
+    v.n = n_;
+    v.q = q_;
+    v.tw = tw_.data();
+    v.twShoup = twShoup_.data();
+    v.itw = itw_.data();
+    v.itwShoup = itwShoup_.data();
+    v.psi = psiPow_.data();
+    v.psiShoup = psiPowShoup_.data();
+    v.ipsiScaled = ipsiPowScaled_.data();
+    v.ipsiScaledShoup = ipsiPowScaledShoup_.data();
+    if (!tw52_.empty()) {
+        v.tw52 = tw52_.data();
+        v.itw52 = itw52_.data();
+        v.psi52 = psiPow52_.data();
+        v.ipsiScaled52 = ipsiPowScaled52_.data();
+    }
+    return v;
 }
 
 void
 NttTables::forward(std::span<uint64_t> a) const
+{
+    HEAP_ASSERT(a.size() == n_, "NTT size mismatch");
+    kernels().nttForward(a.data(), view());
+}
+
+void
+NttTables::inverse(std::span<uint64_t> a) const
+{
+    HEAP_ASSERT(a.size() == n_, "NTT size mismatch");
+    kernels().nttInverse(a.data(), view());
+}
+
+void
+NttTables::forwardScalar(std::span<uint64_t> a) const
 {
     HEAP_ASSERT(a.size() == n_, "NTT size mismatch");
     // Pre-multiply by psi^i (negacyclic twist).
@@ -115,7 +168,7 @@ NttTables::forwardOnTheFly(std::span<uint64_t> a) const
 }
 
 void
-NttTables::inverse(std::span<uint64_t> a) const
+NttTables::inverseScalar(std::span<uint64_t> a) const
 {
     HEAP_ASSERT(a.size() == n_, "NTT size mismatch");
     // DIT pass: bit-reversed in, natural out, using omega^{-1}.

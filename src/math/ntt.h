@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "math/kernels.h"
 #include "math/modarith.h"
 
 namespace heap::math {
@@ -45,8 +46,23 @@ class NttTables {
     uint64_t modulus() const { return q_; }
     const BarrettReducer& reducer() const { return barrett_; }
 
-    /** In-place forward negacyclic NTT (natural -> bit-reversed). */
+    /** Borrowed view of the tables for the flat kernels (kernels.h). */
+    NttTablesView view() const;
+
+    /**
+     * In-place forward negacyclic NTT (natural -> bit-reversed),
+     * dispatched through the process-wide kernel table (lazy
+     * reduction + SIMD when available). Byte-identical to
+     * forwardScalar().
+     */
     void forward(std::span<uint64_t> a) const;
+
+    /**
+     * Strict-reduction scalar reference forward NTT (every butterfly
+     * fully reduced). Kept as the oracle for the `simd` equivalence
+     * tests; the dispatched forward() must match it byte-for-byte.
+     */
+    void forwardScalar(std::span<uint64_t> a) const;
 
     /**
      * Forward NTT with on-the-fly twiddle generation (Section IV-D's
@@ -57,8 +73,14 @@ class NttTables {
      */
     void forwardOnTheFly(std::span<uint64_t> a) const;
 
-    /** In-place inverse negacyclic NTT (bit-reversed -> natural). */
+    /**
+     * In-place inverse negacyclic NTT (bit-reversed -> natural),
+     * dispatched like forward(). Byte-identical to inverseScalar().
+     */
     void inverse(std::span<uint64_t> a) const;
+
+    /** Strict-reduction scalar reference inverse NTT (oracle). */
+    void inverseScalar(std::span<uint64_t> a) const;
 
   private:
     size_t n_;
@@ -73,6 +95,9 @@ class NttTables {
     // psiPow_[i] = psi^i; ipsiPowScaled_[i] = psi^{-i} * n^{-1}.
     std::vector<uint64_t> psiPow_, psiPowShoup_;
     std::vector<uint64_t> ipsiPowScaled_, ipsiPowScaledShoup_;
+    // 52-bit Shoup companions for the IFMA kernels; empty unless
+    // q < 2^kIfmaMaxModulusBits.
+    std::vector<uint64_t> tw52_, itw52_, psiPow52_, ipsiPowScaled52_;
 };
 
 /**

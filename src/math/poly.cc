@@ -1,6 +1,7 @@
 #include "math/poly.h"
 
 #include "common/check.h"
+#include "math/kernels.h"
 #include "math/modarith.h"
 
 namespace heap::math {
@@ -11,9 +12,7 @@ polyAdd(std::span<const uint64_t> a, std::span<const uint64_t> b,
 {
     HEAP_ASSERT(a.size() == b.size() && a.size() == out.size(),
                 "polyAdd size mismatch");
-    for (size_t i = 0; i < a.size(); ++i) {
-        out[i] = addMod(a[i], b[i], q);
-    }
+    kernels().addMod(out.data(), a.data(), b.data(), a.size(), q);
 }
 
 void
@@ -22,18 +21,14 @@ polySub(std::span<const uint64_t> a, std::span<const uint64_t> b,
 {
     HEAP_ASSERT(a.size() == b.size() && a.size() == out.size(),
                 "polySub size mismatch");
-    for (size_t i = 0; i < a.size(); ++i) {
-        out[i] = subMod(a[i], b[i], q);
-    }
+    kernels().subMod(out.data(), a.data(), b.data(), a.size(), q);
 }
 
 void
 polyNeg(std::span<const uint64_t> a, std::span<uint64_t> out, uint64_t q)
 {
     HEAP_ASSERT(a.size() == out.size(), "polyNeg size mismatch");
-    for (size_t i = 0; i < a.size(); ++i) {
-        out[i] = negMod(a[i], q);
-    }
+    kernels().negMod(out.data(), a.data(), a.size(), q);
 }
 
 void
@@ -43,9 +38,7 @@ polyMulPointwise(std::span<const uint64_t> a, std::span<const uint64_t> b,
     HEAP_ASSERT(a.size() == b.size() && a.size() == out.size(),
                 "polyMulPointwise size mismatch");
     const BarrettReducer red(q);
-    for (size_t i = 0; i < a.size(); ++i) {
-        out[i] = red.mulMod(a[i], b[i]);
-    }
+    kernels().mulMod(out.data(), a.data(), b.data(), a.size(), red);
 }
 
 void
@@ -54,10 +47,8 @@ polyMulScalar(std::span<const uint64_t> a, uint64_t c,
 {
     HEAP_ASSERT(a.size() == out.size(), "polyMulScalar size mismatch");
     c %= q;
-    const uint64_t cShoup = shoupPrecompute(c, q);
-    for (size_t i = 0; i < a.size(); ++i) {
-        out[i] = mulModShoup(a[i], c, cShoup, q);
-    }
+    kernels().mulScalarShoup(out.data(), a.data(), c,
+                             shoupPrecompute(c, q), a.size(), q);
 }
 
 void
@@ -66,10 +57,8 @@ polyMulScalarAccum(std::span<const uint64_t> a, uint64_t c,
 {
     HEAP_ASSERT(a.size() == out.size(), "polyMulScalarAccum size mismatch");
     c %= q;
-    const uint64_t cShoup = shoupPrecompute(c, q);
-    for (size_t i = 0; i < a.size(); ++i) {
-        out[i] = addMod(out[i], mulModShoup(a[i], c, cShoup, q), q);
-    }
+    kernels().mulScalarShoupAccum(out.data(), a.data(), c,
+                                  shoupPrecompute(c, q), a.size(), q);
 }
 
 void

@@ -1,11 +1,15 @@
 #include "math/rns.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "math/baseconv.h"
+#include "math/kernels.h"
 #include "math/poly.h"
 #include "math/primes.h"
+#include "math/scratch.h"
 
 namespace heap::math {
 
@@ -34,21 +38,86 @@ RnsBasis::RnsBasis(size_t n, std::vector<uint64_t> moduli)
     }
     const size_t l = moduli_.size();
     invQ_.assign(l * l, 0);
+    invQShoup_.assign(l * l, 0);
     for (size_t j = 0; j < l; ++j) {
         for (size_t i = 0; i < l; ++i) {
             if (i != j) {
-                invQ_[j * l + i] = invMod(moduli_[j] % moduli_[i],
-                                          moduli_[i]);
+                const uint64_t inv =
+                    invMod(moduli_[j] % moduli_[i], moduli_[i]);
+                invQ_[j * l + i] = inv;
+                invQShoup_[j * l + i] =
+                    shoupPrecompute(inv, moduli_[i]);
             }
         }
     }
 }
+
+RnsBasis::~RnsBasis() = default;
 
 uint64_t
 RnsBasis::invModulus(size_t j, size_t i) const
 {
     HEAP_ASSERT(i != j, "invModulus(i, i) undefined");
     return invQ_[j * moduli_.size() + i];
+}
+
+uint64_t
+RnsBasis::invModulusShoup(size_t j, size_t i) const
+{
+    HEAP_ASSERT(i != j, "invModulusShoup(i, i) undefined");
+    return invQShoup_[j * moduli_.size() + i];
+}
+
+const BaseConverter&
+RnsBasis::baseConverterFor(size_t lo, size_t hi) const
+{
+    HEAP_CHECK(lo < hi && hi <= moduli_.size(),
+               "bad base-converter group [" << lo << ", " << hi << ")");
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    auto& slot = baseConvCache_[{lo, hi}];
+    if (slot == nullptr) {
+        std::vector<uint64_t> srcMods(moduli_.begin() + lo,
+                                      moduli_.begin() + hi);
+        std::vector<uint64_t> dstMods;
+        for (size_t k = 0; k < moduli_.size(); ++k) {
+            if (k < lo || k >= hi) {
+                dstMods.push_back(moduli_[k]);
+            }
+        }
+        slot = std::make_unique<BaseConverter>(std::move(srcMods),
+                                               std::move(dstMods));
+    }
+    return *slot;
+}
+
+const GadgetPowerTable&
+RnsBasis::gadgetPowersFor(int baseBits, int digits) const
+{
+    HEAP_CHECK(baseBits >= 1 && digits >= 1,
+               "bad gadget configuration");
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    auto& slot = gadgetPowerCache_[{baseBits, digits}];
+    if (slot == nullptr) {
+        auto table = std::make_unique<GadgetPowerTable>();
+        table->baseBits = baseBits;
+        table->digits = digits;
+        const size_t l = moduli_.size();
+        table->pow.resize(l * static_cast<size_t>(digits));
+        table->powShoup.resize(l * static_cast<size_t>(digits));
+        for (size_t i = 0; i < l; ++i) {
+            const uint64_t qi = moduli_[i];
+            for (int j = 0; j < digits; ++j) {
+                const uint64_t p =
+                    powMod(1ULL << baseBits, static_cast<uint64_t>(j),
+                           qi);
+                table->pow[i * digits + j] = p;
+                table->powShoup[i * digits + j] =
+                    shoupPrecompute(p, qi);
+            }
+        }
+        slot = std::move(table);
+    }
+    return *slot;
 }
 
 double
@@ -68,15 +137,40 @@ RnsPoly::RnsPoly(std::shared_ptr<const RnsBasis> basis, size_t limbs,
 {
     HEAP_CHECK(limbs >= 1 && limbs <= basis_->size(),
                "invalid limb count " << limbs);
-    limbs_.assign(limbs, std::vector<uint64_t>(basis_->n(), 0));
+    n_ = basis_->n();
+    limbs_ = limbs;
+    data_ = AlignedU64(limbs * n_);
+}
+
+RnsPoly::RnsPoly(const RnsPoly& other)
+    : basis_(other.basis_),
+      n_(other.n_),
+      limbs_(other.limbs_),
+      domain_(other.domain_)
+{
+    // Copy only the active limbs: after dropLimbs the allocation may
+    // be larger than limbs_ * n_, and copies right-size it.
+    if (limbs_ * n_ > 0) {
+        data_ = AlignedU64(limbs_ * n_);
+        std::memcpy(data_.data(), other.data_.data(),
+                    limbs_ * n_ * sizeof(uint64_t));
+    }
+}
+
+RnsPoly&
+RnsPoly::operator=(const RnsPoly& other)
+{
+    if (this != &other) {
+        RnsPoly tmp(other);
+        *this = std::move(tmp);
+    }
+    return *this;
 }
 
 void
 RnsPoly::setZero()
 {
-    for (auto& l : limbs_) {
-        std::fill(l.begin(), l.end(), 0);
-    }
+    std::memset(data_.data(), 0, limbs_ * n_ * sizeof(uint64_t));
 }
 
 void
@@ -86,12 +180,12 @@ RnsPoly::toEval()
         return;
     }
     // Limbs transform independently (distinct tables, distinct data).
-    if (limbs_.size() >= 2 && basis_->n() >= kParallelNttMinN) {
-        parallelFor(0, limbs_.size(), 1,
-                    [this](size_t i) { basis_->ntt(i).forward(limbs_[i]); });
+    if (limbs_ >= 2 && n_ >= kParallelNttMinN) {
+        parallelFor(0, limbs_, 1,
+                    [this](size_t i) { basis_->ntt(i).forward(limb(i)); });
     } else {
-        for (size_t i = 0; i < limbs_.size(); ++i) {
-            basis_->ntt(i).forward(limbs_[i]);
+        for (size_t i = 0; i < limbs_; ++i) {
+            basis_->ntt(i).forward(limb(i));
         }
     }
     domain_ = Domain::Eval;
@@ -103,12 +197,12 @@ RnsPoly::toCoeff()
     if (domain_ == Domain::Coeff) {
         return;
     }
-    if (limbs_.size() >= 2 && basis_->n() >= kParallelNttMinN) {
-        parallelFor(0, limbs_.size(), 1,
-                    [this](size_t i) { basis_->ntt(i).inverse(limbs_[i]); });
+    if (limbs_ >= 2 && n_ >= kParallelNttMinN) {
+        parallelFor(0, limbs_, 1,
+                    [this](size_t i) { basis_->ntt(i).inverse(limb(i)); });
     } else {
-        for (size_t i = 0; i < limbs_.size(); ++i) {
-            basis_->ntt(i).inverse(limbs_[i]);
+        for (size_t i = 0; i < limbs_; ++i) {
+            basis_->ntt(i).inverse(limb(i));
         }
     }
     domain_ = Domain::Coeff;
@@ -132,8 +226,11 @@ void
 RnsPoly::addInPlace(const RnsPoly& other)
 {
     checkCompatible(*this, other);
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        polyAdd(limbs_[i], other.limb(i), limbs_[i], basis_->modulus(i));
+    const KernelOps& ops = kernels();
+    for (size_t i = 0; i < limbs_; ++i) {
+        uint64_t* dst = data_.data() + i * n_;
+        ops.addMod(dst, dst, other.limb(i).data(), n_,
+                   basis_->modulus(i));
     }
 }
 
@@ -141,16 +238,21 @@ void
 RnsPoly::subInPlace(const RnsPoly& other)
 {
     checkCompatible(*this, other);
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        polySub(limbs_[i], other.limb(i), limbs_[i], basis_->modulus(i));
+    const KernelOps& ops = kernels();
+    for (size_t i = 0; i < limbs_; ++i) {
+        uint64_t* dst = data_.data() + i * n_;
+        ops.subMod(dst, dst, other.limb(i).data(), n_,
+                   basis_->modulus(i));
     }
 }
 
 void
 RnsPoly::negInPlace()
 {
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        polyNeg(limbs_[i], limbs_[i], basis_->modulus(i));
+    const KernelOps& ops = kernels();
+    for (size_t i = 0; i < limbs_; ++i) {
+        uint64_t* dst = data_.data() + i * n_;
+        ops.negMod(dst, dst, n_, basis_->modulus(i));
     }
 }
 
@@ -160,13 +262,11 @@ RnsPoly::mulPointwiseInPlace(const RnsPoly& other)
     checkCompatible(*this, other);
     HEAP_CHECK(domain_ == Domain::Eval,
                "pointwise multiply requires Eval domain");
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        const auto& red = basis_->reducer(i);
-        auto dst = limbs_[i].data();
-        const auto src = other.limb(i).data();
-        for (size_t j = 0; j < basis_->n(); ++j) {
-            dst[j] = red.mulMod(dst[j], src[j]);
-        }
+    const KernelOps& ops = kernels();
+    for (size_t i = 0; i < limbs_; ++i) {
+        uint64_t* dst = data_.data() + i * n_;
+        ops.mulMod(dst, dst, other.limb(i).data(), n_,
+                   basis_->reducer(i));
     }
 }
 
@@ -176,34 +276,36 @@ RnsPoly::mulPointwiseAccum(const RnsPoly& a, const RnsPoly& b)
     checkCompatible(a, b);
     checkCompatible(*this, a);
     HEAP_CHECK(domain_ == Domain::Eval, "accumulate requires Eval domain");
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        const uint64_t q = basis_->modulus(i);
-        const auto& red = basis_->reducer(i);
-        auto dst = limbs_[i].data();
-        const auto pa = a.limb(i).data();
-        const auto pb = b.limb(i).data();
-        for (size_t j = 0; j < basis_->n(); ++j) {
-            dst[j] = addMod(dst[j], red.mulMod(pa[j], pb[j]), q);
-        }
+    const KernelOps& ops = kernels();
+    for (size_t i = 0; i < limbs_; ++i) {
+        uint64_t* dst = data_.data() + i * n_;
+        ops.mulModAccum(dst, a.limb(i).data(), b.limb(i).data(), n_,
+                        basis_->reducer(i));
     }
 }
 
 void
 RnsPoly::mulScalarInPlace(uint64_t c)
 {
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        polyMulScalar(limbs_[i], c % basis_->modulus(i), limbs_[i],
-                      basis_->modulus(i));
+    const KernelOps& ops = kernels();
+    for (size_t i = 0; i < limbs_; ++i) {
+        const uint64_t q = basis_->modulus(i);
+        const uint64_t w = c % q;
+        uint64_t* dst = data_.data() + i * n_;
+        ops.mulScalarShoup(dst, dst, w, shoupPrecompute(w, q), n_, q);
     }
 }
 
 void
 RnsPoly::mulScalarRnsInPlace(std::span<const uint64_t> cPerLimb)
 {
-    HEAP_CHECK(cPerLimb.size() >= limbs_.size(), "scalar vector too short");
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        polyMulScalar(limbs_[i], cPerLimb[i], limbs_[i],
-                      basis_->modulus(i));
+    HEAP_CHECK(cPerLimb.size() >= limbs_, "scalar vector too short");
+    const KernelOps& ops = kernels();
+    for (size_t i = 0; i < limbs_; ++i) {
+        const uint64_t q = basis_->modulus(i);
+        const uint64_t w = cPerLimb[i] % q;
+        uint64_t* dst = data_.data() + i * n_;
+        ops.mulScalarShoup(dst, dst, w, shoupPrecompute(w, q), n_, q);
     }
 }
 
@@ -212,9 +314,9 @@ RnsPoly::automorphism(uint64_t t) const
 {
     HEAP_CHECK(domain_ == Domain::Coeff,
                "automorphism requires Coeff domain");
-    RnsPoly out(basis_, limbs_.size(), Domain::Coeff);
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        polyAutomorphism(limbs_[i], t, out.limb(i), basis_->modulus(i));
+    RnsPoly out(basis_, limbs_, Domain::Coeff);
+    for (size_t i = 0; i < limbs_; ++i) {
+        polyAutomorphism(limb(i), t, out.limb(i), basis_->modulus(i));
     }
     return out;
 }
@@ -224,9 +326,9 @@ RnsPoly::monomialMul(uint64_t k) const
 {
     HEAP_CHECK(domain_ == Domain::Coeff,
                "monomialMul requires Coeff domain");
-    RnsPoly out(basis_, limbs_.size(), Domain::Coeff);
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        polyMonomialMul(limbs_[i], k, out.limb(i), basis_->modulus(i));
+    RnsPoly out(basis_, limbs_, Domain::Coeff);
+    for (size_t i = 0; i < limbs_; ++i) {
+        polyMonomialMul(limb(i), k, out.limb(i), basis_->modulus(i));
     }
     return out;
 }
@@ -234,51 +336,56 @@ RnsPoly::monomialMul(uint64_t k) const
 void
 RnsPoly::dropLimbs(size_t count)
 {
-    HEAP_CHECK(count < limbs_.size(), "cannot drop all limbs");
-    limbs_.resize(limbs_.size() - count);
+    HEAP_CHECK(count < limbs_, "cannot drop all limbs");
+    // O(1): the allocation keeps its size; copies right-size it.
+    limbs_ -= count;
 }
 
 void
 RnsPoly::rescaleLastLimb()
 {
-    HEAP_CHECK(limbs_.size() >= 2, "rescale needs at least two limbs");
-    const size_t last = limbs_.size() - 1;
+    HEAP_CHECK(limbs_ >= 2, "rescale needs at least two limbs");
+    const size_t last = limbs_ - 1;
     const uint64_t qLast = basis_->modulus(last);
     const Domain orig = domain_;
+    const KernelOps& ops = kernels();
 
+    ScratchFrame scratch;
     // Bring the dropped limb into coefficient representation.
-    std::vector<uint64_t> lastCoeff = limbs_[last];
+    auto lastCoeff = scratch.borrow(n_);
+    std::memcpy(lastCoeff.data(), limb(last).data(),
+                n_ * sizeof(uint64_t));
     if (orig == Domain::Eval) {
         basis_->ntt(last).inverse(lastCoeff);
     }
 
+    auto corr = scratch.borrow(n_);
     for (size_t i = 0; i < last; ++i) {
         const uint64_t qi = basis_->modulus(i);
         // Centered lift of the last limb reduced mod q_i (rounding
         // rather than floor division).
-        std::vector<uint64_t> corr(basis_->n());
-        for (size_t j = 0; j < basis_->n(); ++j) {
+        for (size_t j = 0; j < n_; ++j) {
             corr[j] = fromCentered(toCentered(lastCoeff[j], qLast), qi);
         }
         if (orig == Domain::Eval) {
             basis_->ntt(i).forward(corr);
         }
-        polySub(limbs_[i], corr, limbs_[i], qi);
-        polyMulScalar(limbs_[i], basis_->invModulus(last, i), limbs_[i],
-                      qi);
+        uint64_t* dst = data_.data() + i * n_;
+        ops.subMod(dst, dst, corr.data(), n_, qi);
+        ops.mulScalarShoup(dst, dst, basis_->invModulus(last, i),
+                           basis_->invModulusShoup(last, i), n_, qi);
     }
-    limbs_.pop_back();
+    limbs_ -= 1;
 }
 
 RnsPoly
 RnsPoly::restrictedTo(size_t limbs) const
 {
-    HEAP_CHECK(limbs >= 1 && limbs <= limbs_.size(),
+    HEAP_CHECK(limbs >= 1 && limbs <= limbs_,
                "restrictedTo limb count out of range");
     RnsPoly out(basis_, limbs, domain_);
-    for (size_t i = 0; i < limbs; ++i) {
-        out.limbs_[i] = limbs_[i];
-    }
+    std::memcpy(out.data_.data(), data_.data(),
+                limbs * n_ * sizeof(uint64_t));
     return out;
 }
 

@@ -12,14 +12,32 @@
 #define HEAP_MATH_RNS_H
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "common/aligned.h"
 #include "math/modarith.h"
 #include "math/ntt.h"
 
 namespace heap::math {
+
+class BaseConverter;
+
+/**
+ * Cached per-basis gadget power table: pow[i * digits + j] =
+ * (2^baseBits)^j mod q_i, with Shoup companions. Shared by gadget
+ * encryption and decomposition (rlwe/gadget.cc).
+ */
+struct GadgetPowerTable {
+    int baseBits = 0;
+    int digits = 0;
+    std::vector<uint64_t> pow;
+    std::vector<uint64_t> powShoup;
+};
 
 /**
  * A fixed chain of NTT-friendly prime moduli for ring dimension N,
@@ -33,6 +51,10 @@ class RnsBasis {
      */
     RnsBasis(size_t n, std::vector<uint64_t> moduli);
 
+    // Out-of-line: the cache holds unique_ptrs to the forward-declared
+    // BaseConverter.
+    ~RnsBasis();
+
     size_t n() const { return n_; }
     size_t size() const { return moduli_.size(); }
     uint64_t modulus(size_t i) const { return moduli_[i]; }
@@ -43,16 +65,43 @@ class RnsBasis {
     /** Returns [q_j^{-1}]_{q_i} (cached). @pre i != j. */
     uint64_t invModulus(size_t j, size_t i) const;
 
+    /** Shoup companion of invModulus(j, i) (cached). @pre i != j. */
+    uint64_t invModulusShoup(size_t j, size_t i) const;
+
     /** log2(prod of the first `limbs` moduli). */
     double logQ(size_t limbs) const;
+
+    /**
+     * Cached exact base converter from the contiguous sub-chain
+     * [lo, hi) to its complement within the full chain — the hybrid
+     * key-switch ModUp shape. Built on first use, thread-safe.
+     */
+    const BaseConverter& baseConverterFor(size_t lo, size_t hi) const;
+
+    /**
+     * Cached gadget base-power table for a (baseBits, digits)
+     * configuration. Built on first use, thread-safe.
+     */
+    const GadgetPowerTable& gadgetPowersFor(int baseBits,
+                                            int digits) const;
 
   private:
     size_t n_;
     std::vector<uint64_t> moduli_;
     std::vector<std::unique_ptr<NttTables>> ntt_;
     std::vector<BarrettReducer> reducers_;
-    // invQ_[j * L + i] = q_j^{-1} mod q_i.
-    std::vector<uint64_t> invQ_;
+    // invQ_[j * L + i] = q_j^{-1} mod q_i (with Shoup companions).
+    std::vector<uint64_t> invQ_, invQShoup_;
+    // Lazily-built per-context tables (see baseConverterFor /
+    // gadgetPowersFor). Guarded by cacheMutex_; entries are stable
+    // once inserted, so returned references never dangle.
+    mutable std::mutex cacheMutex_;
+    mutable std::map<std::pair<size_t, size_t>,
+                     std::unique_ptr<BaseConverter>>
+        baseConvCache_;
+    mutable std::map<std::pair<int, int>,
+                     std::unique_ptr<GadgetPowerTable>>
+        gadgetPowerCache_;
 };
 
 /** Representation domain of RnsPoly limbs. */
@@ -61,6 +110,13 @@ enum class Domain { Coeff, Eval };
 /**
  * An element of R_{Q_l} = Z_{Q_l}[X]/(X^N+1) in RNS form with
  * l = limbCount() active limbs.
+ *
+ * Storage is limb-major and contiguous: one 64-byte-aligned
+ * allocation of limbCount() * n words, limb i occupying words
+ * [i*n, (i+1)*n). This is the software analogue of the paper's
+ * per-limb lane layout (Section II-A): kernels stream each limb as
+ * one flat array, and whole-poly copies/serialization are single
+ * memcpy-sized passes.
  */
 class RnsPoly {
   public:
@@ -70,15 +126,35 @@ class RnsPoly {
     RnsPoly(std::shared_ptr<const RnsBasis> basis, size_t limbs,
             Domain domain = Domain::Coeff);
 
+    // Copies trim to the active limbs (dropLimbs only shrinks the
+    // active count, not the allocation).
+    RnsPoly(const RnsPoly& other);
+    RnsPoly& operator=(const RnsPoly& other);
+    RnsPoly(RnsPoly&&) noexcept = default;
+    RnsPoly& operator=(RnsPoly&&) noexcept = default;
+
     const RnsBasis& basis() const { return *basis_; }
     std::shared_ptr<const RnsBasis> basisPtr() const { return basis_; }
-    size_t n() const { return basis_->n(); }
-    size_t limbCount() const { return limbs_.size(); }
+    size_t n() const { return n_; }
+    size_t limbCount() const { return limbs_; }
     Domain domain() const { return domain_; }
     bool empty() const { return basis_ == nullptr; }
 
-    std::span<uint64_t> limb(size_t i) { return limbs_[i]; }
-    std::span<const uint64_t> limb(size_t i) const { return limbs_[i]; }
+    std::span<uint64_t> limb(size_t i)
+    {
+        return {data_.data() + i * n_, n_};
+    }
+    std::span<const uint64_t> limb(size_t i) const
+    {
+        return {data_.data() + i * n_, n_};
+    }
+
+    /** The contiguous limb-major buffer of all active limbs. */
+    std::span<uint64_t> flat() { return {data_.data(), limbs_ * n_}; }
+    std::span<const uint64_t> flat() const
+    {
+        return {data_.data(), limbs_ * n_};
+    }
 
     /** Overwrites all limbs with zero. */
     void setZero();
@@ -131,7 +207,9 @@ class RnsPoly {
 
   private:
     std::shared_ptr<const RnsBasis> basis_;
-    std::vector<std::vector<uint64_t>> limbs_;
+    AlignedU64 data_; ///< limb-major: limb i at [i*n_, (i+1)*n_)
+    size_t n_ = 0;
+    size_t limbs_ = 0; ///< active limbs (<= data_.size() / n_)
     Domain domain_ = Domain::Coeff;
 };
 

@@ -1,0 +1,68 @@
+#include "math/scratch.h"
+
+#include "common/check.h"
+
+namespace heap::math {
+
+ScratchArena&
+ScratchArena::instance()
+{
+    thread_local ScratchArena arena;
+    return arena;
+}
+
+std::span<uint64_t>
+ScratchArena::borrow(size_t n)
+{
+    // Round to a 64-byte boundary so every borrow stays aligned.
+    const size_t words = (n + 7) & ~static_cast<size_t>(7);
+    while (active_ < chunks_.size()) {
+        Chunk& c = *chunks_[active_];
+        if (c.used + words <= c.buf.size()) {
+            uint64_t* p = c.buf.data() + c.used;
+            c.used += words;
+            return {p, n};
+        }
+        // Current chunk exhausted; try the next (its used is 0 —
+        // release() resets every chunk past the mark).
+        ++active_;
+    }
+    const size_t cap = words > kMinChunkWords ? words : kMinChunkWords;
+    chunks_.push_back(std::make_unique<Chunk>(cap));
+    ++growthCount_;
+    Chunk& c = *chunks_.back();
+    c.used = words;
+    return {c.buf.data(), n};
+}
+
+std::span<int64_t>
+ScratchArena::borrowSigned(size_t n)
+{
+    const std::span<uint64_t> s = borrow(n);
+    return {reinterpret_cast<int64_t*>(s.data()), n};
+}
+
+ScratchArena::Mark
+ScratchArena::mark() const
+{
+    if (active_ < chunks_.size()) {
+        return {active_, chunks_[active_]->used};
+    }
+    return {active_, 0};
+}
+
+void
+ScratchArena::release(const Mark& m)
+{
+    HEAP_ASSERT(m.chunk <= active_ || active_ >= chunks_.size(),
+                "scratch frames released out of order");
+    for (size_t i = chunks_.size(); i-- > m.chunk + 1;) {
+        chunks_[i]->used = 0;
+    }
+    if (m.chunk < chunks_.size()) {
+        chunks_[m.chunk]->used = m.used;
+    }
+    active_ = m.chunk;
+}
+
+} // namespace heap::math

@@ -1,0 +1,61 @@
+#include "math/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace heap::math {
+
+const char*
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::Avx2:
+        return "avx2";
+    case SimdLevel::Avx512:
+        return "avx512";
+    case SimdLevel::Neon:
+        return "neon";
+    case SimdLevel::Scalar:
+        break;
+    }
+    return "scalar";
+}
+
+namespace detail {
+
+SimdLevel
+detectSimdLevel()
+{
+    const char* force = std::getenv("HEAP_FORCE_SCALAR");
+    if (force != nullptr && force[0] != '\0' && force[0] != '0') {
+        return SimdLevel::Scalar;
+    }
+#if defined(HEAP_HAVE_AVX512) && (defined(__x86_64__) || defined(__i386__))
+    if (__builtin_cpu_supports("avx512f")
+        && __builtin_cpu_supports("avx512dq")
+        && __builtin_cpu_supports("avx512vl")) {
+        return SimdLevel::Avx512;
+    }
+#endif
+#if defined(HEAP_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+    if (__builtin_cpu_supports("avx2")) {
+        return SimdLevel::Avx2;
+    }
+#endif
+#if defined(HEAP_HAVE_NEON) && defined(__aarch64__)
+    // NEON is architecturally guaranteed on aarch64.
+    return SimdLevel::Neon;
+#endif
+    return SimdLevel::Scalar;
+}
+
+} // namespace detail
+
+SimdLevel
+activeSimdLevel()
+{
+    static const SimdLevel level = detail::detectSimdLevel();
+    return level;
+}
+
+} // namespace heap::math

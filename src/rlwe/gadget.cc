@@ -3,8 +3,11 @@
 #include <bit>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "math/kernels.h"
 #include "math/modarith.h"
 #include "math/poly.h"
+#include "math/scratch.h"
 
 namespace heap::rlwe {
 
@@ -23,6 +26,67 @@ GadgetParams::validateFor(const math::RnsBasis& basis) const
     }
 }
 
+namespace {
+
+/**
+ * Splits the centered value v into d balanced base-B digits written to
+ * out[0], out[stride], ..., out[(d-1)*stride]. The top digit absorbs
+ * the final remainder.
+ */
+inline void
+decomposeCentered(int64_t v, int d, int baseBits, int64_t* out,
+                  size_t stride)
+{
+    const int64_t base = 1LL << baseBits;
+    for (int j = 0; j < d; ++j) {
+        if (j == d - 1) {
+            out[static_cast<size_t>(j) * stride] = v;
+            break;
+        }
+        int64_t r = v % base;
+        if (r > base / 2) {
+            r -= base;
+        } else if (r < -base / 2) {
+            r += base;
+        }
+        out[static_cast<size_t>(j) * stride] = r;
+        v = (v - r) >> baseBits;
+    }
+}
+
+/**
+ * Flat digit decomposition: digit (i, j) occupies
+ * out[(i*d + j) * n, +n). Digit values match gadgetDecompose().
+ */
+void
+decomposeInto(const math::RnsPoly& x, const GadgetParams& params,
+              std::span<int64_t> out)
+{
+    const size_t n = x.n();
+    const size_t l = x.limbCount();
+    const int d = params.digitsPerLimb;
+    const uint64_t mask = (1ULL << params.baseBits) - 1;
+    for (size_t i = 0; i < l; ++i) {
+        const uint64_t qi = x.basis().modulus(i);
+        const auto src = x.limb(i);
+        int64_t* base = out.data() + i * static_cast<size_t>(d) * n;
+        for (size_t t = 0; t < n; ++t) {
+            if (!params.balanced) {
+                for (int j = 0; j < d; ++j) {
+                    base[static_cast<size_t>(j) * n + t] =
+                        static_cast<int64_t>(
+                            (src[t] >> (j * params.baseBits)) & mask);
+                }
+                continue;
+            }
+            decomposeCentered(math::toCentered(src[t], qi), d,
+                              params.baseBits, base + t, n);
+        }
+    }
+}
+
+} // namespace
+
 std::vector<std::vector<int64_t>>
 gadgetDecompose(const math::RnsPoly& x, const GadgetParams& params)
 {
@@ -32,7 +96,6 @@ gadgetDecompose(const math::RnsPoly& x, const GadgetParams& params)
     const size_t l = x.limbCount();
     const int d = params.digitsPerLimb;
     const uint64_t mask = (1ULL << params.baseBits) - 1;
-    const int64_t base = 1LL << params.baseBits;
     std::vector<std::vector<int64_t>> digits(l * d);
     for (size_t i = 0; i < l; ++i) {
         for (int j = 0; j < d; ++j) {
@@ -53,20 +116,12 @@ gadgetDecompose(const math::RnsPoly& x, const GadgetParams& params)
             // Balanced: decompose the centered representative with
             // digits in [-B/2, B/2] (carry propagation); the top
             // digit absorbs the final remainder.
-            int64_t v = math::toCentered(src[t], qi);
+            int64_t local[64];
+            HEAP_ASSERT(d <= 64, "too many gadget digits");
+            decomposeCentered(math::toCentered(src[t], qi), d,
+                              params.baseBits, local, 1);
             for (int j = 0; j < d; ++j) {
-                if (j == d - 1) {
-                    digits[i * d + j][t] = v;
-                    break;
-                }
-                int64_t r = v % base;
-                if (r > base / 2) {
-                    r -= base;
-                } else if (r < -base / 2) {
-                    r += base;
-                }
-                digits[i * d + j][t] = r;
-                v = (v - r) >> params.baseBits;
+                digits[i * d + j][t] = local[j];
             }
         }
     }
@@ -87,6 +142,11 @@ gadgetEncrypt(const SecretKey& sk, const math::RnsPoly& msg,
     const size_t l = basis->size();
     const int d = params.digitsPerLimb;
 
+    const auto& powers =
+        basis->gadgetPowersFor(params.baseBits, d);
+    const math::KernelOps& ops = math::kernels();
+    math::ScratchFrame scratch;
+    auto contrib = scratch.borrow(basis->n());
     std::vector<Ciphertext> rows;
     rows.reserve(l * d);
     for (size_t i = 0; i < l; ++i) {
@@ -95,77 +155,76 @@ gadgetEncrypt(const SecretKey& sk, const math::RnsPoly& msg,
             Ciphertext row = encryptZero(sk, l, rng, noise);
             // Add e_i * B^j * msg: only limb i receives a contribution
             // because the CRT idempotent e_i vanishes mod q_k, k != i.
-            const uint64_t bPow =
-                math::powMod(1ULL << params.baseBits, j, qi);
-            std::vector<uint64_t> contrib(basis->n());
-            math::polyMulScalar(msg.limb(i), bPow, contrib, qi);
+            ops.mulScalarShoup(contrib.data(), msg.limb(i).data(),
+                               powers.pow[i * d + j],
+                               powers.powShoup[i * d + j],
+                               basis->n(), qi);
             basis->ntt(i).forward(contrib);
-            math::polyAdd(row.b.limb(i), contrib, row.b.limb(i), qi);
+            auto dst = row.b.limb(i);
+            ops.addMod(dst.data(), dst.data(), contrib.data(),
+                       basis->n(), qi);
             rows.push_back(std::move(row));
         }
     }
     return GadgetCiphertext(std::move(rows), params);
 }
 
-namespace {
-
-/**
- * dst += digitEval (*) row, limb-by-limb over dst's active limbs.
- * digitEval holds one evaluation-domain digit per limb; row is a
- * full-basis Eval poly of which only the leading limbs are used.
- */
-void
-accumulateProduct(math::RnsPoly& dst, const math::RnsPoly& digitEval,
-                  const math::RnsPoly& row)
-{
-    const auto& basis = dst.basis();
-    for (size_t k = 0; k < dst.limbCount(); ++k) {
-        const uint64_t q = basis.modulus(k);
-        const auto& red = basis.reducer(k);
-        auto out = dst.limb(k);
-        const auto dig = digitEval.limb(k);
-        const auto r = row.limb(k);
-        for (size_t t = 0; t < dst.n(); ++t) {
-            out[t] = math::addMod(out[t], red.mulMod(dig[t], r[t]), q);
-        }
-    }
-}
-
-} // namespace
-
 Ciphertext
 gadgetApply(const math::RnsPoly& x, const GadgetCiphertext& K)
 {
     auto basis = x.basisPtr();
+    const size_t n = x.n();
     const size_t l = x.limbCount();
     const int d = K.params().digitsPerLimb;
+    HEAP_CHECK(x.domain() == Domain::Coeff,
+               "gadget decomposition requires Coeff domain");
     HEAP_CHECK(K.rowCount() >= l * static_cast<size_t>(d),
                "gadget ciphertext has too few rows");
 
-    const auto digits = gadgetDecompose(x, K.params());
+    // Decompose every limb once into a flat signed-digit buffer; the
+    // digits are shared read-only by all output limbs.
+    math::ScratchFrame scratch;
+    auto digits = scratch.borrowSigned(l * static_cast<size_t>(d) * n);
+    decomposeInto(x, K.params(), digits);
 
     Ciphertext acc;
     acc.a = math::RnsPoly(basis, l, Domain::Eval);
     acc.b = math::RnsPoly(basis, l, Domain::Eval);
 
-    for (size_t i = 0; i < l; ++i) {
-        for (int j = 0; j < d; ++j) {
-            // Digit magnitudes are < B < every modulus; the (possibly
-            // signed) digit vector is reduced into every limb before
-            // the per-limb NTT.
-            const auto& dig = digits[i * d + j];
-            math::RnsPoly digitEval(basis, l, Domain::Coeff);
-            for (size_t k = 0; k < l; ++k) {
-                const uint64_t qk = basis->modulus(k);
-                auto lane = digitEval.limb(k);
-                for (size_t t = 0; t < dig.size(); ++t) {
-                    lane[t] = math::fromCentered(dig[t], qk);
-                }
+    // Fused per-limb pipeline (lift digit -> NTT -> multiply-accumulate
+    // both components): each output limb is independent, so the limb
+    // loop fans out exactly like RnsPoly::toEval. Digit magnitudes are
+    // < B < every modulus, so liftSigned's |v| < q precondition holds.
+    auto processLimb = [&](size_t k) {
+        const uint64_t qk = basis->modulus(k);
+        const auto& red = basis->reducer(k);
+        const math::KernelOps& ops = math::kernels();
+        math::ScratchFrame inner;
+        auto tmp = inner.borrow(n);
+        auto accA = acc.a.limb(k);
+        auto accB = acc.b.limb(k);
+        for (size_t i = 0; i < l; ++i) {
+            for (int j = 0; j < d; ++j) {
+                const int64_t* dig =
+                    digits.data()
+                    + (i * static_cast<size_t>(d)
+                       + static_cast<size_t>(j))
+                          * n;
+                ops.liftSigned(tmp.data(), dig, n, qk);
+                basis->ntt(k).forward(tmp);
+                const Ciphertext& row = K.row(i, j);
+                ops.mulModAccum(accA.data(), tmp.data(),
+                                row.a.limb(k).data(), n, red);
+                ops.mulModAccum(accB.data(), tmp.data(),
+                                row.b.limb(k).data(), n, red);
             }
-            digitEval.toEval();
-            const Ciphertext& row = K.row(i, j);
-            accumulateProduct(acc.a, digitEval, row.a);
-            accumulateProduct(acc.b, digitEval, row.b);
+        }
+    };
+    if (l >= 2 && n >= 1024) {
+        parallelFor(0, l, 1, processLimb);
+    } else {
+        for (size_t k = 0; k < l; ++k) {
+            processLimb(k);
         }
     }
     return acc;

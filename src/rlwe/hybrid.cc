@@ -110,16 +110,19 @@ applyHybrid(const math::RnsPoly& x, const HybridKeySwitchKey& ksk)
     acc.b = math::RnsPoly(basis, full, Domain::Eval);
 
     const size_t n = basis->n();
+    // The digit poly is fully overwritten every group, so one
+    // allocation serves the whole loop.
+    math::RnsPoly digit(basis, full, Domain::Coeff);
     for (size_t g = 0; g * ksk.groupSize < l; ++g) {
         const size_t lo = g * ksk.groupSize;
         const size_t hi = std::min(lo + ksk.groupSize, l);
+        digit.setDomain(Domain::Coeff);
 
         // ModUp: lift the group digit [a]_{Q'_g} from its active
         // limbs into every limb of QP. Inside the group the residues
         // are the originals; outside, exact fast base conversion
         // reconstructs them (single-limb groups take the direct,
         // centered-lift shortcut).
-        math::RnsPoly digit(basis, full, Domain::Coeff);
         if (hi - lo == 1) {
             const uint64_t qj = basis->modulus(lo);
             const auto src = x.limb(lo);
@@ -132,21 +135,16 @@ applyHybrid(const math::RnsPoly& x, const HybridKeySwitchKey& ksk)
                 }
             }
         } else {
-            std::vector<uint64_t> srcMods, dstMods;
+            // Cached per-basis converter: [lo, hi) -> complement.
+            const math::BaseConverter& bc =
+                basis->baseConverterFor(lo, hi);
             std::vector<size_t> dstIdx;
-            for (size_t i = lo; i < hi; ++i) {
-                srcMods.push_back(basis->modulus(i));
-            }
             for (size_t k = 0; k < full; ++k) {
-                if (k >= lo && k < hi) {
-                    continue;
+                if (k < lo || k >= hi) {
+                    dstIdx.push_back(k);
                 }
-                dstMods.push_back(basis->modulus(k));
-                dstIdx.push_back(k);
             }
-            const math::BaseConverter bc(srcMods, dstMods);
-            std::vector<uint64_t> in(srcMods.size()),
-                out(dstMods.size());
+            std::vector<uint64_t> in(hi - lo), out(dstIdx.size());
             for (size_t t = 0; t < n; ++t) {
                 for (size_t i = lo; i < hi; ++i) {
                     in[i - lo] = x.limb(i)[t];

@@ -7,6 +7,51 @@
 
 namespace heap::tfhe {
 
+namespace {
+
+/**
+ * Fused CMux update: acc += ep * (X^k - 1), negacyclically, without
+ * materializing the rotated or differenced temporaries. Exact modular
+ * adds/subs, so the result is byte-identical to the unfused
+ * monomialMul + subInPlace + addInPlace sequence.
+ */
+void
+accumulateRotatedDiffPoly(math::RnsPoly& acc, const math::RnsPoly& ep,
+                          uint64_t k)
+{
+    const size_t n = acc.n();
+    const uint64_t twoN = 2 * n;
+    k %= twoN;
+    for (size_t l = 0; l < acc.limbCount(); ++l) {
+        const uint64_t q = acc.basis().modulus(l);
+        auto out = acc.limb(l);
+        const auto src = ep.limb(l);
+        // acc -= ep ...
+        for (size_t i = 0; i < n; ++i) {
+            out[i] = math::subMod(out[i], src[i], q);
+        }
+        // ... then acc += ep * X^k (sign flips past X^N = -1).
+        for (size_t i = 0; i < n; ++i) {
+            const size_t dst = (i + k) % twoN;
+            if (dst < n) {
+                out[dst] = math::addMod(out[dst], src[i], q);
+            } else {
+                out[dst - n] = math::subMod(out[dst - n], src[i], q);
+            }
+        }
+    }
+}
+
+void
+accumulateRotatedDiff(rlwe::Ciphertext& acc, const rlwe::Ciphertext& ep,
+                      uint64_t k)
+{
+    accumulateRotatedDiffPoly(acc.a, ep.a, k);
+    accumulateRotatedDiffPoly(acc.b, ep.b, k);
+}
+
+} // namespace
+
 BlindRotateKey
 makeBlindRotateKey(const rlwe::SecretKey& sk,
                    std::span<const int64_t> lweSecret,
@@ -90,13 +135,8 @@ blindRotate(const lwe::LweCiphertext& lwe, const math::RnsPoly& testPoly,
         epPlus.toCoeff();
         epMinus.toCoeff();
 
-        rlwe::Ciphertext termPlus = epPlus.monomialMul(ai);
-        termPlus.subInPlace(epPlus);
-        rlwe::Ciphertext termMinus = epMinus.monomialMul(twoN - ai);
-        termMinus.subInPlace(epMinus);
-
-        acc.addInPlace(termPlus);
-        acc.addInPlace(termMinus);
+        accumulateRotatedDiff(acc, epPlus, ai);
+        accumulateRotatedDiff(acc, epMinus, twoN - ai);
     }
     return acc;
 }
@@ -150,12 +190,8 @@ blindRotateBatch(std::span<const lwe::LweCiphertext> lwes,
                 externalProduct(accs[c], brk.minus[i]);
             epPlus.toCoeff();
             epMinus.toCoeff();
-            rlwe::Ciphertext termPlus = epPlus.monomialMul(ai);
-            termPlus.subInPlace(epPlus);
-            rlwe::Ciphertext termMinus = epMinus.monomialMul(twoN - ai);
-            termMinus.subInPlace(epMinus);
-            accs[c].addInPlace(termPlus);
-            accs[c].addInPlace(termMinus);
+            accumulateRotatedDiff(accs[c], epPlus, ai);
+            accumulateRotatedDiff(accs[c], epMinus, twoN - ai);
         }
     }
     return accs;

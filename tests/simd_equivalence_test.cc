@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Byte-identity of every SIMD kernel variant against the strict
+ * scalar oracle, fuzzed across seeds, ring dimensions and limb
+ * counts. The library's contract (math/kernels.h) is that the
+ * dispatched lazy-reduction kernels are indistinguishable from the
+ * strict scalar path at every kernel boundary — these tests enforce
+ * it with memcmp, not modular equality.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "math/kernels.h"
+#include "math/ntt.h"
+#include "math/primes.h"
+#include "math/rns.h"
+
+namespace {
+
+using namespace heap;
+using namespace heap::math;
+
+const SimdLevel kAllLevels[] = {SimdLevel::Scalar, SimdLevel::Avx2,
+                                SimdLevel::Avx512, SimdLevel::Neon};
+
+std::vector<uint64_t>
+randomPoly(size_t n, uint64_t q, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint64_t> v(n);
+    for (auto& x : v) {
+        x = rng.uniform(q);
+    }
+    return v;
+}
+
+// The strict scalar reference path (NttTables::forwardScalar /
+// inverseScalar) vs every level's lazy kernel, across sizes, modulus
+// widths (both sides of the 2^50 IFMA boundary) and seeds.
+TEST(SimdEquivalence, NttMatchesStrictScalarOracle)
+{
+    for (const size_t n : {size_t{1024}, size_t{4096}, size_t{32768}}) {
+        for (const int bits : {30, 36, 49, 60}) {
+            const uint64_t q = generateNttPrimes(bits, n, 1)[0];
+            const NttTables tab(n, q);
+            for (const uint64_t seed : {11u, 22u, 33u}) {
+                const auto input = randomPoly(n, q, seed);
+
+                auto oracle = input;
+                tab.forwardScalar(oracle);
+                for (const SimdLevel lvl : kAllLevels) {
+                    auto a = input;
+                    kernelsForLevel(lvl).nttForward(a.data(), tab.view());
+                    ASSERT_EQ(0, std::memcmp(a.data(), oracle.data(),
+                                             n * sizeof(uint64_t)))
+                        << "forward mismatch: level="
+                        << simdLevelName(lvl) << " n=" << n
+                        << " bits=" << bits << " seed=" << seed;
+                }
+
+                auto back = oracle;
+                tab.inverseScalar(back);
+                for (const SimdLevel lvl : kAllLevels) {
+                    auto a = oracle;
+                    kernelsForLevel(lvl).nttInverse(a.data(), tab.view());
+                    ASSERT_EQ(0, std::memcmp(a.data(), back.data(),
+                                             n * sizeof(uint64_t)))
+                        << "inverse mismatch: level="
+                        << simdLevelName(lvl) << " n=" << n
+                        << " bits=" << bits << " seed=" << seed;
+                }
+                // Round trip must reproduce the input exactly.
+                ASSERT_EQ(0, std::memcmp(back.data(), input.data(),
+                                         n * sizeof(uint64_t)));
+            }
+        }
+    }
+}
+
+// Pointwise kernels: every variant vs the scalar table, including
+// non-multiple-of-lane-width tails.
+TEST(SimdEquivalence, PointwiseKernelsMatchScalar)
+{
+    const KernelOps& ref = scalarKernels();
+    for (const size_t n : {size_t{251}, size_t{1024}, size_t{4099}}) {
+        for (const int bits : {30, 49, 60}) {
+            const uint64_t q = generateNttPrimes(
+                bits, 8192, 1)[0]; // any prime < 2^bits works here
+            const BarrettReducer red(q);
+            for (const uint64_t seed : {5u, 6u}) {
+                const auto a = randomPoly(n, q, seed);
+                const auto b = randomPoly(n, q, seed + 100);
+                Rng rng(seed + 200);
+                const uint64_t w = rng.uniform(q);
+                const uint64_t ws = shoupPrecompute(w, q);
+                std::vector<int64_t> digits(n);
+                for (auto& d : digits) {
+                    d = static_cast<int64_t>(rng.uniform(2048)) - 1024;
+                }
+
+                std::vector<uint64_t> want(n), got(n);
+                for (const SimdLevel lvl : kAllLevels) {
+                    const KernelOps& ops = kernelsForLevel(lvl);
+                    const char* name = simdLevelName(lvl);
+
+                    ref.mulMod(want.data(), a.data(), b.data(), n, red);
+                    ops.mulMod(got.data(), a.data(), b.data(), n, red);
+                    ASSERT_EQ(want, got) << "mulMod " << name;
+
+                    want = b;
+                    got = b;
+                    ref.mulModAccum(want.data(), a.data(), b.data(), n,
+                                    red);
+                    ops.mulModAccum(got.data(), a.data(), b.data(), n,
+                                    red);
+                    ASSERT_EQ(want, got) << "mulModAccum " << name;
+
+                    ref.addMod(want.data(), a.data(), b.data(), n, q);
+                    ops.addMod(got.data(), a.data(), b.data(), n, q);
+                    ASSERT_EQ(want, got) << "addMod " << name;
+
+                    ref.subMod(want.data(), a.data(), b.data(), n, q);
+                    ops.subMod(got.data(), a.data(), b.data(), n, q);
+                    ASSERT_EQ(want, got) << "subMod " << name;
+
+                    ref.negMod(want.data(), a.data(), n, q);
+                    ops.negMod(got.data(), a.data(), n, q);
+                    ASSERT_EQ(want, got) << "negMod " << name;
+
+                    ref.mulScalarShoup(want.data(), a.data(), w, ws, n,
+                                       q);
+                    ops.mulScalarShoup(got.data(), a.data(), w, ws, n,
+                                       q);
+                    ASSERT_EQ(want, got) << "mulScalarShoup " << name;
+
+                    want = b;
+                    got = b;
+                    ref.mulScalarShoupAccum(want.data(), a.data(), w,
+                                            ws, n, q);
+                    ops.mulScalarShoupAccum(got.data(), a.data(), w,
+                                            ws, n, q);
+                    ASSERT_EQ(want, got)
+                        << "mulScalarShoupAccum " << name;
+
+                    ref.liftSigned(want.data(), digits.data(), n, q);
+                    ops.liftSigned(got.data(), digits.data(), n, q);
+                    ASSERT_EQ(want, got) << "liftSigned " << name;
+                }
+            }
+        }
+    }
+}
+
+// Multi-limb RnsPoly transforms through the dispatched table: the
+// eval/coeff round trip must be exact for 1..8 limbs, and the eval
+// representation must match the strict per-limb oracle byte-for-byte.
+TEST(SimdEquivalence, RnsPolyRoundTripAcrossLimbCounts)
+{
+    const size_t n = 1024;
+    for (size_t limbs = 1; limbs <= 8; ++limbs) {
+        const auto basis = std::make_shared<RnsBasis>(
+            n, generateNttPrimes(36, n, limbs));
+        for (const uint64_t seed : {3u, 4u}) {
+            RnsPoly p(basis, limbs, Domain::Coeff);
+            Rng rng(seed);
+            for (size_t i = 0; i < limbs; ++i) {
+                auto limb = p.limb(i);
+                for (auto& x : limb) {
+                    x = rng.uniform(basis->modulus(i));
+                }
+            }
+            const RnsPoly original = p;
+
+            p.toEval();
+            for (size_t i = 0; i < limbs; ++i) {
+                std::vector<uint64_t> oracle(
+                    original.limb(i).begin(), original.limb(i).end());
+                basis->ntt(i).forwardScalar(oracle);
+                ASSERT_EQ(0, std::memcmp(p.limb(i).data(),
+                                         oracle.data(),
+                                         n * sizeof(uint64_t)))
+                    << "limb " << i << " of " << limbs;
+            }
+
+            p.toCoeff();
+            for (size_t i = 0; i < limbs; ++i) {
+                ASSERT_EQ(0, std::memcmp(p.limb(i).data(),
+                                         original.limb(i).data(),
+                                         n * sizeof(uint64_t)))
+                    << "round trip limb " << i << " of " << limbs;
+            }
+        }
+    }
+}
+
+} // namespace

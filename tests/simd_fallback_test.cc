@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The HEAP_FORCE_SCALAR escape hatch and the dispatch fallback rules:
+ * forcing the portable path must work on any host (this is what the
+ * CI portable leg runs), and requesting a variant that is not
+ * compiled in or not runnable must degrade to a valid table rather
+ * than fail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "math/kernels.h"
+#include "math/simd.h"
+
+namespace {
+
+using namespace heap::math;
+
+class ForceScalarEnv : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        const char* prev = std::getenv("HEAP_FORCE_SCALAR");
+        hadPrev_ = prev != nullptr;
+        if (hadPrev_) {
+            prev_ = prev;
+        }
+    }
+
+    void
+    TearDown() override
+    {
+        if (hadPrev_) {
+            ::setenv("HEAP_FORCE_SCALAR", prev_.c_str(), 1);
+        } else {
+            ::unsetenv("HEAP_FORCE_SCALAR");
+        }
+    }
+
+    bool hadPrev_ = false;
+    std::string prev_;
+};
+
+TEST_F(ForceScalarEnv, ForcesScalarDetection)
+{
+    ::setenv("HEAP_FORCE_SCALAR", "1", 1);
+    EXPECT_EQ(SimdLevel::Scalar, detail::detectSimdLevel());
+    // Any non-empty, non-"0" value forces the fallback.
+    ::setenv("HEAP_FORCE_SCALAR", "yes", 1);
+    EXPECT_EQ(SimdLevel::Scalar, detail::detectSimdLevel());
+}
+
+TEST_F(ForceScalarEnv, ZeroAndUnsetDoNotForce)
+{
+    ::unsetenv("HEAP_FORCE_SCALAR");
+    const SimdLevel unset = detail::detectSimdLevel();
+    ::setenv("HEAP_FORCE_SCALAR", "0", 1);
+    EXPECT_EQ(unset, detail::detectSimdLevel());
+    ::setenv("HEAP_FORCE_SCALAR", "", 1);
+    EXPECT_EQ(unset, detail::detectSimdLevel());
+}
+
+TEST(SimdDispatch, ScalarTableIsScalar)
+{
+    EXPECT_EQ(SimdLevel::Scalar, scalarKernels().level);
+    EXPECT_EQ(SimdLevel::Scalar,
+              kernelsForLevel(SimdLevel::Scalar).level);
+}
+
+TEST(SimdDispatch, EveryLevelResolvesToARunnableTable)
+{
+    // Levels that are not compiled in (or not supported by this CPU)
+    // must degrade to a complete table, never a null pointer.
+    for (const SimdLevel lvl : {SimdLevel::Scalar, SimdLevel::Avx2,
+                                SimdLevel::Avx512, SimdLevel::Neon}) {
+        const KernelOps& ops = kernelsForLevel(lvl);
+        EXPECT_NE(nullptr, ops.nttForward) << simdLevelName(lvl);
+        EXPECT_NE(nullptr, ops.nttInverse) << simdLevelName(lvl);
+        EXPECT_NE(nullptr, ops.mulMod) << simdLevelName(lvl);
+        EXPECT_NE(nullptr, ops.mulModAccum) << simdLevelName(lvl);
+        EXPECT_NE(nullptr, ops.addMod) << simdLevelName(lvl);
+        EXPECT_NE(nullptr, ops.subMod) << simdLevelName(lvl);
+        EXPECT_NE(nullptr, ops.negMod) << simdLevelName(lvl);
+        EXPECT_NE(nullptr, ops.mulScalarShoup) << simdLevelName(lvl);
+        EXPECT_NE(nullptr, ops.mulScalarShoupAccum)
+            << simdLevelName(lvl);
+        EXPECT_NE(nullptr, ops.liftSigned) << simdLevelName(lvl);
+    }
+}
+
+TEST(SimdDispatch, ProcessTableMatchesActiveLevel)
+{
+    // kernels() is pinned to the level detected at first use; the two
+    // must agree for the lifetime of the process.
+    EXPECT_EQ(activeSimdLevel(), kernels().level);
+}
+
+TEST(SimdDispatch, LevelNamesAreStable)
+{
+    EXPECT_STREQ("scalar", simdLevelName(SimdLevel::Scalar));
+    EXPECT_STREQ("avx2", simdLevelName(SimdLevel::Avx2));
+    EXPECT_STREQ("avx512", simdLevelName(SimdLevel::Avx512));
+    EXPECT_STREQ("neon", simdLevelName(SimdLevel::Neon));
+}
+
+} // namespace

@@ -17,6 +17,7 @@
 #include "boot/distributed.h"
 #include "ckks/evaluator.h"
 #include "common/timer.h"
+#include "hw/timeline.h"
 #include "serve/service.h"
 
 namespace {
@@ -133,7 +134,21 @@ main()
                   static_cast<double>(m.wireBytesIn), 0)});
     t.addRow({"min returned budget (bits)",
               Table::num(m.minReturnedBudgetBits, 1)});
+    for (const serve::StageMetrics& s : m.pipeline.stages) {
+        t.addRow({std::string("stage ") + s.name + " occupancy",
+                  Table::num(s.occupancy, 2)});
+        t.addRow({std::string("stage ") + s.name + " stall (ms)",
+                  Table::num(s.stallMs, 1)});
+    }
+    t.addRow({"stage overlap", Table::num(m.pipeline.overlap, 2)});
     t.print();
+
+    // Modeled counterpart: the same request/batch shape scheduled on
+    // the accelerator cost model's staged pipeline.
+    const hw::ServePipelineSpec spec{kRequests, p.n,
+                                     scfg.maxBatchItems, 3};
+    const auto modeled = hw::serveStageOccupancy(
+        hw::buildServePipelineTimeline(model, spec));
 
     FILE* f = std::fopen("BENCH_serve.json", "w");
     if (f == nullptr) {
@@ -159,7 +174,21 @@ main()
         "  \"wire_bytes_in\": %llu,\n"
         "  \"retransmits\": %llu,\n"
         "  \"min_returned_budget_bits\": %s,\n"
-        "  \"guard_trips\": %llu\n"
+        "  \"guard_trips\": %llu,\n"
+        "  \"stages\": {\n"
+        "    \"front\": {\"tasks\": %llu, \"busy_ms\": %s, "
+        "\"stall_ms\": %s, \"occupancy\": %s, \"max_depth\": %zu, "
+        "\"backpressured\": %llu},\n"
+        "    \"rotate\": {\"tasks\": %llu, \"busy_ms\": %s, "
+        "\"stall_ms\": %s, \"occupancy\": %s, \"max_depth\": %zu, "
+        "\"backpressured\": %llu},\n"
+        "    \"finish\": {\"tasks\": %llu, \"busy_ms\": %s, "
+        "\"stall_ms\": %s, \"occupancy\": %s, \"max_depth\": %zu, "
+        "\"backpressured\": %llu}\n"
+        "  },\n"
+        "  \"stage_overlap\": %s,\n"
+        "  \"modeled_stage_occupancy\": {\"front\": %s, "
+        "\"rotate\": %s, \"finish\": %s, \"overlap\": %s}\n"
         "}\n",
         kRequests, kClients, jsonNum(offeredRps).c_str(),
         jsonNum(goodputRps).c_str(),
@@ -175,7 +204,40 @@ main()
         static_cast<unsigned long long>(m.wireBytesIn),
         static_cast<unsigned long long>(m.retransmits),
         jsonNum(m.minReturnedBudgetBits).c_str(),
-        static_cast<unsigned long long>(m.guardTrips));
+        static_cast<unsigned long long>(m.guardTrips),
+        static_cast<unsigned long long>(
+            m.pipeline.stage(serve::Stage::Front).tasks),
+        jsonNum(m.pipeline.stage(serve::Stage::Front).busyMs).c_str(),
+        jsonNum(m.pipeline.stage(serve::Stage::Front).stallMs).c_str(),
+        jsonNum(m.pipeline.stage(serve::Stage::Front).occupancy)
+            .c_str(),
+        m.pipeline.stage(serve::Stage::Front).maxQueueDepth,
+        static_cast<unsigned long long>(
+            m.pipeline.stage(serve::Stage::Front).backpressured),
+        static_cast<unsigned long long>(
+            m.pipeline.stage(serve::Stage::Rotate).tasks),
+        jsonNum(m.pipeline.stage(serve::Stage::Rotate).busyMs).c_str(),
+        jsonNum(m.pipeline.stage(serve::Stage::Rotate).stallMs)
+            .c_str(),
+        jsonNum(m.pipeline.stage(serve::Stage::Rotate).occupancy)
+            .c_str(),
+        m.pipeline.stage(serve::Stage::Rotate).maxQueueDepth,
+        static_cast<unsigned long long>(
+            m.pipeline.stage(serve::Stage::Rotate).backpressured),
+        static_cast<unsigned long long>(
+            m.pipeline.stage(serve::Stage::Finish).tasks),
+        jsonNum(m.pipeline.stage(serve::Stage::Finish).busyMs).c_str(),
+        jsonNum(m.pipeline.stage(serve::Stage::Finish).stallMs)
+            .c_str(),
+        jsonNum(m.pipeline.stage(serve::Stage::Finish).occupancy)
+            .c_str(),
+        m.pipeline.stage(serve::Stage::Finish).maxQueueDepth,
+        static_cast<unsigned long long>(
+            m.pipeline.stage(serve::Stage::Finish).backpressured),
+        jsonNum(m.pipeline.overlap).c_str(),
+        jsonNum(modeled.front).c_str(), jsonNum(modeled.rotate).c_str(),
+        jsonNum(modeled.finish).c_str(),
+        jsonNum(modeled.overlap()).c_str());
     std::fclose(f);
     std::printf("\nwrote BENCH_serve.json\n");
     return 0;

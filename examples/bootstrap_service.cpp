@@ -94,6 +94,19 @@ main()
                 m.minReturnedBudgetBits,
                 static_cast<unsigned long long>(m.guardTrips));
 
+    std::printf("\nstaged pipeline (front = modswitch+extract, rotate "
+                "= batch dispatch,\nfinish = repack+rescale):\n");
+    for (const serve::StageMetrics& s : m.pipeline.stages) {
+        std::printf("  %-6s occupancy %.2f  tasks %llu  stall %.0f ms  "
+                    "max queue %zu\n",
+                    s.name, s.occupancy,
+                    static_cast<unsigned long long>(s.tasks), s.stallMs,
+                    s.maxQueueDepth);
+    }
+    std::printf("  stage overlap %.2f (above 1.0 = stages genuinely "
+                "ran concurrently)\n",
+                m.pipeline.overlap);
+
     const auto wA = tenantA.decryptWeights();
     const auto wB = tenantB.decryptWeights();
     std::printf("\ntenant A w[0..3]: %.4f %.4f %.4f %.4f\n", wA[0],

@@ -82,6 +82,35 @@ finishBootstrap(rlwe::Ciphertext ctKq, const ModSwitched& ms,
     return out;
 }
 
+FrontPhase
+runFrontPhase(const ckks::Context& ctx, const ckks::Ciphertext& in,
+              double minBudgetBits, const char* who)
+{
+    HEAP_CHECK(in.level() == 1,
+               "bootstrap expects a level-1 (single limb) ciphertext");
+    checkBootstrappable(ctx, in, minBudgetBits, who);
+    const auto basis = ctx.basis();
+    const size_t n = basis->n();
+    const uint64_t twoN = 2 * n;
+
+    FrontPhase fp;
+    fp.ms = modSwitchSplit(in.ct, *basis);
+
+    // The modulus-switched phase carries the input error scaled by
+    // 2N/q0: stamp that on every item so budgets survive the link.
+    const double msScale = static_cast<double>(twoN)
+                           / static_cast<double>(basis->modulus(0));
+    fp.items.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        auto ext = lwe::extractLwe(fp.ms.aMs, fp.ms.bMs, i, twoN);
+        ext.budget = in.budget;
+        ext.budget.sigma = in.budget.sigma * msScale;
+        ext.budget.messageRms = in.budget.messageRms * msScale;
+        fp.items.push_back(std::move(ext));
+    }
+    return fp;
+}
+
 void
 checkBootstrappable(const ckks::Context& ctx, const ckks::Ciphertext& in,
                     double minBudgetBits, const char* who)

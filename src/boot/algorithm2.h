@@ -50,6 +50,30 @@ ckks::Ciphertext finishBootstrap(rlwe::Ciphertext ctKq,
                                  const math::RnsBasis& basis,
                                  double inScale, size_t slots);
 
+/** Output of the full front phase (steps 1-2 plus extraction). */
+struct FrontPhase {
+    ModSwitched ms;
+    /** All n extracted blind-rotate work items, in index order, each
+     *  stamped with the modulus-switched budget. */
+    std::vector<lwe::LweCiphertext> items;
+};
+
+/**
+ * The complete front half of Algorithm 2 as one unit: budget
+ * validation, the exact-division modulus switch, and extraction of
+ * all n LWE work items. Every item carries the modulus-switched
+ * budget (the input error scaled by 2N/q0) so any item may cross a
+ * link; the budget never feeds the rotation arithmetic, which keeps
+ * local and remote lanes interchangeable. Shared by the sequential
+ * bootstrappers and the serving runtime's front stage so both paths
+ * extract byte-identical items.
+ *
+ * @pre in is a level-1 ciphertext; throws UserError otherwise.
+ */
+FrontPhase runFrontPhase(const ckks::Context& ctx,
+                         const ckks::Ciphertext& in,
+                         double minBudgetBits, const char* who);
+
 /**
  * Input validation for bootstrap(): if `in` carries a tracked budget
  * and the context guard is active, requires at least `minBudgetBits`

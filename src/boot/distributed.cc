@@ -462,17 +462,14 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
     // Links, traffic counters, and fault RNG streams are per-object
     // state: concurrent bootstrap() calls serialize here.
     std::lock_guard<std::mutex> bootLock(bootMutex_);
-    HEAP_CHECK(in.level() == 1,
-               "bootstrap expects a level-1 (single limb) ciphertext");
-    checkBootstrappable(*ctx_, in, 1.0, "distributed bootstrap");
     const auto basis = ctx_->basis();
     const size_t n = basis->n();
-    const uint64_t twoN = 2 * n;
 
-    // Steps 1-2 on the primary.
-    rlwe::Ciphertext ct = in.ct;
-    ct.toCoeff();
-    const ModSwitched ms = modSwitchSplit(ct, *basis);
+    // Steps 1-2 + extraction on the primary (the same front phase the
+    // serving runtime's pipeline stage runs).
+    FrontPhase fp = runFrontPhase(*ctx_, in, 1.0,
+                                  "distributed bootstrap");
+    const ModSwitched& ms = fp.ms;
 
     // Fresh protocol run: drop anything a previous run left queued
     // (late duplicates, delayed frames) and restart the per-link fault
@@ -487,8 +484,9 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
     const size_t share = (n + nodesTotal - 1) / nodesTotal;
     traffic_ = DistributedTraffic{};
 
-    // Extract one LWE batch per secondary (unframed; the exchange
-    // serializes and frames it with this batch's sequence number).
+    // Slice one LWE batch per secondary off the extracted items
+    // (unframed; the exchange serializes and frames it with this
+    // batch's sequence number).
     struct Plan {
         size_t begin = 0, end = 0;
         std::vector<lwe::LweCiphertext> lwes;
@@ -500,18 +498,10 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
         if (begin >= end) {
             continue;
         }
-        // The modulus-switched phase carries the input error scaled by
-        // 2N/q0: stamp that on the wire so budgets survive the link.
-        const double msScale = static_cast<double>(twoN)
-                               / static_cast<double>(basis->modulus(0));
         Plan plan{begin, end, {}};
         plan.lwes.reserve(end - begin);
         for (size_t i = begin; i < end; ++i) {
-            auto ext = lwe::extractLwe(ms.aMs, ms.bMs, i, twoN);
-            ext.budget = in.budget;
-            ext.budget.sigma = in.budget.sigma * msScale;
-            ext.budget.messageRms = in.budget.messageRms * msScale;
-            plan.lwes.push_back(std::move(ext));
+            plan.lwes.push_back(std::move(fp.items[i]));
         }
         plans[s] = std::move(plan);
         ++traffic_.batches;
@@ -521,8 +511,9 @@ DistributedBootstrapper::bootstrap(const ckks::Ciphertext& in) const
     std::vector<rlwe::Ciphertext> rotated(n);
     {
         std::vector<lwe::LweCiphertext> mine;
+        mine.reserve(std::min(n, share));
         for (size_t i = 0; i < std::min(n, share); ++i) {
-            mine.push_back(lwe::extractLwe(ms.aMs, ms.bMs, i, twoN));
+            mine.push_back(std::move(fp.items[i]));
         }
         auto accs = rotateLocal(mine);
         for (size_t i = 0; i < accs.size(); ++i) {

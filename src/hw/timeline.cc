@@ -131,4 +131,88 @@ buildBootstrapTimeline(const BootstrapModel& model, size_t slots)
     return tl;
 }
 
+ScheduleTimeline
+buildServePipelineTimeline(const BootstrapModel& model,
+                           const ServePipelineSpec& spec)
+{
+    HEAP_CHECK(spec.requests >= 1 && spec.itemsPerRequest >= 1
+                   && spec.batchItems >= 1,
+               "empty serve pipeline spec");
+    const auto b = model.bootstrap(spec.itemsPerRequest);
+    const size_t lanes = spec.secondaries + 1;
+
+    ScheduleTimeline tl;
+    // Register the lanes in dataflow order so the chart reads
+    // front-to-finish even though events are appended greedily.
+    tl.add("front", 0, 0, 'F');
+    std::vector<double> laneFree(lanes, 0.0);
+    for (size_t k = 0; k < lanes; ++k) {
+        tl.add("rotate:" + std::to_string(k), 0, 0, '#');
+    }
+    tl.add("finish", 0, 0, 'R');
+
+    double frontFree = 0;
+    double finishFree = 0;
+    for (size_t r = 0; r < spec.requests; ++r) {
+        // Serial front lane: one modswitch + extraction per request.
+        const double frontEnd = frontFree + b.modSwitchMs;
+        tl.add("front", frontFree, frontEnd, 'F',
+               "extract r" + std::to_string(r));
+        frontFree = frontEnd;
+
+        // Greedy batch dispatch: each fixed-size batch goes to the
+        // earliest-free lane once the request's items exist; remote
+        // lanes pay the link on top of the rotation.
+        double lastAcc = frontEnd;
+        size_t remaining = spec.itemsPerRequest;
+        while (remaining > 0) {
+            const size_t count = std::min(remaining, spec.batchItems);
+            remaining -= count;
+            size_t lane = 0;
+            for (size_t k = 1; k < lanes; ++k) {
+                if (laneFree[k] < laneFree[lane]) {
+                    lane = k;
+                }
+            }
+            const double start = std::max(laneFree[lane], frontEnd);
+            const double cost =
+                model.blindRotateBatchMs(count)
+                + (lane > 0 ? model.batchCommMs(count) : 0.0);
+            tl.add("rotate:" + std::to_string(lane), start,
+                   start + cost, '#', "batch r" + std::to_string(r));
+            laneFree[lane] = start + cost;
+            lastAcc = std::max(lastAcc, start + cost);
+        }
+
+        // Serial finish lane: repack as soon as the last accumulator
+        // of THIS request lands — request r+1 may still be rotating.
+        const double finStart = std::max(finishFree, lastAcc);
+        tl.add("finish", finStart, finStart + b.finishMs, 'R',
+               "repack r" + std::to_string(r));
+        finishFree = finStart + b.finishMs;
+    }
+    return tl;
+}
+
+StageOccupancy
+serveStageOccupancy(const ScheduleTimeline& tl)
+{
+    const double span = tl.spanMs();
+    StageOccupancy occ;
+    if (span <= 0) {
+        return occ;
+    }
+    for (const TimelineEvent& e : tl.events()) {
+        const double busy = e.endMs - e.startMs;
+        if (e.lane == "front") {
+            occ.front += busy / span;
+        } else if (e.lane.rfind("rotate", 0) == 0) {
+            occ.rotate += busy / span;
+        } else if (e.lane == "finish") {
+            occ.finish += busy / span;
+        }
+    }
+    return occ;
+}
+
 } // namespace heap::hw

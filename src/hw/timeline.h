@@ -56,6 +56,48 @@ class ScheduleTimeline {
 ScheduleTimeline buildBootstrapTimeline(const BootstrapModel& model,
                                         size_t slots);
 
+/** Shape of one modeled serving-pipeline run (bench/serve). */
+struct ServePipelineSpec {
+    size_t requests = 1;        ///< bootstrap requests submitted
+    size_t itemsPerRequest = 1; ///< LWE items per request (ring N)
+    size_t batchItems = 1;      ///< scheduler batch-size cap
+    size_t secondaries = 0;     ///< remote lanes (plus 1 local)
+};
+
+/**
+ * Per-stage busy share of a serve-pipeline timeline: busy time over
+ * the timeline span, the modeled counterpart of the service's
+ * StageMetrics::occupancy. Rotate sums every lane, so > 1.0 means
+ * lanes genuinely ran concurrently.
+ */
+struct StageOccupancy {
+    double front = 0;
+    double rotate = 0;
+    double finish = 0;
+
+    /** Sum across stages; > 1.0 proves modeled stage overlap. */
+    double
+    overlap() const
+    {
+        return front + rotate + finish;
+    }
+};
+
+/**
+ * Builds the serving runtime's staged pipeline schedule (see
+ * serve/pipeline.h): a serial front lane (modswitch + extract per
+ * request), one rotate lane per node greedily fed fixed-size batches
+ * as requests clear the front, and a serial finish lane repacking
+ * each request once its last batch lands — so the repack of request i
+ * overlaps the rotation of request i+1. Lanes are named "front",
+ * "rotate:<k>", and "finish" for serveStageOccupancy().
+ */
+ScheduleTimeline buildServePipelineTimeline(const BootstrapModel& model,
+                                            const ServePipelineSpec& spec);
+
+/** Groups a serve-pipeline timeline's lanes back into stages. */
+StageOccupancy serveStageOccupancy(const ScheduleTimeline& tl);
+
 } // namespace heap::hw
 
 #endif // HEAP_HW_TIMELINE_H

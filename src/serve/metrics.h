@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "serve/pipeline.h"
 
 namespace heap::serve {
 
@@ -144,6 +145,11 @@ struct ServiceMetrics {
     double minReturnedBudgetBits =
         std::numeric_limits<double>::infinity();
     uint64_t guardTrips = 0;
+
+    // Staged-pipeline accounting: per-stage occupancy, queue depth,
+    // stall time, and the cross-stage overlap score (see
+    // serve/pipeline.h).
+    PipelineMetrics pipeline;
 };
 
 } // namespace heap::serve

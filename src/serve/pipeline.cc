@@ -1,0 +1,92 @@
+#include "serve/pipeline.h"
+
+#include <algorithm>
+
+namespace heap::serve {
+
+const char*
+stageName(Stage s)
+{
+    switch (s) {
+    case Stage::Front:
+        return "front";
+    case Stage::Rotate:
+        return "rotate";
+    case Stage::Finish:
+        return "finish";
+    }
+    HEAP_ASSERT(false, "bad stage");
+    return "";
+}
+
+void
+PipelineBoard::enqueued(Stage s, size_t units)
+{
+    Counters& c = at(s);
+    c.entered += units;
+    c.depth += units;
+    c.maxDepth = std::max(c.maxDepth, c.depth);
+}
+
+void
+PipelineBoard::dequeued(Stage s, size_t units)
+{
+    Counters& c = at(s);
+    HEAP_ASSERT(c.depth >= units, "stage queue depth underflow");
+    c.depth -= units;
+}
+
+void
+PipelineBoard::setDepth(Stage s, size_t depth)
+{
+    Counters& c = at(s);
+    c.depth = depth;
+    c.maxDepth = std::max(c.maxDepth, depth);
+}
+
+void
+PipelineBoard::taskStarted(Stage s, double nowMs, double readyMs)
+{
+    at(s).stallMs += std::max(0.0, nowMs - readyMs);
+    firstStartMs_ = std::min(firstStartMs_, nowMs);
+}
+
+void
+PipelineBoard::taskFinished(Stage s, double startMs, double endMs)
+{
+    Counters& c = at(s);
+    ++c.tasks;
+    c.busyMs += std::max(0.0, endMs - startMs);
+    lastEndMs_ = std::max(lastEndMs_, endMs);
+}
+
+void
+PipelineBoard::backpressured(Stage s)
+{
+    ++at(s).backpressured;
+}
+
+PipelineMetrics
+PipelineBoard::snapshot() const
+{
+    PipelineMetrics m;
+    m.windowMs = lastEndMs_ > firstStartMs_ ? lastEndMs_ - firstStartMs_
+                                            : 0.0;
+    for (size_t i = 0; i < kStageCount; ++i) {
+        const Counters& c = c_[i];
+        StageMetrics& s = m.stages[i];
+        s.name = stageName(static_cast<Stage>(i));
+        s.entered = c.entered;
+        s.tasks = c.tasks;
+        s.queueDepth = c.depth;
+        s.maxQueueDepth = c.maxDepth;
+        s.busyMs = c.busyMs;
+        s.stallMs = c.stallMs;
+        s.occupancy = m.windowMs > 0 ? c.busyMs / m.windowMs : 0.0;
+        s.backpressured = c.backpressured;
+        m.overlap += s.occupancy;
+    }
+    return m;
+}
+
+} // namespace heap::serve

@@ -61,6 +61,9 @@ class ItemQueue {
 
     bool empty() const { return pendingItems_ == 0; }
     size_t pendingItems() const { return pendingItems_; }
+    /** Requests that still have undispatched items (the rotate-stage
+     *  queue bound is counted in requests, not items). */
+    size_t pendingRequests() const { return pending_.size(); }
 
     /** Tightest absolute deadline among pending requests (infinity
      *  when none carries one); feeds the planner's slack cap. */

@@ -29,6 +29,12 @@ BootstrapService::BootstrapService(boot::DistributedBootstrapper& dist,
     // The service owns the link protocol from here on: start from a
     // clean run (empty links, reseeded fault streams).
     dist.resetProtocolRun();
+    rotateCap_ = cfg.rotateQueueRequests != 0
+                     ? cfg.rotateQueueRequests
+                     : std::max<size_t>(8, 2 * cfg.workers);
+    finishQ_.setCapacity(cfg.finishQueueRequests != 0
+                             ? cfg.finishQueueRequests
+                             : std::max<size_t>(2, cfg.workers));
     laneBusy_.assign(dist.secondaryCount() + 1, 0);
     laneLoadMs_.assign(dist.secondaryCount() + 1, 0.0);
     workers_.reserve(cfg.workers);
@@ -84,7 +90,7 @@ BootstrapService::submit(const ckks::Ciphertext& in, SubmitOptions opts)
             opts.deadlineMs
                 ? p->arrivalMs + *opts.deadlineMs
                 : std::numeric_limits<double>::infinity();
-        intake_.push_back(p->id);
+        intake_.push(p->id, p->arrivalMs);
         live_.emplace(p->id, std::move(p));
         ++submitted_;
         maxQueueDepth_ = std::max(maxQueueDepth_, live_.size());
@@ -156,56 +162,56 @@ BootstrapService::pickLaneLocked() const
 }
 
 bool
+BootstrapService::canFrontLocked() const
+{
+    // Front entry is gated on the rotate pool's request bound.
+    return !paused_ && !intake_.empty()
+           && queue_.pendingRequests() < rotateCap_;
+}
+
+bool
+BootstrapService::canDispatchLocked() const
+{
+    // Dispatch entry is gated on room in the finish queue plus a free
+    // lane; the gate (not a blocking push) is what makes a full
+    // finish queue unable to wedge the worker pool.
+    return !paused_ && !queue_.empty() && finishQ_.hasRoom()
+           && pickLaneLocked() != laneBusy_.size();
+}
+
+bool
 BootstrapService::haveRunnableWorkLocked() const
 {
-    if (paused_) {
-        return false;
-    }
-    if (!intake_.empty()) {
-        return true;
-    }
-    return !queue_.empty() && pickLaneLocked() != laneBusy_.size();
+    // The finish stage is never gated (not even by pause(): in-flight
+    // work always completes, exactly like the pre-pipeline inline
+    // finish) — that is the pipeline's forward-progress guarantee.
+    return !finishQ_.empty() || canFrontLocked() || canDispatchLocked();
 }
 
 bool
 BootstrapService::idleLocked() const
 {
-    return intake_.empty() && queue_.empty() && inFlight_ == 0;
+    // finishQ_ matters here: a request resident in an intermediate
+    // stage queue is accepted-but-unfinished work, and drain() /
+    // shutdown() promise to complete it. Omitting any stage queue
+    // would let workers exit (or drain() hang) with work still queued.
+    return intake_.empty() && queue_.empty() && finishQ_.empty()
+           && inFlight_ == 0;
 }
 
 std::exception_ptr
 BootstrapService::runFront(Request* p) const
 {
     try {
-        const ckks::Context& ctx = dist_->context();
-        const ckks::Ciphertext& in = p->input;
-        boot::checkBootstrappable(ctx, in, 1.0, "serve bootstrap");
-        const auto basis = ctx.basis();
-        const size_t n = basis->n();
-        const uint64_t twoN = 2 * n;
-
-        // Steps 1-2 of Algorithm 2, exactly as the sequential
-        // bootstrap() runs them on the primary.
-        rlwe::Ciphertext ct = in.ct;
-        ct.toCoeff();
-        p->ms = boot::modSwitchSplit(ct, *basis);
-
-        // Extract all n work items, stamping the modulus-switched
-        // budget on every item: any item may be dispatched over a
-        // link, and the budget never feeds the rotation arithmetic,
-        // so local and remote lanes stay interchangeable.
-        const double msScale = static_cast<double>(twoN)
-                               / static_cast<double>(basis->modulus(0));
-        p->lwes.reserve(n);
-        for (size_t i = 0; i < n; ++i) {
-            auto ext = lwe::extractLwe(p->ms.aMs, p->ms.bMs, i, twoN);
-            ext.budget = in.budget;
-            ext.budget.sigma = in.budget.sigma * msScale;
-            ext.budget.messageRms = in.budget.messageRms * msScale;
-            p->lwes.push_back(std::move(ext));
-        }
-        p->rotated.resize(n);
-        p->remaining = n;
+        // Steps 1-2 + extraction, the exact front phase the
+        // sequential bootstrap() runs on the primary (boot layer owns
+        // the single implementation — byte-identity by construction).
+        boot::FrontPhase fp = boot::runFrontPhase(
+            dist_->context(), p->input, 1.0, "serve bootstrap");
+        p->ms = std::move(fp.ms);
+        p->lwes = std::move(fp.items);
+        p->rotated.resize(p->lwes.size());
+        p->remaining = p->lwes.size();
         return nullptr;
     } catch (...) {
         return std::current_exception();
@@ -236,16 +242,18 @@ BootstrapService::failRequestLocked(Request* p, std::exception_ptr err)
 }
 
 void
-BootstrapService::runBatch(size_t lane, const PlannedBatch& batch,
-                           const std::vector<ItemRef>& refs)
+BootstrapService::runBatch(size_t lane,
+                           const std::vector<ItemRef>& refs,
+                           double dispatchMs)
 {
-    // Snapshot the items. Safe without the lock: a request's front
-    // phase happened-before its items were queued, and its lwes are
-    // immutable until every outstanding item settles below.
+    // Move the items out. Safe without the lock: a request's front
+    // phase happened-before its items were queued, each (request,
+    // index) pair is dispatched exactly once, and concurrent batches
+    // touch disjoint elements of the same vector (no resize).
     std::vector<lwe::LweCiphertext> lwes;
     lwes.reserve(refs.size());
     for (const ItemRef& r : refs) {
-        lwes.push_back(r.req->lwes[r.index]);
+        lwes.push_back(std::move(r.req->lwes[r.index]));
     }
 
     std::vector<rlwe::Ciphertext> accs;
@@ -262,7 +270,6 @@ BootstrapService::runBatch(size_t lane, const PlannedBatch& batch,
         err = std::current_exception();
     }
 
-    std::vector<Request*> finished;
     {
         std::lock_guard<std::mutex> lock(m_);
         wireOut_ += st.wireOut;
@@ -271,6 +278,11 @@ BootstrapService::runBatch(size_t lane, const PlannedBatch& batch,
         if (st.dead) {
             ++reclaimed_;
         }
+        const double now = nowMs();
+        // Account the rotate task before any request it completes can
+        // reach the finish stage: a metrics() snapshot taken after the
+        // last ticket settles must already count this batch.
+        board_.taskFinished(Stage::Rotate, dispatchMs, now);
         for (size_t i = 0; i < refs.size(); ++i) {
             Request* p = refs[i].req;
             if (err) {
@@ -282,17 +294,22 @@ BootstrapService::runBatch(size_t lane, const PlannedBatch& batch,
             }
             --p->remaining;
             if (p->remaining == 0) {
-                finished.push_back(p);
+                // Hand the request to the finish stage instead of
+                // repacking inline: this worker's lane frees up for
+                // the next batch while another worker repacks, which
+                // is the pipeline's rotate/finish overlap. The push
+                // never blocks; dispatch gating keeps the queue near
+                // its bound (one batch may complete several requests,
+                // briefly overshooting it).
+                finishQ_.push(p, now);
             }
         }
     }
-    for (Request* p : finished) {
-        finishRequest(p);
-    }
+    workCv_.notify_all();
 }
 
 void
-BootstrapService::finishRequest(Request* p)
+BootstrapService::finishRequest(Request* p, double startMs)
 {
     const ckks::Context& ctx = dist_->context();
     ckks::Ciphertext out;
@@ -330,6 +347,7 @@ BootstrapService::finishRequest(Request* p)
     {
         std::lock_guard<std::mutex> lock(m_);
         const double now = nowMs();
+        board_.taskFinished(Stage::Finish, startMs, now);
         rep.id = p->id;
         rep.totalMs = now - p->arrivalMs;
         rep.queueMs =
@@ -378,67 +396,109 @@ BootstrapService::workerLoop()
             return;
         }
 
-        if (!intake_.empty()) {
+        // Backpressure accounting: a stage with waiting work held
+        // back only by its downstream bound, sampled once per
+        // executed loop iteration.
+        if (!paused_ && !intake_.empty()
+            && queue_.pendingRequests() >= rotateCap_) {
+            board_.backpressured(Stage::Front);
+        }
+        if (!paused_ && !queue_.empty() && !finishQ_.hasRoom()) {
+            board_.backpressured(Stage::Rotate);
+        }
+
+        // Stage precedence front > dispatch > finish keeps the
+        // pre-pipeline scheduling order on a single worker: every
+        // admitted request is ranked by the ItemQueue before batches
+        // form, and completed rotations are repacked in completion
+        // order once dispatch is gated or the queues empty out.
+        if (canFrontLocked()) {
             // Front phase: modulus switch + extraction, off the lock.
-            const uint64_t id = intake_.front();
-            intake_.pop_front();
+            double readyMs = 0;
+            const uint64_t id = intake_.pop(&readyMs);
             Request* p = live_.at(id).get();
             ++inFlight_;
+            const double startMs = nowMs();
+            board_.taskStarted(Stage::Front, startMs, readyMs);
             lock.unlock();
             std::exception_ptr err = runFront(p);
             lock.lock();
             --inFlight_;
+            board_.taskFinished(Stage::Front, startMs, nowMs());
             if (err) {
                 failRequestLocked(p, std::move(err));
             } else {
+                p->rotateReadyMs = nowMs();
                 queue_.addRequest(p->id, p->opts.priority,
                                   p->deadlineAbsMs, p->lwes.size());
+                board_.enqueued(Stage::Rotate, p->lwes.size());
             }
             workCv_.notify_all();
             continue;
         }
 
-        // Batch dispatch: form the next batch for the least-loaded
-        // free lane (both decided under the lock, so the scheduler
-        // state is consistent), run the exchange off the lock.
-        const size_t lane = pickLaneLocked();
-        if (queue_.empty() || lane == laneBusy_.size()) {
-            continue; // lost a race; re-evaluate the wait predicate
-        }
-        const double slackMs = queue_.minDeadlineAbsMs() - nowMs();
-        const size_t size =
-            planner_.chooseBatchSize(queue_.pendingItems(), slackMs);
-        PlannedBatch batch = queue_.formBatch(size);
-        HEAP_ASSERT(!batch.items.empty(), "empty batch formed");
+        if (canDispatchLocked()) {
+            // Batch dispatch: form the next batch for the
+            // least-loaded free lane (both decided under the lock, so
+            // the scheduler state is consistent), run the exchange
+            // off the lock.
+            const size_t lane = pickLaneLocked();
+            const double slackMs = queue_.minDeadlineAbsMs() - nowMs();
+            const size_t size = planner_.chooseBatchSize(
+                queue_.pendingItems(), slackMs);
+            PlannedBatch batch = queue_.formBatch(size);
+            HEAP_ASSERT(!batch.items.empty(), "empty batch formed");
 
-        std::vector<ItemRef> refs;
-        refs.reserve(batch.items.size());
-        const double now = nowMs();
-        Request* lastReq = nullptr;
-        for (const WorkItem& w : batch.items) {
-            Request* p = live_.at(w.requestId).get();
-            refs.push_back(ItemRef{p, w.index});
-            if (p != lastReq) { // items arrive grouped per request
-                if (p->firstDispatchMs < 0) {
-                    p->firstDispatchMs = now;
+            std::vector<ItemRef> refs;
+            refs.reserve(batch.items.size());
+            const double now = nowMs();
+            double readyMs = now;
+            Request* lastReq = nullptr;
+            for (const WorkItem& w : batch.items) {
+                Request* p = live_.at(w.requestId).get();
+                refs.push_back(ItemRef{p, w.index});
+                if (p != lastReq) { // items arrive grouped per request
+                    if (p->firstDispatchMs < 0) {
+                        p->firstDispatchMs = now;
+                    }
+                    ++p->batches;
+                    readyMs = std::min(readyMs, p->rotateReadyMs);
+                    lastReq = p;
                 }
-                ++p->batches;
-                lastReq = p;
             }
+            ++batches_;
+            occupancySum_ += batch.distinctRequests;
+            itemsSum_ += batch.items.size();
+            laneBusy_[lane] = 1;
+            laneLoadMs_[lane] +=
+                planner_.batchCostMs(batch.items.size(), lane > 0);
+            ++inFlight_;
+            board_.dequeued(Stage::Rotate, batch.items.size());
+            board_.taskStarted(Stage::Rotate, now, readyMs);
+            lock.unlock();
+            runBatch(lane, refs, now);
+            lock.lock();
+            --inFlight_;
+            laneBusy_[lane] = 0;
+            workCv_.notify_all();
+            continue;
         }
-        ++batches_;
-        occupancySum_ += batch.distinctRequests;
-        itemsSum_ += batch.items.size();
-        laneBusy_[lane] = 1;
-        laneLoadMs_[lane] +=
-            planner_.batchCostMs(batch.items.size(), lane > 0);
-        ++inFlight_;
-        lock.unlock();
-        runBatch(lane, batch, refs);
-        lock.lock();
-        --inFlight_;
-        laneBusy_[lane] = 0;
-        workCv_.notify_all();
+
+        if (!finishQ_.empty()) {
+            // Finish phase: repack + rescale + fulfil, off the lock.
+            double readyMs = 0;
+            Request* p = finishQ_.pop(&readyMs);
+            ++inFlight_;
+            const double startMs = nowMs();
+            board_.taskStarted(Stage::Finish, startMs, readyMs);
+            lock.unlock();
+            finishRequest(p, startMs);
+            lock.lock();
+            --inFlight_;
+            workCv_.notify_all();
+            continue;
+        }
+        // Lost a race to another worker; re-evaluate the predicate.
     }
 }
 
@@ -473,6 +533,7 @@ BootstrapService::metrics() const
     m.reclaimedBatches = reclaimed_;
     m.minReturnedBudgetBits = minReturnedBudgetBits_;
     m.guardTrips = guardTrips_;
+    m.pipeline = board_.snapshot();
     return m;
 }
 

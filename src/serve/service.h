@@ -11,6 +11,17 @@
  * DistributedBootstrapper's link protocol — so a straggler request no
  * longer leaves secondaries idle between per-request bootstraps.
  *
+ * Execution is a three-stage pipeline (serve/pipeline.h): front
+ * (modswitch + extract), rotate (batch dispatch across the
+ * primary-local lane and one lane per secondary link), and finish
+ * (repack + rescale + fulfil), connected by bounded stage queues and
+ * driven by the shared worker pool — so the repack of batch i
+ * overlaps the rotation of batch i+1. Backpressure is applied at
+ * stage entry: a worker does not start front work while the rotate
+ * pool is at its request bound, and does not dispatch a batch while
+ * the finish queue is full. The finish stage is never gated, which
+ * guarantees forward progress.
+ *
  * Guarantees:
  *  - Determinism: each returned ciphertext is byte-identical to what
  *    a sequential DistributedBootstrapper::bootstrap() of the same
@@ -35,7 +46,6 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -44,6 +54,7 @@
 
 #include "boot/distributed.h"
 #include "serve/metrics.h"
+#include "serve/pipeline.h"
 #include "serve/request.h"
 #include "serve/scheduler.h"
 
@@ -68,6 +79,14 @@ struct ServiceConfig {
     /** Optional accelerator cost model driving batch sizing and lane
      *  assignment; not owned, may be nullptr (fixed-size batches). */
     const hw::BootstrapModel* costModel = nullptr;
+    /** Rotate-stage bound, counted in requests with undispatched
+     *  items: front work is gated while the pool is at the bound.
+     *  0 = max(8, 2 * workers). */
+    size_t rotateQueueRequests = 0;
+    /** Finish-stage queue bound, counted in requests awaiting repack:
+     *  batch dispatch is gated while the queue is full.
+     *  0 = max(2, workers). */
+    size_t finishQueueRequests = 0;
 };
 
 /**
@@ -133,6 +152,9 @@ class BootstrapService {
         double arrivalMs = 0;
         double deadlineAbsMs = 0; ///< infinity when none
         double firstDispatchMs = -1;
+        /** When the front phase finished and the request's items
+         *  became rotate-ready (feeds rotate stall accounting). */
+        double rotateReadyMs = 0;
         boot::ModSwitched ms;
         std::vector<lwe::LweCiphertext> lwes; ///< extracted items
         std::vector<rlwe::Ciphertext> rotated;
@@ -152,17 +174,27 @@ class BootstrapService {
     void workerLoop();
     /** Pure compute: Extract front half. Returns nullptr on success. */
     std::exception_ptr runFront(Request* p) const;
-    /** Dispatches one batch on `lane` and scatters the results. */
-    void runBatch(size_t lane, const PlannedBatch& batch,
-                  const std::vector<ItemRef>& refs);
-    /** Repack + finish + fulfil; called by the worker that completed
-     *  the request's last item. */
-    void finishRequest(Request* p);
+    /** Dispatches one batch on `lane`, scatters the results, and
+     *  queues requests whose last item settled for the finish stage.
+     *  `dispatchMs` is the stage-task start; the rotate accounting
+     *  runs under the lock BEFORE the finish handoff so a metrics()
+     *  after the last ticket settles always counts the batch. */
+    void runBatch(size_t lane, const std::vector<ItemRef>& refs,
+                  double dispatchMs);
+    /** Finish stage: repack + rescale + fulfil one request.
+     *  `startMs` is the stage-task start (its finish accounting runs
+     *  under the lock BEFORE the ticket settles, so a metrics() after
+     *  ticket.wait() always sees the task counted). */
+    void finishRequest(Request* p, double startMs);
     void failRequestLocked(Request* p, std::exception_ptr err);
     /** Free lane with the least cumulative modeled load; lanes()
      *  when every lane is busy. */
     size_t pickLaneLocked() const;
     double nowMs() const;
+    /** Stage-entry gates: each requires waiting work AND room in the
+     *  downstream stage queue (backpressure). */
+    bool canFrontLocked() const;
+    bool canDispatchLocked() const;
     bool haveRunnableWorkLocked() const;
     bool idleLocked() const;
 
@@ -175,7 +207,12 @@ class BootstrapService {
     std::condition_variable workCv_;
     std::condition_variable doneCv_;
     std::vector<std::thread> workers_;
-    std::deque<uint64_t> intake_; ///< admitted, front phase pending
+    PipelineBoard board_; ///< declared before the queues feeding it
+    /** Admitted, front phase pending (bounded by admission control). */
+    StageQueue<uint64_t> intake_{Stage::Front, &board_};
+    /** Fully rotated, repack pending. */
+    StageQueue<Request*> finishQ_{Stage::Finish, &board_};
+    size_t rotateCap_ = 0; ///< rotate pool bound, in requests
     std::unordered_map<uint64_t, std::unique_ptr<Request>> live_;
     std::vector<uint8_t> laneBusy_;
     std::vector<double> laneLoadMs_; ///< cumulative modeled work

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Property tests for the ItemQueue scheduling policy: random
+ * add/formBatch sequences are replayed against a brute-force oracle
+ * (selection sort under the documented ranking, greedy grab), and the
+ * liveness invariants are checked on every step — the starvation
+ * boost is monotone and dominant, EDF ties break by arrival, and no
+ * request stays pending past the boost horizon while batches keep
+ * forming.
+ */
+
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/scheduler.h"
+
+namespace heap::serve {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Brute-force reimplementation of the documented policy, kept
+ * deliberately naive (selection scan instead of sort, explicit item
+ * loop) so a bug in the real queue cannot hide in shared code.
+ */
+class OracleQueue {
+  public:
+    explicit OracleQueue(size_t starvationPasses)
+        : horizon_(starvationPasses)
+    {
+    }
+
+    void
+    add(uint64_t id, int priority, double deadlineAbsMs,
+        size_t itemCount)
+    {
+        entries_.push_back(
+            {id, priority, deadlineAbsMs, seq_++, 0, itemCount, 0});
+    }
+
+    size_t
+    pendingItems() const
+    {
+        size_t n = 0;
+        for (const E& e : entries_) {
+            n += e.count - e.next;
+        }
+        return n;
+    }
+
+    double
+    minDeadline() const
+    {
+        double m = kInf;
+        for (const E& e : entries_) {
+            m = std::min(m, e.deadline);
+        }
+        return m;
+    }
+
+    /** Entries currently at or past the boost horizon, oldest first. */
+    std::vector<uint64_t>
+    boosted() const
+    {
+        std::vector<const E*> b;
+        for (const E& e : entries_) {
+            if (e.passes >= horizon_) {
+                b.push_back(&e);
+            }
+        }
+        std::sort(b.begin(), b.end(), [](const E* a, const E* c) {
+            return a->seq < c->seq;
+        });
+        std::vector<uint64_t> ids;
+        for (const E* e : b) {
+            ids.push_back(e->id);
+        }
+        return ids;
+    }
+
+    std::vector<WorkItem>
+    form(size_t maxItems)
+    {
+        // Rank all entries by repeated selection of the best one.
+        std::vector<E*> order;
+        std::vector<E*> rest;
+        for (E& e : entries_) {
+            rest.push_back(&e);
+        }
+        while (!rest.empty()) {
+            size_t best = 0;
+            for (size_t i = 1; i < rest.size(); ++i) {
+                if (ranks(*rest[i], *rest[best])) {
+                    best = i;
+                }
+            }
+            order.push_back(rest[best]);
+            rest.erase(rest.begin()
+                       + static_cast<std::ptrdiff_t>(best));
+        }
+
+        std::vector<WorkItem> items;
+        for (E* e : order) {
+            if (items.size() == maxItems) {
+                ++e->passes;
+                continue;
+            }
+            while (e->next < e->count && items.size() < maxItems) {
+                items.push_back(WorkItem{e->id, e->next++});
+            }
+            e->passes = 0;
+        }
+        entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                      [](const E& e) {
+                                          return e.next == e.count;
+                                      }),
+                       entries_.end());
+        return items;
+    }
+
+  private:
+    struct E {
+        uint64_t id;
+        int priority;
+        double deadline;
+        uint64_t seq;
+        size_t next;
+        size_t count;
+        size_t passes;
+    };
+
+    bool
+    ranks(const E& a, const E& b) const
+    {
+        const bool aB = a.passes >= horizon_;
+        const bool bB = b.passes >= horizon_;
+        if (aB != bB) {
+            return aB;
+        }
+        if (aB) {
+            return a.seq < b.seq;
+        }
+        if (a.priority != b.priority) {
+            return a.priority > b.priority;
+        }
+        if (a.deadline != b.deadline) {
+            return a.deadline < b.deadline;
+        }
+        return a.seq < b.seq;
+    }
+
+    size_t horizon_;
+    uint64_t seq_ = 0;
+    std::vector<E> entries_;
+};
+
+TEST(ItemQueueProperty, RandomOpsMatchBruteForceOracle)
+{
+    for (const unsigned seed : {7u, 21u, 42u, 1234u}) {
+        std::mt19937 rng(seed);
+        const size_t horizon = 1 + rng() % 4;
+        ItemQueue q(horizon);
+        OracleQueue oracle(horizon);
+        uint64_t nextId = 1;
+
+        for (int step = 0; step < 400; ++step) {
+            const bool doAdd = q.empty() || rng() % 3 != 0;
+            if (doAdd) {
+                const int pri = static_cast<int>(rng() % 5) - 2;
+                const double dl = rng() % 2 == 0
+                                      ? kInf
+                                      : static_cast<double>(rng() % 7)
+                                            * 100.0;
+                const size_t items = 1 + rng() % 7;
+                q.addRequest(nextId, pri, dl, items);
+                oracle.add(nextId, pri, dl, items);
+                ++nextId;
+            } else {
+                // Liveness precondition, checked BEFORE the batch
+                // forms: whoever is past the boost horizon must open
+                // the next batch, oldest arrival first.
+                const auto boosted = oracle.boosted();
+                const size_t maxItems = 1 + rng() % 10;
+                const PlannedBatch got = q.formBatch(maxItems);
+                const auto want = oracle.form(maxItems);
+
+                ASSERT_EQ(got.items.size(), want.size())
+                    << "seed " << seed << " step " << step;
+                for (size_t i = 0; i < want.size(); ++i) {
+                    EXPECT_EQ(got.items[i].requestId,
+                              want[i].requestId)
+                        << "seed " << seed << " step " << step
+                        << " item " << i;
+                    EXPECT_EQ(got.items[i].index, want[i].index)
+                        << "seed " << seed << " step " << step
+                        << " item " << i;
+                }
+                if (!boosted.empty() && !got.items.empty()) {
+                    EXPECT_EQ(got.items[0].requestId, boosted[0])
+                        << "seed " << seed << " step " << step;
+                }
+            }
+            EXPECT_EQ(q.pendingItems(), oracle.pendingItems());
+            EXPECT_EQ(q.empty(), oracle.pendingItems() == 0);
+            EXPECT_EQ(q.minDeadlineAbsMs(), oracle.minDeadline());
+        }
+    }
+}
+
+TEST(ItemQueueProperty, NoRequestStarvesPastTheBoostHorizon)
+{
+    // An adversarial stream of fresh top-priority arrivals, each
+    // exactly filling the next batch: the low-priority victim must
+    // still be served within horizon + 1 batch formations.
+    constexpr size_t kHorizon = 3;
+    ItemQueue q(kHorizon);
+    q.addRequest(1, -5, kInf, 2); // the victim
+    uint64_t id = 100;
+    size_t batchesUntilVictim = 0;
+    bool victimServed = false;
+    for (size_t round = 0; round < 2 * kHorizon && !victimServed;
+         ++round) {
+        q.addRequest(id++, 9, 10.0, 4);
+        const PlannedBatch b = q.formBatch(4);
+        ++batchesUntilVictim;
+        for (const WorkItem& w : b.items) {
+            victimServed |= w.requestId == 1;
+        }
+    }
+    EXPECT_TRUE(victimServed);
+    EXPECT_LE(batchesUntilVictim, kHorizon + 1);
+}
+
+TEST(ItemQueueProperty, BoostIsMonotoneUnderPartialService)
+{
+    // A partially served request resets its pass counter: it must NOT
+    // retain boost credit from before the service.
+    ItemQueue q(2);
+    q.addRequest(1, 0, kInf, 6);
+    q.addRequest(2, 9, kInf, 2);
+    q.addRequest(3, 9, kInf, 2);
+    // Two batches of 2 serve only the high-priority pair: request 1
+    // accrues 2 passes and is boosted.
+    EXPECT_EQ(q.formBatch(2).items[0].requestId, 2u);
+    EXPECT_EQ(q.formBatch(2).items[0].requestId, 3u);
+    // Boosted: request 1 wins over a fresh priority-9 arrival, but
+    // only 2 of its 6 items fit — partial service resets the counter.
+    q.addRequest(4, 9, kInf, 2);
+    EXPECT_EQ(q.formBatch(2).items[0].requestId, 1u);
+    // Counter reset: priority order applies again immediately.
+    EXPECT_EQ(q.formBatch(2).items[0].requestId, 4u);
+    // And the tail of request 1 still drains eventually.
+    q.addRequest(5, 9, kInf, 2);
+    EXPECT_EQ(q.formBatch(2).items[0].requestId, 5u);  // pass 2 on r1
+    EXPECT_EQ(q.formBatch(8).items[0].requestId, 1u);  // boosted again
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(ItemQueueProperty, EdfTieBreaksByArrivalWithinEqualPriority)
+{
+    ItemQueue q(8);
+    q.addRequest(1, 3, 200.0, 1);
+    q.addRequest(2, 3, 200.0, 1); // same priority, same deadline
+    q.addRequest(3, 3, 100.0, 1); // same priority, tighter deadline
+    const PlannedBatch b = q.formBatch(3);
+    ASSERT_EQ(b.items.size(), 3u);
+    EXPECT_EQ(b.items[0].requestId, 3u); // EDF first
+    EXPECT_EQ(b.items[1].requestId, 1u); // then arrival order
+    EXPECT_EQ(b.items[2].requestId, 2u);
+}
+
+} // namespace
+} // namespace heap::serve

@@ -66,5 +66,64 @@ TEST(Timeline, FewerSlotsShrinkTheSchedule)
               buildBootstrapTimeline(bm, 4096).spanMs());
 }
 
+TEST(Timeline, ServePipelineOverlapsStages)
+{
+    const FpgaConfig cfg;
+    const HeapParams params;
+    const BootstrapModel bm(cfg, params, 4);
+    const ServePipelineSpec spec{/*requests=*/8,
+                                 /*itemsPerRequest=*/4096,
+                                 /*batchItems=*/1024,
+                                 /*secondaries=*/3};
+    const auto tl = buildServePipelineTimeline(bm, spec);
+
+    const StageOccupancy occ = serveStageOccupancy(tl);
+    // Rotation dominates, every stage does real work, and the summed
+    // occupancy proves the stages (and rotate lanes) overlap — the
+    // modeled counterpart of ServiceMetrics::pipeline.overlap.
+    EXPECT_GT(occ.rotate, occ.front);
+    EXPECT_GT(occ.rotate, occ.finish);
+    EXPECT_GT(occ.front, 0.0);
+    EXPECT_GT(occ.finish, 0.0);
+    EXPECT_GT(occ.overlap(), 1.0);
+
+    // Pipelining beats executing the same batch schedule with no
+    // overlap at all (every batch serial, every stage serial) by a
+    // wide margin.
+    const size_t batches =
+        (spec.itemsPerRequest + spec.batchItems - 1) / spec.batchItems;
+    const auto b = bm.bootstrap(spec.itemsPerRequest);
+    const double noOverlapMs =
+        static_cast<double>(spec.requests)
+        * (b.modSwitchMs
+           + static_cast<double>(batches)
+                 * (bm.blindRotateBatchMs(spec.batchItems)
+                    + bm.batchCommMs(spec.batchItems))
+           + b.finishMs);
+    EXPECT_LT(tl.spanMs(), 0.5 * noOverlapMs);
+
+    // The chart renders every stage lane.
+    const std::string g = tl.render(64);
+    EXPECT_NE(g.find("front"), std::string::npos);
+    EXPECT_NE(g.find("rotate:0"), std::string::npos);
+    EXPECT_NE(g.find("rotate:3"), std::string::npos);
+    EXPECT_NE(g.find("finish"), std::string::npos);
+}
+
+TEST(Timeline, ServePipelineMoreLanesShortenTheSchedule)
+{
+    const FpgaConfig cfg;
+    const HeapParams params;
+    const BootstrapModel bm(cfg, params, 4);
+    ServePipelineSpec spec{8, 4096, 512, 0};
+    const double solo = buildServePipelineTimeline(bm, spec).spanMs();
+    spec.secondaries = 3;
+    const double pod = buildServePipelineTimeline(bm, spec).spanMs();
+    EXPECT_LT(pod, solo);
+
+    ServePipelineSpec bad{0, 1, 1, 0};
+    EXPECT_THROW(buildServePipelineTimeline(bm, bad), heap::UserError);
+}
+
 } // namespace
 } // namespace heap::hw

@@ -1,0 +1,569 @@
+/**
+ * @file
+ * Sharded multi-tenant serving under open-loop load: a ServiceCluster
+ * of three identically-keyed pods (DistributedBootstrapper replicas,
+ * the paper's "keys generated once and replicated to every FPGA"
+ * deployment) serves a population of tenants whose requests arrive as
+ * a bursty Poisson process with Zipf-distributed tenant popularity.
+ *
+ * Two phases, each with its own registry and cluster:
+ *
+ *  - "zipf": open-loop arrivals at ~1.0x the calibrated single-core
+ *    capacity with 3x bursts, so admission control and the per-tenant
+ *    quotas actually engage. Reports offered load over the arrival
+ *    window, goodput over the full run, routing (preferred vs
+ *    spilled), rejection counts, and the bootstrapping-key cache hit
+ *    rate net of a warmup phase (steady-state residency, not cold
+ *    misses).
+ *
+ *  - "fair": four tenants with weights 1:1:2:4 whose ids are chosen
+ *    to share one preferred pod, each keeping a saturating closed
+ *    loop; start-time weighted fair queueing should hand out service
+ *    in weight proportion (fairness ratio ~1, acceptance < 1.5).
+ *
+ * The hw::BootstrapModel's k-FPGA scaling is the autoscaling oracle:
+ * the measured offered/capacity ratio is mapped onto the modeled pod
+ * throughput and podsNeeded() says how many pods this load wants.
+ *
+ * Results are merged into BENCH_serve.json (written first by
+ * serve_throughput) as a "cluster" object. `--smoke` shrinks the
+ * tenant count and request volume for CI.
+ */
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "boot/distributed.h"
+#include "ckks/evaluator.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "serve/cluster.h"
+
+namespace {
+
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v)) {
+        return "null";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/** Modeled per-tenant scheme-switching key footprint at serving
+ *  scale, and the slice of pod memory reserved for resident keys.
+ *  The ratio (16 tenants resident per pod) is what matters: the
+ *  cache must be much smaller than the tenant population for the
+ *  Zipf phase to say anything. */
+constexpr size_t kTenantKeyBytes = size_t{64} << 20;
+
+constexpr double kZipfAlpha = 1.6;
+constexpr size_t kPods = 3;
+
+struct Sizes {
+    size_t tenants;
+    size_t warmup;   ///< arrivals before the measured window
+    size_t requests; ///< measured open-loop arrivals
+    size_t fairRequests; ///< steady-state fairness window (requests)
+    size_t residentTenantsPerPod;
+};
+
+/** Draws tenant ids 1..n with P(k) ~ k^-alpha. */
+class ZipfSampler {
+  public:
+    ZipfSampler(size_t n, double alpha)
+    {
+        cdf_.reserve(n);
+        double acc = 0;
+        for (size_t k = 1; k <= n; ++k) {
+            acc += std::pow(static_cast<double>(k), -alpha);
+            cdf_.push_back(acc);
+        }
+    }
+
+    uint64_t
+    draw(std::mt19937_64& rng) const
+    {
+        std::uniform_real_distribution<double> u(0.0, cdf_.back());
+        const auto it =
+            std::lower_bound(cdf_.begin(), cdf_.end(), u(rng));
+        return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+    }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/** Open-loop phase outcome, all figures net of warmup. */
+struct ZipfResult {
+    double offeredRps = 0; ///< arrival attempts / arrival window
+    double goodputRps = 0; ///< completions / full window
+    double arrivalWindowMs = 0;
+    double totalMs = 0;
+    uint64_t attempts = 0;
+    uint64_t completed = 0;
+    uint64_t rejectedQuota = 0;
+    uint64_t rejectedCapacity = 0;
+    uint64_t routedPreferred = 0;
+    uint64_t spilled = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t cacheEvictions = 0;
+    heap::bench::LatencySummary lat;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace heap;
+
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        }
+    }
+    const Sizes sz = smoke ? Sizes{24, 16, 48, 48, 8}
+                           : Sizes{150, 60, 240, 96, 16};
+
+    bench::banner(
+        "Sharded multi-tenant serving throughput (functional library)",
+        smoke ? "Smoke sizing (--smoke): reduced tenants/requests."
+              : "Open-loop bursty Poisson load over Zipf tenants on a "
+                "3-pod cluster, then a weighted-fairness phase.");
+
+    ckks::CkksParams p;
+    p.n = 64;
+    p.limbBits = 30;
+    p.levels = 2;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    p.secretHamming = 16;
+    ckks::Context ctx(p, 42);
+    ckks::Evaluator ev(ctx);
+
+    // Pod 0 generates the key material; pods 1..k-1 are replicas
+    // loaded with the same keys (the paper's deployment), which is
+    // what keeps cluster outputs byte-identical to a single pod.
+    const auto brGadget =
+        rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6};
+    boot::DistributedBootstrapper dist0(ctx, 2, brGadget);
+    std::vector<std::unique_ptr<boot::DistributedBootstrapper>>
+        replicas;
+    std::vector<boot::DistributedBootstrapper*> pods{&dist0};
+    for (size_t i = 1; i < kPods; ++i) {
+        replicas.push_back(
+            std::make_unique<boot::DistributedBootstrapper>(dist0, 2));
+        pods.push_back(replicas.back().get());
+    }
+
+    std::vector<ckks::Ciphertext> pool;
+    for (size_t r = 0; r < 8; ++r) {
+        std::vector<ckks::Complex> z;
+        for (size_t i = 0; i < 16; ++i) {
+            z.emplace_back(
+                0.6 * std::cos(0.3 * static_cast<double>(i + r)),
+                0.3 * std::sin(0.2 * static_cast<double>(i) - 0.1 * r));
+        }
+        auto ct = ctx.encrypt(std::span<const ckks::Complex>(z));
+        ev.dropToLevel(ct, 1);
+        pool.push_back(std::move(ct));
+    }
+
+    // Calibrate the offered-load scale: open-loop rates are set
+    // relative to the measured single-stream bootstrap rate, so the
+    // bench saturates on any host instead of encoding one machine.
+    double capacityRps = 0;
+    {
+        Timer cal;
+        (void)dist0.bootstrap(pool[0]);
+        (void)dist0.bootstrap(pool[1]);
+        capacityRps = 2e3 / cal.millis();
+    }
+
+    const hw::FpgaConfig hwCfg;
+    const hw::HeapParams hp;
+    const hw::BootstrapModel model(hwCfg, hp, 8);
+
+    // ---- Phase "zipf": open-loop multi-tenant load ----------------
+    ZipfResult zr;
+    {
+        serve::TenantRegistry reg(kTenantKeyBytes);
+        for (size_t t = 1; t <= sz.tenants; ++t) {
+            reg.registerTenant(serve::TenantSpec{
+                .id = t,
+                .name = "tenant-" + std::to_string(t),
+                .weight = static_cast<double>(size_t{1} << (t % 3)),
+                .maxInFlight = 6,
+            });
+        }
+        serve::ClusterConfig ccfg;
+        ccfg.pod.workers = 2;
+        ccfg.pod.maxQueuedRequests = 10;
+        ccfg.pod.maxBatchItems = 48;
+        ccfg.costModel = &model;
+        ccfg.keyCacheBytes = sz.residentTenantsPerPod * kTenantKeyBytes;
+        ccfg.defaultTenantKeyBytes = kTenantKeyBytes;
+        serve::ServiceCluster cluster(pods, reg, ccfg);
+
+        ZipfSampler zipf(sz.tenants, kZipfAlpha);
+        std::mt19937_64 rng(42);
+        std::exponential_distribution<double> exp1(1.0);
+
+        // Warmup: populate the key caches to steady state with the
+        // same popularity distribution, closed-loop (no pacing), so
+        // the measured hit rate is residency, not cold misses.
+        {
+            std::deque<std::shared_ptr<serve::BootstrapTicket>> live;
+            for (size_t i = 0; i < sz.warmup; ++i) {
+                const uint64_t tid = zipf.draw(rng);
+                try {
+                    live.push_back(
+                        cluster.submit(tid, pool[i % pool.size()]));
+                } catch (const UserError&) {
+                    // Quota/capacity rejection: warmup doesn't care.
+                }
+                while (live.size() > 8) {
+                    (void)live.front()->wait();
+                    live.pop_front();
+                }
+            }
+            cluster.drain();
+        }
+        const serve::ClusterMetrics m0 = cluster.metrics();
+
+        // Measured window: Poisson arrivals at the calibrated base
+        // rate, with 3x bursts for 15 of every 50 arrivals (bursty
+        // MMPP), so pods fill and admission control engages.
+        std::vector<std::shared_ptr<serve::BootstrapTicket>> tickets;
+        tickets.reserve(sz.requests);
+        Timer window;
+        double lastArrivalMs = 0;
+        for (size_t i = 0; i < sz.requests; ++i) {
+            const bool burst = (i % 50) >= 35;
+            const double rate =
+                (burst ? 3.0 : 1.0) * std::max(capacityRps, 1e-3);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(exp1(rng) / rate));
+            const uint64_t tid = zipf.draw(rng);
+            ++zr.attempts;
+            lastArrivalMs = window.millis();
+            try {
+                tickets.push_back(
+                    cluster.submit(tid, pool[i % pool.size()]));
+            } catch (const UserError&) {
+                // Rejected (tenant quota or every pod full); counted
+                // by the cluster, nothing queued.
+            }
+        }
+        zr.arrivalWindowMs = lastArrivalMs;
+        cluster.drain();
+        zr.totalMs = window.millis();
+
+        serve::LatencyReservoir lat;
+        for (auto& t : tickets) {
+            (void)t->wait();
+            lat.record(t->report().totalMs);
+        }
+        const serve::ClusterMetrics m1 = cluster.metrics();
+        zr.completed = m1.completed - m0.completed;
+        zr.rejectedQuota = m1.rejectedQuota - m0.rejectedQuota;
+        zr.rejectedCapacity =
+            m1.rejectedCapacity - m0.rejectedCapacity;
+        zr.routedPreferred = m1.routedPreferred - m0.routedPreferred;
+        zr.spilled = m1.spilled - m0.spilled;
+        zr.cacheHits = m1.keyCacheTotal.hits - m0.keyCacheTotal.hits;
+        zr.cacheMisses =
+            m1.keyCacheTotal.misses - m0.keyCacheTotal.misses;
+        zr.cacheEvictions =
+            m1.keyCacheTotal.evictions - m0.keyCacheTotal.evictions;
+        zr.offeredRps =
+            zr.arrivalWindowMs > 0
+                ? 1e3 * static_cast<double>(zr.attempts)
+                      / zr.arrivalWindowMs
+                : 0.0;
+        zr.goodputRps =
+            zr.totalMs > 0
+                ? 1e3 * static_cast<double>(zr.completed) / zr.totalMs
+                : 0.0;
+        zr.lat = bench::summarizeLatency(lat);
+        cluster.shutdown();
+    }
+    const double zipfHitRate =
+        zr.cacheHits + zr.cacheMisses > 0
+            ? static_cast<double>(zr.cacheHits)
+                  / static_cast<double>(zr.cacheHits + zr.cacheMisses)
+            : 0.0;
+
+    // Autoscaling oracle: map the measured offered/capacity ratio
+    // onto the modeled pod throughput — "this load is u x what the
+    // cluster can serve" — and ask the k-FPGA scaling model how many
+    // pods it wants. Saturated goodput is the capacity estimate.
+    const double podRpsModeled = model.podThroughputRps(p.n);
+    const double utilization =
+        zr.goodputRps > 0 ? zr.offeredRps / zr.goodputRps : 0.0;
+    const size_t podsNeeded = model.podsNeeded(
+        utilization * static_cast<double>(kPods) * podRpsModeled, p.n);
+
+    // ---- Phase "fair": weighted fairness on a shared pod ----------
+    // Fairness is a property of a contended queue, so the four
+    // tenants' ids are chosen to hash to the same preferred pod, and
+    // the admission window is wide enough that nothing spills. The
+    // ratio is measured over a steady-state window: the cold start
+    // (all virtual clocks at zero) and the drain tail (every tenant
+    // finishes its backlog regardless of weight) are both excluded,
+    // and the starvation threshold is raised so the measurement sees
+    // the weighted-fair policy, not the anti-starvation floor.
+    const std::vector<double> fairWeights{1, 1, 2, 4};
+    std::vector<uint64_t> fairIds;
+    std::vector<double> fairPerWeight;
+    double fairnessRatio = std::numeric_limits<double>::quiet_NaN();
+    {
+        serve::TenantRegistry reg(kTenantKeyBytes);
+        serve::ClusterConfig ccfg;
+        ccfg.pod.workers = 2;
+        ccfg.pod.maxQueuedRequests = 64;
+        ccfg.pod.maxBatchItems = 48;
+        ccfg.pod.starvationPasses = 64;
+        // The weighted-fair tier orders the rotate pool; widen it to
+        // cover every live request, else the FIFO intake queue in
+        // front of it caps how much reordering the weights can do.
+        ccfg.pod.rotateQueueRequests = 64;
+        ccfg.costModel = &model;
+        ccfg.defaultTenantKeyBytes = kTenantKeyBytes;
+        serve::ServiceCluster cluster(pods, reg, ccfg);
+
+        for (uint64_t id = 1; fairIds.size() < fairWeights.size();
+             ++id) {
+            if (cluster.preferredPod(id) == cluster.preferredPod(1)) {
+                fairIds.push_back(id);
+            }
+        }
+        for (size_t i = 0; i < fairIds.size(); ++i) {
+            reg.registerTenant(serve::TenantSpec{
+                .id = fairIds[i],
+                .name = "fair-" + std::to_string(i),
+                .weight = fairWeights[i],
+            });
+        }
+
+        std::atomic<uint64_t> done{0};
+        std::atomic<bool> stop{false};
+        std::vector<std::thread> drivers;
+        for (const uint64_t tid : fairIds) {
+            drivers.emplace_back([&, tid] {
+                std::deque<std::shared_ptr<serve::BootstrapTicket>>
+                    live;
+                size_t slot = 0;
+                while (!stop.load()) {
+                    if (live.size() < 6) {
+                        try {
+                            live.push_back(cluster.submit(
+                                tid, pool[slot++ % pool.size()]));
+                        } catch (const UserError&) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(5));
+                        }
+                        continue;
+                    }
+                    (void)live.front()->wait();
+                    live.pop_front();
+                    done.fetch_add(1);
+                }
+                for (auto& t : live) {
+                    (void)t->wait();
+                }
+            });
+        }
+        const auto waitDone = [&](uint64_t target) {
+            while (done.load() < target) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+        };
+        // Warm until the clocks have spread, snapshot, measure while
+        // every tenant is still fully backlogged, snapshot again.
+        waitDone(sz.fairRequests / 3);
+        const auto warm = reg.allStats();
+        waitDone(sz.fairRequests / 3 + sz.fairRequests);
+        const auto meas = reg.allStats();
+        stop.store(true);
+        for (auto& t : drivers) {
+            t.join();
+        }
+        cluster.drain();
+
+        const auto servedOf = [&](const auto& stats, uint64_t id) {
+            for (const auto& s : stats) {
+                if (s.id == id) {
+                    return s.servedItems;
+                }
+            }
+            return uint64_t{0};
+        };
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = 0;
+        for (size_t i = 0; i < fairIds.size(); ++i) {
+            const double share =
+                static_cast<double>(servedOf(meas, fairIds[i])
+                                    - servedOf(warm, fairIds[i]))
+                / fairWeights[i];
+            fairPerWeight.push_back(share);
+            lo = std::min(lo, share);
+            hi = std::max(hi, share);
+        }
+        if (lo > 0) {
+            fairnessRatio = hi / lo;
+        }
+        cluster.shutdown();
+    }
+
+    Table t({"metric", "value"});
+    t.addRow({"pods", Table::num(static_cast<double>(kPods), 0)});
+    t.addRow({"tenants (zipf phase)",
+              Table::num(static_cast<double>(sz.tenants), 0)});
+    t.addRow({"zipf alpha", Table::num(kZipfAlpha, 1)});
+    t.addRow({"measured arrivals",
+              Table::num(static_cast<double>(sz.requests), 0)});
+    t.addRow({"offered load (req/s)", Table::num(zr.offeredRps, 2)});
+    t.addRow({"goodput (req/s)", Table::num(zr.goodputRps, 2)});
+    t.addRow({"completed", Table::num(
+                  static_cast<double>(zr.completed), 0)});
+    t.addRow({"rejected (quota / capacity)",
+              Table::num(static_cast<double>(zr.rejectedQuota), 0)
+                  + " / "
+                  + Table::num(
+                      static_cast<double>(zr.rejectedCapacity), 0)});
+    t.addRow({"routed preferred / spilled",
+              Table::num(static_cast<double>(zr.routedPreferred), 0)
+                  + " / "
+                  + Table::num(static_cast<double>(zr.spilled), 0)});
+    t.addRow({"key-cache hit rate", Table::num(zipfHitRate, 3)});
+    t.addRow({"latency", bench::latencyCell(zr.lat)});
+    t.addRow({"fairness ratio (1:1:2:4)",
+              Table::num(fairnessRatio, 2)});
+    t.addRow({"modeled pod throughput (rps)",
+              Table::num(podRpsModeled, 1)});
+    t.addRow({"offered / capacity", Table::num(utilization, 2)});
+    t.addRow({"pods needed (oracle)",
+              Table::num(static_cast<double>(podsNeeded), 0)});
+    t.print();
+
+    // Merge the cluster results into serve_throughput's JSON: strip
+    // the closing brace and append a "cluster" member (no JSON
+    // library in-tree; the file is this repo's own output).
+    std::string head;
+    if (FILE* in = std::fopen("BENCH_serve.json", "rb")) {
+        char buf[4096];
+        size_t got = 0;
+        while ((got = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+            head.append(buf, got);
+        }
+        std::fclose(in);
+        while (!head.empty()
+               && (std::isspace(
+                       static_cast<unsigned char>(head.back()))
+                   || head.back() == '}')) {
+            const bool brace = head.back() == '}';
+            head.pop_back();
+            if (brace) {
+                break;
+            }
+        }
+        head += ",\n";
+    }
+    if (head.empty()) {
+        head = "{\n"; // standalone fallback: serve bench not run
+    }
+
+    std::string weightsJson = "[";
+    std::string perWeightJson = "[";
+    std::string idsJson = "[";
+    for (size_t i = 0; i < fairWeights.size(); ++i) {
+        weightsJson += jsonNum(fairWeights[i]);
+        perWeightJson += jsonNum(fairPerWeight[i]);
+        idsJson += std::to_string(fairIds[i]);
+        if (i + 1 < fairWeights.size()) {
+            weightsJson += ", ";
+            perWeightJson += ", ";
+            idsJson += ", ";
+        }
+    }
+    weightsJson += "]";
+    perWeightJson += "]";
+    idsJson += "]";
+
+    FILE* f = std::fopen("BENCH_serve.json", "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "%s"
+        "  \"cluster\": {\n"
+        "    \"pods\": %zu,\n"
+        "    \"smoke\": %s,\n"
+        "    \"load_model\": \"open_loop_poisson_burst\",\n"
+        "    \"tenants\": %zu,\n"
+        "    \"zipf_alpha\": %s,\n"
+        "    \"warmup_arrivals\": %zu,\n"
+        "    \"measured_arrivals\": %llu,\n"
+        "    \"arrival_window_ms\": %s,\n"
+        "    \"offered_load_rps\": %s,\n"
+        "    \"goodput_rps\": %s,\n"
+        "    \"completed\": %llu,\n"
+        "    \"rejected_quota\": %llu,\n"
+        "    \"rejected_capacity\": %llu,\n"
+        "    \"routed_preferred\": %llu,\n"
+        "    \"spilled\": %llu,\n"
+        "    \"latency_ms\": {\"p50\": %s, \"p95\": %s, "
+        "\"p99\": %s, \"mean\": %s},\n"
+        "    \"key_cache\": {\"hit_rate\": %s, \"hits\": %llu, "
+        "\"misses\": %llu, \"evictions\": %llu, "
+        "\"capacity_bytes_per_pod\": %zu, "
+        "\"tenant_key_bytes\": %zu},\n"
+        "    \"fairness\": {\"tenant_ids\": %s, \"weights\": %s, "
+        "\"served_items_per_weight\": %s, \"ratio\": %s, "
+        "\"measured_requests\": %zu},\n"
+        "    \"autoscale\": {\"modeled_pod_rps\": %s, "
+        "\"offered_over_capacity\": %s, \"pods\": %zu, "
+        "\"pods_needed\": %zu}\n"
+        "  }\n"
+        "}\n",
+        head.c_str(), kPods, smoke ? "true" : "false", sz.tenants,
+        jsonNum(kZipfAlpha).c_str(), sz.warmup,
+        static_cast<unsigned long long>(zr.attempts),
+        jsonNum(zr.arrivalWindowMs).c_str(),
+        jsonNum(zr.offeredRps).c_str(), jsonNum(zr.goodputRps).c_str(),
+        static_cast<unsigned long long>(zr.completed),
+        static_cast<unsigned long long>(zr.rejectedQuota),
+        static_cast<unsigned long long>(zr.rejectedCapacity),
+        static_cast<unsigned long long>(zr.routedPreferred),
+        static_cast<unsigned long long>(zr.spilled),
+        jsonNum(zr.lat.p50Ms).c_str(), jsonNum(zr.lat.p95Ms).c_str(),
+        jsonNum(zr.lat.p99Ms).c_str(), jsonNum(zr.lat.meanMs).c_str(),
+        jsonNum(zipfHitRate).c_str(),
+        static_cast<unsigned long long>(zr.cacheHits),
+        static_cast<unsigned long long>(zr.cacheMisses),
+        static_cast<unsigned long long>(zr.cacheEvictions),
+        sz.residentTenantsPerPod * kTenantKeyBytes, kTenantKeyBytes,
+        idsJson.c_str(), weightsJson.c_str(), perWeightJson.c_str(),
+        jsonNum(fairnessRatio).c_str(), sz.fairRequests,
+        jsonNum(podRpsModeled).c_str(), jsonNum(utilization).c_str(),
+        kPods, podsNeeded);
+    std::fclose(f);
+    std::printf("\nmerged cluster results into BENCH_serve.json\n");
+    return 0;
+}

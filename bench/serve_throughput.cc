@@ -4,9 +4,16 @@
  * requests through a BootstrapService over a 3-secondary distributed
  * bootstrapper (the paper's pod operated as a shared service), and we
  * measure goodput, continuous-batching occupancy, and end-to-end
- * latency percentiles. Beyond the console table, the run emits
- * machine-readable BENCH_serve.json so CI and scripts can track the
- * serving numbers.
+ * latency percentiles. The measurement runs once for warmup and then
+ * N recorded times; the table and BENCH_serve.json report the best
+ * run's goodput together with every run's figure and the spread, so
+ * regressions are distinguishable from scheduler jitter.
+ *
+ * This is a CLOSED loop: the clients submit their fixed quota as fast
+ * as admission allows, so offered load is only meaningful over the
+ * whole run (submitted / wall time). An earlier revision divided by
+ * the submit-loop's own wall time, which measures how fast submit()
+ * returns — thousands of req/s against a goodput of ~1.5 — not load.
  */
 
 #include <cmath>
@@ -34,51 +41,25 @@ jsonNum(double v)
     return buf;
 }
 
-} // namespace
+constexpr size_t kRequests = 12;
+constexpr size_t kClients = 4;
+constexpr size_t kMeasuredRuns = 3;
 
-int
-main()
+struct RunResult {
+    double offeredRps = 0; ///< submitted / full-run wall time
+    double goodputRps = 0; ///< completed / full-run wall time
+    double submitWindowMs = 0;
+    double totalMs = 0;
+    heap::serve::ServiceMetrics m;
+    heap::bench::LatencySummary sum;
+};
+
+RunResult
+runOnce(heap::boot::DistributedBootstrapper& dist,
+        const heap::hw::BootstrapModel& model,
+        const std::vector<heap::ckks::Ciphertext>& inputs)
 {
     using namespace heap;
-
-    bench::banner(
-        "Bootstrap serving throughput (functional library)",
-        "Client threads submit CKKS bootstraps to a BootstrapService "
-        "over a 3-secondary distributed bootstrapper; the scheduler "
-        "packs blind-rotate items from different requests into "
-        "shared batches. Emits BENCH_serve.json.");
-
-    ckks::CkksParams p;
-    p.n = 64;
-    p.limbBits = 30;
-    p.levels = 2;
-    p.auxLimbs = 1;
-    p.scale = std::pow(2.0, 30);
-    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
-    p.secretHamming = 16;
-    ckks::Context ctx(p, 42);
-    ckks::Evaluator ev(ctx);
-    boot::DistributedBootstrapper dist(
-        ctx, 3, rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6});
-
-    constexpr size_t kRequests = 12;
-    constexpr size_t kClients = 4;
-    std::vector<ckks::Ciphertext> inputs;
-    for (size_t r = 0; r < kRequests; ++r) {
-        std::vector<ckks::Complex> z;
-        for (size_t i = 0; i < 16; ++i) {
-            z.emplace_back(
-                0.6 * std::cos(0.3 * static_cast<double>(i + r)),
-                0.3 * std::sin(0.2 * static_cast<double>(i) - 0.1 * r));
-        }
-        auto ct = ctx.encrypt(std::span<const ckks::Complex>(z));
-        ev.dropToLevel(ct, 1);
-        inputs.push_back(std::move(ct));
-    }
-
-    const hw::FpgaConfig cfg;
-    const hw::HeapParams hp;
-    const hw::BootstrapModel model(cfg, hp, 8);
     serve::ServiceConfig scfg;
     scfg.workers = 4;
     scfg.maxQueuedRequests = kRequests;
@@ -100,28 +81,102 @@ main()
     for (auto& t : clients) {
         t.join();
     }
-    const double submitMs = wall.millis();
+    RunResult out;
+    out.submitWindowMs = wall.millis();
     serve::LatencyReservoir lat;
     for (auto& t : tickets) {
         (void)t->wait();
         lat.record(t->report().totalMs);
     }
-    const double totalMs = wall.millis();
-    const serve::ServiceMetrics m = svc.metrics();
+    out.totalMs = wall.millis();
+    out.m = svc.metrics();
+    // Closed loop: both rates are over the full run wall time.
+    out.offeredRps =
+        out.totalMs > 0
+            ? 1e3 * static_cast<double>(out.m.submitted) / out.totalMs
+            : 0.0;
+    out.goodputRps =
+        out.totalMs > 0
+            ? 1e3 * static_cast<double>(out.m.completed) / out.totalMs
+            : 0.0;
+    out.sum = bench::summarizeLatency(lat);
+    return out;
+}
 
-    const double offeredRps = submitMs > 0
-                                  ? 1e3 * kRequests / submitMs
-                                  : 0.0;
-    const double goodputRps =
-        totalMs > 0 ? 1e3 * static_cast<double>(m.completed) / totalMs
-                    : 0.0;
-    const auto sum = bench::summarizeLatency(lat);
+} // namespace
+
+int
+main()
+{
+    using namespace heap;
+
+    bench::banner(
+        "Bootstrap serving throughput (functional library)",
+        "Client threads submit CKKS bootstraps to a BootstrapService "
+        "over a 3-secondary distributed bootstrapper; the scheduler "
+        "packs blind-rotate items from different requests into "
+        "shared batches. Warmup + best-of-N. Emits BENCH_serve.json.");
+
+    ckks::CkksParams p;
+    p.n = 64;
+    p.limbBits = 30;
+    p.levels = 2;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    p.secretHamming = 16;
+    ckks::Context ctx(p, 42);
+    ckks::Evaluator ev(ctx);
+    boot::DistributedBootstrapper dist(
+        ctx, 3, rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6});
+
+    std::vector<ckks::Ciphertext> inputs;
+    for (size_t r = 0; r < kRequests; ++r) {
+        std::vector<ckks::Complex> z;
+        for (size_t i = 0; i < 16; ++i) {
+            z.emplace_back(
+                0.6 * std::cos(0.3 * static_cast<double>(i + r)),
+                0.3 * std::sin(0.2 * static_cast<double>(i) - 0.1 * r));
+        }
+        auto ct = ctx.encrypt(std::span<const ckks::Complex>(z));
+        ev.dropToLevel(ct, 1);
+        inputs.push_back(std::move(ct));
+    }
+
+    const hw::FpgaConfig cfg;
+    const hw::HeapParams hp;
+    const hw::BootstrapModel model(cfg, hp, 8);
+
+    // Warmup run: first-touch costs (page faults, allocator warm-up,
+    // NTT table initialisation) land here, not in a recorded run.
+    (void)runOnce(dist, model, inputs);
+
+    std::vector<RunResult> runs;
+    for (size_t i = 0; i < kMeasuredRuns; ++i) {
+        runs.push_back(runOnce(dist, model, inputs));
+    }
+    size_t bestIdx = 0;
+    double worstGoodput = runs[0].goodputRps;
+    for (size_t i = 1; i < runs.size(); ++i) {
+        if (runs[i].goodputRps > runs[bestIdx].goodputRps) {
+            bestIdx = i;
+        }
+        worstGoodput = std::min(worstGoodput, runs[i].goodputRps);
+    }
+    const RunResult& best = runs[bestIdx];
+    const serve::ServiceMetrics& m = best.m;
+    const auto& sum = best.sum;
+    const double spreadRps = best.goodputRps - worstGoodput;
 
     Table t({"metric", "value"});
-    t.addRow({"requests", Table::num(kRequests, 0)});
+    t.addRow({"requests / run", Table::num(kRequests, 0)});
     t.addRow({"client threads", Table::num(kClients, 0)});
-    t.addRow({"offered load (req/s)", Table::num(offeredRps, 1)});
-    t.addRow({"goodput (req/s)", Table::num(goodputRps, 2)});
+    t.addRow({"measured runs (after warmup)",
+              Table::num(static_cast<double>(kMeasuredRuns), 0)});
+    t.addRow({"offered load (req/s, full run)",
+              Table::num(best.offeredRps, 2)});
+    t.addRow({"goodput best (req/s)", Table::num(best.goodputRps, 2)});
+    t.addRow({"goodput spread (req/s)", Table::num(spreadRps, 3)});
     t.addRow({"batches", Table::num(
                   static_cast<double>(m.batches), 0)});
     t.addRow({"batch occupancy (reqs)",
@@ -145,10 +200,18 @@ main()
 
     // Modeled counterpart: the same request/batch shape scheduled on
     // the accelerator cost model's staged pipeline.
-    const hw::ServePipelineSpec spec{kRequests, p.n,
-                                     scfg.maxBatchItems, 3};
+    const hw::ServePipelineSpec spec{kRequests, p.n, 48, 3};
     const auto modeled = hw::serveStageOccupancy(
         hw::buildServePipelineTimeline(model, spec));
+
+    std::string runsJson = "[";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        runsJson += jsonNum(runs[i].goodputRps);
+        if (i + 1 < runs.size()) {
+            runsJson += ", ";
+        }
+    }
+    runsJson += "]";
 
     FILE* f = std::fopen("BENCH_serve.json", "w");
     if (f == nullptr) {
@@ -160,8 +223,14 @@ main()
         "{\n"
         "  \"requests\": %zu,\n"
         "  \"client_threads\": %zu,\n"
+        "  \"load_model\": \"closed_loop\",\n"
         "  \"offered_load_rps\": %s,\n"
+        "  \"submit_window_ms\": %s,\n"
+        "  \"warmup_runs\": 1,\n"
+        "  \"measured_runs\": %zu,\n"
         "  \"goodput_rps\": %s,\n"
+        "  \"goodput_runs_rps\": %s,\n"
+        "  \"goodput_spread_rps\": %s,\n"
         "  \"completed\": %llu,\n"
         "  \"rejected\": %llu,\n"
         "  \"deadline_misses\": %llu,\n"
@@ -190,8 +259,10 @@ main()
         "  \"modeled_stage_occupancy\": {\"front\": %s, "
         "\"rotate\": %s, \"finish\": %s, \"overlap\": %s}\n"
         "}\n",
-        kRequests, kClients, jsonNum(offeredRps).c_str(),
-        jsonNum(goodputRps).c_str(),
+        kRequests, kClients, jsonNum(best.offeredRps).c_str(),
+        jsonNum(best.submitWindowMs).c_str(), kMeasuredRuns,
+        jsonNum(best.goodputRps).c_str(), runsJson.c_str(),
+        jsonNum(spreadRps).c_str(),
         static_cast<unsigned long long>(m.completed),
         static_cast<unsigned long long>(m.rejected),
         static_cast<unsigned long long>(m.deadlineMisses),

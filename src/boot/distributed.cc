@@ -241,6 +241,22 @@ DistributedBootstrapper::DistributedBootstrapper(
     in_ = std::vector<SimulatedLink>(secondaries);
 }
 
+DistributedBootstrapper::DistributedBootstrapper(
+    const DistributedBootstrapper& other, size_t secondaries)
+    : ctx_(other.ctx_), brk_(other.brk_), packKeys_(other.packKeys_),
+      testPoly_(other.testPoly_)
+{
+    HEAP_CHECK(secondaries >= 1 && secondaries <= 63,
+               "bad secondary count");
+    for (size_t i = 0; i < secondaries; ++i) {
+        nodes_.push_back(std::make_unique<SecondaryNode>(
+            ctx_->basis(), &brk_, &testPoly_));
+    }
+    faultSpecs_.resize(secondaries);
+    out_ = std::vector<SimulatedLink>(secondaries);
+    in_ = std::vector<SimulatedLink>(secondaries);
+}
+
 void
 DistributedBootstrapper::setWorkers(size_t workers)
 {

@@ -229,6 +229,19 @@ class DistributedBootstrapper {
                                        .digitsPerLimb = 0});
 
     /**
+     * Replica constructor: a new pod loaded with `other`'s key
+     * material — the paper's deployment, where keys are generated
+     * once and replicated to every FPGA group. Shares other's
+     * context (which must outlive the replica) and copies the
+     * blind-rotate/packing keys and test polynomial, so the replica's
+     * bootstrap outputs are byte-identical to other's; links,
+     * secondaries, fault policy, and traffic accounting are its own.
+     * Draws nothing from the context RNG.
+     */
+    DistributedBootstrapper(const DistributedBootstrapper& other,
+                            size_t secondaries);
+
+    /**
      * Runs Algorithm 2 with the blind rotations fanned out across the
      * secondaries (the primary keeps an equal share). Tolerates link
      * faults per the installed FaultSpec: batches are retried under

@@ -123,6 +123,22 @@ BootstrapModel::batchCommMs(size_t count) const
     return wireBytes / (cfg_.cmacBps / 8.0) * 1e3 + turnaroundMs;
 }
 
+double
+BootstrapModel::podThroughputRps(size_t slots) const
+{
+    return 1e3 / bootstrap(slots).totalMs;
+}
+
+size_t
+BootstrapModel::podsNeeded(double offeredRps, size_t slots) const
+{
+    HEAP_CHECK(offeredRps >= 0.0 && std::isfinite(offeredRps),
+               "bad offered load " << offeredRps);
+    const double rate = podThroughputRps(slots);
+    return std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(offeredRps / rate)));
+}
+
 void
 BootstrapModel::setLinkLossRate(double rate)
 {

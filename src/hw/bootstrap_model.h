@@ -96,6 +96,22 @@ class BootstrapModel {
     void setLinkLossRate(double rate);
     double linkLossRate() const { return linkLossRate_; }
 
+    /**
+     * Modeled sustained service rate of ONE pod (this model's
+     * `numFpgas`-FPGA group running back-to-back bootstraps at
+     * `slots` packed slots), in bootstraps per second. The serving
+     * layer's autoscaling oracle.
+     */
+    double podThroughputRps(size_t slots) const;
+
+    /**
+     * Smallest number of pods whose combined modeled throughput
+     * covers `offeredRps` (k-FPGA scaling as the autoscaling oracle:
+     * pods needed = ceil(offered / podThroughputRps)). Zero offered
+     * load still needs one pod (a cluster cannot scale to nothing).
+     */
+    size_t podsNeeded(double offeredRps, size_t slots) const;
+
     const OpCostModel& ops() const { return ops_; }
     const HeapParams& params() const { return params_; }
 

@@ -1,0 +1,237 @@
+#include "serve/cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace heap::serve {
+
+namespace {
+
+/** splitmix64 finalizer: a fixed, platform-independent mix so the
+ *  tenant -> pod map is stable across runs and hosts. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+ServiceCluster::ServiceCluster(
+    std::vector<boot::DistributedBootstrapper*> pods,
+    TenantRegistry& registry, ClusterConfig cfg)
+    : pods_(std::move(pods)), registry_(&registry), cfg_(cfg)
+{
+    HEAP_CHECK(!pods_.empty(), "cluster with no pods");
+    for (const auto* p : pods_) {
+        HEAP_CHECK(p != nullptr, "null pod bootstrapper");
+    }
+    itemsPerRequest_ = pods_[0]->context().basis()->n();
+    for (const auto* p : pods_) {
+        HEAP_CHECK(p->context().basis()->n() == itemsPerRequest_,
+                   "pods disagree on the ring dimension");
+    }
+    if (cfg_.pod.costModel == nullptr) {
+        cfg_.pod.costModel = cfg_.costModel;
+    }
+    tenantKeyBytesDefault_ =
+        cfg_.defaultTenantKeyBytes != 0 ? cfg_.defaultTenantKeyBytes
+        : cfg_.costModel != nullptr
+            ? static_cast<size_t>(cfg_.costModel->keyReadBytes())
+            : (size_t{1} << 20);
+    // Modeled cost of one request's rotate work: the spill policy's
+    // load unit. Any positive constant works without a model — load
+    // is then proportional to outstanding requests.
+    requestCostMs_ =
+        cfg_.costModel != nullptr
+            ? cfg_.costModel->blindRotateBatchMs(itemsPerRequest_)
+                  + cfg_.costModel->batchCommMs(itemsPerRequest_)
+            : static_cast<double>(itemsPerRequest_) * 0.01;
+    services_.reserve(pods_.size());
+    caches_.reserve(pods_.size());
+    for (auto* p : pods_) {
+        services_.push_back(
+            std::make_unique<BootstrapService>(*p, cfg_.pod));
+        caches_.push_back(std::make_unique<BootstrappingKeyCache>(
+            cfg_.keyCacheBytes));
+    }
+    podLoadMs_.assign(pods_.size(), 0.0);
+}
+
+ServiceCluster::~ServiceCluster()
+{
+    shutdown();
+}
+
+size_t
+ServiceCluster::preferredPod(uint64_t tenantId) const
+{
+    return static_cast<size_t>(mix64(tenantId) % services_.size());
+}
+
+std::vector<size_t>
+ServiceCluster::candidateOrder(uint64_t tenantId) const
+{
+    const size_t preferred = preferredPod(tenantId);
+    std::vector<size_t> order;
+    order.reserve(services_.size());
+    order.push_back(preferred);
+    std::vector<size_t> rest;
+    for (size_t i = 0; i < services_.size(); ++i) {
+        if (i != preferred) {
+            rest.push_back(i);
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        std::stable_sort(rest.begin(), rest.end(),
+                         [&](size_t a, size_t b) {
+                             return podLoadMs_[a] < podLoadMs_[b];
+                         });
+    }
+    order.insert(order.end(), rest.begin(), rest.end());
+    return order;
+}
+
+std::shared_ptr<BootstrapTicket>
+ServiceCluster::submit(uint64_t tenantId, const ckks::Ciphertext& in,
+                       SubmitOptions opts)
+{
+    HEAP_CHECK(tenantId != 0, "tenant id 0 is reserved");
+    const size_t items = itemsPerRequest_;
+    const TenantSpec& spec = registry_->spec(tenantId);
+    // Key-cache charge: the tenant's declared footprint, else the
+    // cluster default (cost model's key-read bytes when available).
+    // Validated before admission so a misconfigured tenant cannot
+    // leak an in-flight slot or poison the candidate loop.
+    const size_t keyBytes =
+        spec.keyBytes != 0 ? spec.keyBytes : tenantKeyBytesDefault_;
+    HEAP_CHECK(keyBytes <= cfg_.keyCacheBytes,
+               "tenant " << tenantId << " key footprint (" << keyBytes
+                         << " B) exceeds the pod key cache ("
+                         << cfg_.keyCacheBytes << " B)");
+    const auto adm = registry_->tryAdmit(tenantId, items);
+    if (!adm) {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            ++rejectedQuota_;
+        }
+        HEAP_FATAL("tenant " << tenantId
+                             << " over its in-flight quota: "
+                             << "request rejected");
+    }
+    opts.tenantId = tenantId;
+    opts.priority += spec.priority;
+    opts.fairRank = adm->fairRank;
+
+    const auto userDone = std::move(opts.onDone);
+    const size_t preferred = preferredPod(tenantId);
+    const double costMs = requestCostMs_;
+    for (const size_t podIdx : candidateOrder(tenantId)) {
+        if (services_[podIdx]->liveRequests()
+            >= cfg_.pod.maxQueuedRequests) {
+            continue; // full; the next candidate may have room
+        }
+        // Tenant + load bookkeeping settles when the ticket does.
+        // Runs on a pod worker thread, possibly under the pod's lock:
+        // it must only touch the registry and the cluster counters
+        // (see SubmitOptions::onDone).
+        opts.onDone = [this, tenantId, items, costMs, podIdx,
+                       userDone](const RequestReport& rep, bool ok) {
+            registry_->onComplete(tenantId, items, ok);
+            {
+                std::lock_guard<std::mutex> lock(m_);
+                podLoadMs_[podIdx] -= costMs;
+            }
+            if (userDone) {
+                userDone(rep, ok);
+            }
+        };
+        {
+            // Charge the modeled load before the pod can complete the
+            // request: the hook's refund then always balances.
+            std::lock_guard<std::mutex> lock(m_);
+            podLoadMs_[podIdx] += costMs;
+        }
+        std::shared_ptr<BootstrapTicket> ticket;
+        try {
+            ticket = services_[podIdx]->submit(in, opts);
+        } catch (const UserError&) {
+            // Lost the admission race (the pod filled between the
+            // liveRequests() probe and submit): refund and try the
+            // next candidate.
+            std::lock_guard<std::mutex> lock(m_);
+            podLoadMs_[podIdx] -= costMs;
+            continue;
+        }
+        // The request is on exactly one pod: account the key touch
+        // and the routing outcome (keyBytes fits by the check above).
+        caches_[podIdx]->touch(tenantId, keyBytes);
+        std::lock_guard<std::mutex> lock(m_);
+        ++submitted_;
+        if (podIdx == preferred) {
+            ++routedPreferred_;
+        } else {
+            ++spilled_;
+        }
+        return ticket;
+    }
+    registry_->cancelAdmit(tenantId, items);
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        ++rejectedCapacity_;
+    }
+    HEAP_FATAL("cluster at capacity (every pod full): tenant "
+               << tenantId << " request rejected");
+}
+
+void
+ServiceCluster::drain()
+{
+    for (auto& svc : services_) {
+        svc->drain();
+    }
+}
+
+void
+ServiceCluster::shutdown()
+{
+    for (auto& svc : services_) {
+        svc->shutdown();
+    }
+}
+
+ClusterMetrics
+ServiceCluster::metrics() const
+{
+    ClusterMetrics m;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        m.submitted = submitted_;
+        m.rejectedQuota = rejectedQuota_;
+        m.rejectedCapacity = rejectedCapacity_;
+        m.routedPreferred = routedPreferred_;
+        m.spilled = spilled_;
+        m.podModeledLoadMs = podLoadMs_;
+    }
+    m.pods.reserve(services_.size());
+    for (const auto& svc : services_) {
+        m.pods.push_back(svc->metrics());
+        m.completed += m.pods.back().completed;
+        m.failed += m.pods.back().failed;
+    }
+    m.podKeyCaches.reserve(caches_.size());
+    for (const auto& c : caches_) {
+        m.podKeyCaches.push_back(c->stats());
+    }
+    m.keyCacheTotal = sumStats(m.podKeyCaches);
+    m.tenants = registry_->allStats();
+    m.fairnessRatio = registry_->fairnessRatio();
+    return m;
+}
+
+} // namespace heap::serve

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * ServiceCluster — sharded multi-tenant serving across multiple
+ * BootstrapService pods (the ROADMAP's "millions of users"
+ * milestone).
+ *
+ * Each pod is one BootstrapService over its own
+ * DistributedBootstrapper (the paper's 8-FPGA group). The cluster
+ * routes a tenant's requests to a stable preferred pod (consistent
+ * hash of the tenant id), which keeps that tenant's bootstrapping
+ * keys hot in the pod's BootstrappingKeyCache; when the preferred
+ * pod's admission window is full, the request spills to the pod with
+ * the least modeled outstanding load that still has room. If every
+ * pod is full, the request is rejected (cluster-level backpressure —
+ * bounded memory, never OOM).
+ *
+ * Tenancy: admission consults the TenantRegistry's per-tenant quota
+ * and stamps each request with the registry's weighted-fair virtual
+ * tag, its tenant's base priority, and a completion hook that settles
+ * the tenant and load accounting; the pod's ItemQueue then serves
+ * contending tenants in weight proportion (see tenant.h).
+ *
+ * Determinism: routing never changes what is computed, only where —
+ * every pod carries byte-identical key material in the functional
+ * build (same context seed), so a cluster-served bootstrap is
+ * byte-identical to the single-pod path. tests/cluster_test.cc pins
+ * this for seeds {7, 21, 42}.
+ *
+ * Thread-safe: submit() may be called from many client threads. The
+ * cluster's own mutex guards only its counters and modeled-load
+ * table, and is never held across a pod or registry call, so it
+ * cannot deadlock against the service locks or completion hooks.
+ */
+
+#ifndef HEAP_SERVE_CLUSTER_H
+#define HEAP_SERVE_CLUSTER_H
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "serve/keycache.h"
+#include "serve/service.h"
+#include "serve/tenant.h"
+
+namespace heap::serve {
+
+/** Cluster construction knobs. */
+struct ClusterConfig {
+    /** Per-pod service configuration (workers, admission cap, batch
+     *  cap, stage bounds). Applied to every pod. */
+    ServiceConfig pod;
+    /** Per-pod bootstrapping-key cache capacity, in bytes (modeled
+     *  residency accounting, not a real allocation). The default is
+     *  8 GiB of pod key memory — roughly four of the paper's ~1.8 GB
+     *  scheme-switching key sets per pod. */
+    size_t keyCacheBytes = size_t{8} << 30;
+    /** Key-footprint charge for tenants whose spec does not set one;
+     *  0 = the cost model's per-pod key-read bytes (keyReadBytes()),
+     *  or 1 MiB without a model. */
+    size_t defaultTenantKeyBytes = 0;
+    /** Optional accelerator cost model: drives the pods' batch
+     *  sizing, the spill policy's modeled load, and the autoscaling
+     *  oracle. Also installed as pod.costModel when that is null. */
+    const hw::BootstrapModel* costModel = nullptr;
+};
+
+/** Cluster-wide metrics snapshot (metrics()). */
+struct ClusterMetrics {
+    // Cluster-level admission.
+    uint64_t submitted = 0;        ///< accepted by some pod
+    uint64_t rejectedQuota = 0;    ///< tenant quota at admission
+    uint64_t rejectedCapacity = 0; ///< every pod full
+    // Routing.
+    uint64_t routedPreferred = 0; ///< landed on the consistent pod
+    uint64_t spilled = 0;         ///< diverted by a full preferred pod
+    // Pod roll-up.
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    std::vector<ServiceMetrics> pods;
+    std::vector<double> podModeledLoadMs; ///< outstanding, per pod
+    // Key caches.
+    std::vector<KeyCacheStats> podKeyCaches;
+    KeyCacheStats keyCacheTotal;
+    // Tenancy.
+    std::vector<TenantStats> tenants;
+    /** Weighted max/min served-share ratio (registry; NaN when fewer
+     *  than two tenants qualify). */
+    double fairnessRatio = std::numeric_limits<double>::quiet_NaN();
+};
+
+/**
+ * Shards bootstrap requests across pods by tenant. The pods'
+ * bootstrappers are borrowed, not owned, and must outlive the
+ * cluster; each must be keyed identically (same context seed) for
+ * the byte-identity guarantee. The registry is shared (quotas and
+ * fairness are cluster-wide) and must outlive the cluster.
+ */
+class ServiceCluster {
+  public:
+    ServiceCluster(std::vector<boot::DistributedBootstrapper*> pods,
+                   TenantRegistry& registry, ClusterConfig cfg = {});
+
+    /** Drains and joins every pod. */
+    ~ServiceCluster();
+
+    ServiceCluster(const ServiceCluster&) = delete;
+    ServiceCluster& operator=(const ServiceCluster&) = delete;
+
+    /**
+     * Submits one bootstrap for `tenantId` (registered, nonzero).
+     * Throws UserError when the tenant is over quota or every pod is
+     * at capacity; both rejections are counted (cluster and tenant
+     * level) and nothing is queued. opts.priority is added to the
+     * tenant's base priority; opts.fairRank and opts.tenantId are
+     * overwritten by the cluster.
+     */
+    std::shared_ptr<BootstrapTicket> submit(uint64_t tenantId,
+                                            const ckks::Ciphertext& in,
+                                            SubmitOptions opts = {});
+
+    size_t podCount() const { return services_.size(); }
+
+    /** Consistent routing target for a tenant (stable across runs:
+     *  a fixed 64-bit mix of the id, mod the pod count). */
+    size_t preferredPod(uint64_t tenantId) const;
+
+    BootstrapService& pod(size_t i) { return *services_.at(i); }
+    const BootstrappingKeyCache&
+    keyCache(size_t i) const
+    {
+        return *caches_.at(i);
+    }
+    TenantRegistry& registry() { return *registry_; }
+
+    /** Blocks until every accepted request on every pod completed. */
+    void drain();
+
+    /** Stops intake on every pod, drains, joins workers. Idempotent. */
+    void shutdown();
+
+    ClusterMetrics metrics() const;
+
+    /** Blind-rotate items per request (the ring dimension). */
+    size_t itemsPerRequest() const { return itemsPerRequest_; }
+
+  private:
+    /** Pods to try, in order: preferred first, then the rest by
+     *  ascending modeled outstanding load. */
+    std::vector<size_t> candidateOrder(uint64_t tenantId) const;
+
+    std::vector<boot::DistributedBootstrapper*> pods_;
+    TenantRegistry* registry_;
+    ClusterConfig cfg_;
+    size_t itemsPerRequest_ = 0;
+    size_t tenantKeyBytesDefault_ = 0;
+    double requestCostMs_ = 0; ///< modeled per-request work
+    std::vector<std::unique_ptr<BootstrapService>> services_;
+    std::vector<std::unique_ptr<BootstrappingKeyCache>> caches_;
+
+    mutable std::mutex m_; ///< counters + load table only
+    std::vector<double> podLoadMs_; ///< modeled outstanding work
+    uint64_t submitted_ = 0, rejectedQuota_ = 0, rejectedCapacity_ = 0;
+    uint64_t routedPreferred_ = 0, spilled_ = 0;
+};
+
+} // namespace heap::serve
+
+#endif // HEAP_SERVE_CLUSTER_H

@@ -1,0 +1,98 @@
+#include "serve/keycache.h"
+
+#include "common/check.h"
+
+namespace heap::serve {
+
+BootstrappingKeyCache::BootstrappingKeyCache(size_t capacityBytes)
+    : capacityBytes_(capacityBytes)
+{
+    HEAP_CHECK(capacityBytes >= 1, "key cache with no capacity");
+}
+
+bool
+BootstrappingKeyCache::touch(uint64_t tenantId, size_t keyBytes)
+{
+    HEAP_CHECK(keyBytes >= 1, "tenant with zero-byte keys");
+    HEAP_CHECK(keyBytes <= capacityBytes_,
+               "tenant keys (" << keyBytes
+                               << " B) exceed the cache capacity ("
+                               << capacityBytes_ << " B)");
+    std::lock_guard<std::mutex> lock(m_);
+    const auto it = index_.find(tenantId);
+    if (it != index_.end()) {
+        ++hits_;
+        // Refresh recency: splice the entry to the MRU end.
+        lru_.splice(lru_.end(), lru_, it->second);
+        return true;
+    }
+    ++misses_;
+    bytesLoaded_ += keyBytes;
+    while (residentBytes_ + keyBytes > capacityBytes_) {
+        HEAP_ASSERT(!lru_.empty(), "over-capacity with empty cache");
+        const Entry victim = lru_.front();
+        index_.erase(victim.tenantId);
+        lru_.pop_front();
+        residentBytes_ -= victim.bytes;
+        ++evictions_;
+        bytesEvicted_ += victim.bytes;
+    }
+    lru_.push_back(Entry{tenantId, keyBytes});
+    index_.emplace(tenantId, std::prev(lru_.end()));
+    residentBytes_ += keyBytes;
+    return false;
+}
+
+bool
+BootstrappingKeyCache::contains(uint64_t tenantId) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return index_.find(tenantId) != index_.end();
+}
+
+std::vector<uint64_t>
+BootstrappingKeyCache::lruOrder() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::vector<uint64_t> order;
+    order.reserve(lru_.size());
+    for (const Entry& e : lru_) {
+        order.push_back(e.tenantId);
+    }
+    return order;
+}
+
+KeyCacheStats
+BootstrappingKeyCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    KeyCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.bytesLoaded = bytesLoaded_;
+    s.bytesEvicted = bytesEvicted_;
+    s.residentTenants = lru_.size();
+    s.residentBytes = residentBytes_;
+    s.capacityBytes = capacityBytes_;
+    return s;
+}
+
+KeyCacheStats
+sumStats(const std::vector<KeyCacheStats>& stats)
+{
+    KeyCacheStats sum;
+    for (const KeyCacheStats& s : stats) {
+        sum.hits += s.hits;
+        sum.misses += s.misses;
+        sum.evictions += s.evictions;
+        sum.bytesLoaded += s.bytesLoaded;
+        sum.bytesEvicted += s.bytesEvicted;
+        sum.residentTenants += s.residentTenants;
+        sum.residentBytes += s.residentBytes;
+        sum.capacityBytes += s.capacityBytes;
+    }
+    return sum;
+}
+
+} // namespace heap::serve

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Bootstrapping-key cache for multi-tenant serving.
+ *
+ * HEAP's scheme-switching bootstrap needs ~18x less key material than
+ * conventional CKKS bootstrapping (Section III-C; table_keysizes) —
+ * the paper's own argument that per-tenant bootstrapping keys are
+ * cacheable at serving scale, and ARK (PAPERS.md) makes exactly this
+ * inter-operation key reuse the centerpiece of accelerator
+ * throughput. This cache models the key-residency layer of one pod:
+ * which tenants' blind-rotate/packing key sets are resident in pod
+ * memory (HBM in the paper's deployment), LRU-evicted under a byte
+ * capacity, with exact hit/miss/eviction/byte accounting.
+ *
+ * Residency is what is modeled; the cryptographic keys themselves are
+ * pod-shared in the functional build (every pod is keyed identically,
+ * as in the paper's deployment where each FPGA is loaded with the
+ * same RTL and keys), which is what keeps cluster outputs
+ * byte-identical to the single-pod path. A miss therefore costs
+ * modeled key-load bytes, never correctness.
+ *
+ * Thread-safe: the cluster touches one pod's cache from many client
+ * threads; all state is guarded by an internal mutex.
+ */
+
+#ifndef HEAP_SERVE_KEYCACHE_H
+#define HEAP_SERVE_KEYCACHE_H
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace heap::serve {
+
+/** Point-in-time counters of one BootstrappingKeyCache. */
+struct KeyCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;    ///< every miss loads the tenant's keys
+    uint64_t evictions = 0; ///< tenants displaced to make room
+    uint64_t bytesLoaded = 0;  ///< key bytes fetched on misses
+    uint64_t bytesEvicted = 0; ///< key bytes displaced by evictions
+    size_t residentTenants = 0;
+    size_t residentBytes = 0;
+    size_t capacityBytes = 0;
+
+    double
+    hitRate() const
+    {
+        const uint64_t total = hits + misses;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(hits)
+                         / static_cast<double>(total);
+    }
+};
+
+/**
+ * Capacity-bounded LRU cache of per-tenant bootstrapping-key sets,
+ * keyed by tenant id and charged in bytes.
+ */
+class BootstrappingKeyCache {
+  public:
+    /** @param capacityBytes total key bytes the pod keeps resident. */
+    explicit BootstrappingKeyCache(size_t capacityBytes);
+
+    /**
+     * Marks the tenant's keys as used "now". Returns true on a hit
+     * (keys already resident; moved to most-recently-used). On a miss
+     * the keys are loaded: least-recently-used tenants are evicted
+     * until `keyBytes` fits, then the tenant becomes resident at the
+     * MRU position. `keyBytes` must not exceed the capacity and must
+     * be stable per tenant (the charge of a resident tenant is the
+     * one it was loaded with).
+     */
+    bool touch(uint64_t tenantId, size_t keyBytes);
+
+    /** Whether the tenant's keys are currently resident. */
+    bool contains(uint64_t tenantId) const;
+
+    /** Resident tenants, least-recently-used first (for tests). */
+    std::vector<uint64_t> lruOrder() const;
+
+    KeyCacheStats stats() const;
+
+  private:
+    struct Entry {
+        uint64_t tenantId = 0;
+        size_t bytes = 0;
+    };
+
+    mutable std::mutex m_;
+    size_t capacityBytes_;
+    size_t residentBytes_ = 0;
+    /** Front = least recently used, back = most recently used. */
+    std::list<Entry> lru_;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+    uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+    uint64_t bytesLoaded_ = 0, bytesEvicted_ = 0;
+};
+
+/** Element-wise sum of per-pod cache stats (cluster roll-up).
+ *  capacityBytes and resident figures add across pods. */
+KeyCacheStats sumStats(const std::vector<KeyCacheStats>& stats);
+
+} // namespace heap::serve
+
+#endif // HEAP_SERVE_KEYCACHE_H

@@ -60,14 +60,18 @@ class LatencyReservoir {
             stride_ *= 2;
         }
         samples_.push_back(ms);
+        sortedDirty_ = true;
     }
 
     /** Total samples offered to record() (not just retained ones). */
     uint64_t count() const { return seen_; }
 
     /**
-     * The p-th percentile (p in [0, 100]) by nearest-rank over the
-     * retained samples; NaN when empty.
+     * The p-th percentile (p in [0, 100]) by linear interpolation
+     * over the retained samples; NaN when empty. The sorted view is cached and
+     * only rebuilt after a record(), so a snapshot reading several
+     * percentiles (p50/p95/p99) pays for ONE O(n log n) sort, not one
+     * per call.
      */
     double
     percentile(double p) const
@@ -76,14 +80,17 @@ class LatencyReservoir {
         if (samples_.empty()) {
             return std::numeric_limits<double>::quiet_NaN();
         }
-        std::vector<double> sorted = samples_;
-        std::sort(sorted.begin(), sorted.end());
+        if (sortedDirty_) {
+            sorted_ = samples_;
+            std::sort(sorted_.begin(), sorted_.end());
+            sortedDirty_ = false;
+        }
         const double rank = p / 100.0
-                            * static_cast<double>(sorted.size() - 1);
+                            * static_cast<double>(sorted_.size() - 1);
         const size_t lo = static_cast<size_t>(rank);
-        const size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const size_t hi = std::min(lo + 1, sorted_.size() - 1);
         const double frac = rank - static_cast<double>(lo);
-        return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+        return sorted_[lo] + (sorted_[hi] - sorted_[lo]) * frac;
     }
 
     double
@@ -104,6 +111,9 @@ class LatencyReservoir {
     uint64_t stride_ = 1;
     uint64_t seen_ = 0;
     std::vector<double> samples_;
+    /** Lazily rebuilt sorted copy of samples_ (percentile()). */
+    mutable std::vector<double> sorted_;
+    mutable bool sortedDirty_ = true;
 };
 
 /** Point-in-time snapshot of a BootstrapService (metrics()). */

@@ -13,12 +13,16 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <optional>
 
 #include "ckks/context.h"
 
 namespace heap::serve {
+
+/** Final per-request accounting; forward-declared for the hook. */
+struct RequestReport;
 
 /** Per-request scheduling knobs. */
 struct SubmitOptions {
@@ -30,6 +34,22 @@ struct SubmitOptions {
      *  results stay correct, the miss shows up in the report and the
      *  service counters. */
     std::optional<double> deadlineMs;
+    /** Owning tenant (0 = untenanted). Purely bookkeeping at the
+     *  service level; the cluster layer stamps it. */
+    uint64_t tenantId = 0;
+    /** Weighted-fair virtual-service tag (lower = served sooner,
+     *  ahead of priority); see ItemQueue::addRequest. The cluster
+     *  layer stamps it from the TenantRegistry; direct service users
+     *  leave it 0 and get the classic priority/EDF order. */
+    double fairRank = 0.0;
+    /**
+     * Completion hook, invoked exactly once after the ticket settles
+     * (fulfil or fail), with `ok` = false on failure. Runs on a
+     * service worker thread and MAY hold the service lock: the hook
+     * must not call back into the service (the cluster layer uses it
+     * for tenant and load bookkeeping only).
+     */
+    std::function<void(const RequestReport&, bool ok)> onDone;
 };
 
 /** Final per-request accounting, valid once the ticket is done. */

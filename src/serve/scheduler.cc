@@ -16,12 +16,14 @@ ItemQueue::ItemQueue(size_t starvationPasses)
 
 void
 ItemQueue::addRequest(uint64_t id, int priority, double deadlineAbsMs,
-                      size_t itemCount)
+                      size_t itemCount, double fairRank)
 {
     HEAP_CHECK(itemCount >= 1, "request with no work items");
+    HEAP_CHECK(std::isfinite(fairRank), "bad fair rank " << fairRank);
     Entry e;
     e.id = id;
     e.priority = priority;
+    e.fairRank = fairRank;
     e.deadlineAbsMs = deadlineAbsMs;
     e.arrivalSeq = arrivalCounter_++;
     e.itemCount = itemCount;
@@ -52,6 +54,14 @@ ItemQueue::ranksBefore(const Entry& a, const Entry& b) const
     }
     if (aBoost) {
         return a.arrivalSeq < b.arrivalSeq;
+    }
+    // Weighted fairness outranks priority: a tenant that has consumed
+    // less weight-normalized service (lower virtual tag) goes first,
+    // so one tenant's priority-9 flood cannot crowd out another
+    // tenant's share. All-equal tags (the single-tenant case) fall
+    // through to the classic priority/EDF order.
+    if (a.fairRank != b.fairRank) {
+        return a.fairRank < b.fairRank;
     }
     if (a.priority != b.priority) {
         return a.priority > b.priority;

@@ -9,9 +9,12 @@
  *    are formed from the *globally* highest-ranked items, so one
  *    batch freely mixes items from different requests and a
  *    straggler request no longer leaves a node idle. Ranking is
- *    priority, then earliest deadline, then arrival order, with
- *    starvation protection: a request skipped by too many
- *    consecutive batch formations is boosted ahead of everything.
+ *    weighted-fair credit (the tenant layer's virtual-service tag,
+ *    lower first), then priority, then earliest deadline, then
+ *    arrival order, with starvation protection: a request skipped by
+ *    too many consecutive batch formations is boosted ahead of
+ *    everything. Single-tenant callers leave every fair rank at 0, so
+ *    the tier is inert and the policy reduces to priority/EDF.
  *
  *  - BatchPlanner: picks the batch size from hw::BootstrapModel cost
  *    estimates — as large as the pending work allows (amortizing the
@@ -54,10 +57,15 @@ class ItemQueue {
     /**
      * Admits a request's items. `deadlineAbsMs` is the absolute
      * deadline on the caller's clock (infinity when none); requests
-     * admitted earlier win ties.
+     * admitted earlier win ties. `fairRank` is the tenant layer's
+     * weighted-fair virtual-service tag (TenantRegistry::tryAdmit):
+     * lower ranks are served first, ahead of priority, so a tenant
+     * that has consumed more weight-normalized service yields to one
+     * that has consumed less. The default 0 keeps every request in
+     * one fairness class (the pre-tenant behaviour).
      */
     void addRequest(uint64_t id, int priority, double deadlineAbsMs,
-                    size_t itemCount);
+                    size_t itemCount, double fairRank = 0.0);
 
     bool empty() const { return pendingItems_ == 0; }
     size_t pendingItems() const { return pendingItems_; }
@@ -81,6 +89,7 @@ class ItemQueue {
     struct Entry {
         uint64_t id = 0;
         int priority = 0;
+        double fairRank = 0;
         double deadlineAbsMs = 0;
         uint64_t arrivalSeq = 0;
         size_t nextIndex = 0; ///< first undispatched item

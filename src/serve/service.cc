@@ -235,9 +235,15 @@ BootstrapService::failRequestLocked(Request* p, std::exception_ptr err)
     rep.precisionBits = std::numeric_limits<double>::infinity();
     ++failed_;
     auto ticket = std::move(p->ticket);
+    auto onDone = std::move(p->opts.onDone);
     live_.erase(p->id);
     // The ticket's lock nests inside m_ only, never the reverse.
     ticket->fail(std::move(err), rep);
+    if (onDone) {
+        // Still under m_ (documented): the hook must not re-enter the
+        // service.
+        onDone(rep, /*ok=*/false);
+    }
     doneCv_.notify_all();
 }
 
@@ -344,6 +350,7 @@ BootstrapService::finishRequest(Request* p, double startMs)
 
     RequestReport rep;
     std::shared_ptr<BootstrapTicket> ticket;
+    std::function<void(const RequestReport&, bool)> onDone;
     {
         std::lock_guard<std::mutex> lock(m_);
         const double now = nowMs();
@@ -373,12 +380,17 @@ BootstrapService::finishRequest(Request* p, double startMs)
             }
         }
         ticket = std::move(p->ticket);
+        onDone = std::move(p->opts.onDone);
         live_.erase(p->id);
     }
+    const bool ok = err == nullptr;
     if (err) {
         ticket->fail(std::move(err), rep);
     } else {
         ticket->fulfil(std::move(out), rep);
+    }
+    if (onDone) {
+        onDone(rep, ok);
     }
     doneCv_.notify_all();
 }
@@ -430,7 +442,8 @@ BootstrapService::workerLoop()
             } else {
                 p->rotateReadyMs = nowMs();
                 queue_.addRequest(p->id, p->opts.priority,
-                                  p->deadlineAbsMs, p->lwes.size());
+                                  p->deadlineAbsMs, p->lwes.size(),
+                                  p->opts.fairRank);
                 board_.enqueued(Stage::Rotate, p->lwes.size());
             }
             workCv_.notify_all();

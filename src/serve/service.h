@@ -142,6 +142,18 @@ class BootstrapService {
     /** Dispatch lanes: 1 local (primary) + one per secondary. */
     size_t lanes() const { return laneLoadMs_.size(); }
 
+    /** Live requests (queued + running) — the admission-control
+     *  occupancy. Cheaper than metrics() for routing decisions. */
+    size_t
+    liveRequests() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return live_.size();
+    }
+
+    /** The effective construction config (immutable after start). */
+    const ServiceConfig& config() const { return cfg_; }
+
   private:
     /** Server-side state of one accepted request. */
     struct Request {

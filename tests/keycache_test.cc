@@ -1,0 +1,145 @@
+/**
+ * @file
+ * BootstrappingKeyCache tests: LRU eviction order exactness,
+ * hit/miss/eviction/byte counter exactness, capacity enforcement,
+ * and the high-hit-rate property under Zipf-distributed tenant
+ * traffic that the serving cluster relies on (HEAP's ~18x smaller
+ * key material makes per-tenant keys cacheable at scale).
+ */
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "serve/keycache.h"
+
+namespace heap::serve {
+namespace {
+
+TEST(KeyCache, HitMissAndByteCountersAreExact)
+{
+    BootstrappingKeyCache c(100);
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_FALSE(c.touch(1, 40)); // cold miss
+    EXPECT_TRUE(c.contains(1));
+    EXPECT_TRUE(c.touch(1, 40)); // hit
+    EXPECT_FALSE(c.touch(2, 40)); // second tenant, fits
+    EXPECT_TRUE(c.touch(1, 40));
+    EXPECT_TRUE(c.touch(2, 40));
+
+    const KeyCacheStats s = c.stats();
+    EXPECT_EQ(s.hits, 3u);
+    EXPECT_EQ(s.misses, 2u);
+    EXPECT_EQ(s.evictions, 0u);
+    EXPECT_EQ(s.bytesLoaded, 80u);
+    EXPECT_EQ(s.bytesEvicted, 0u);
+    EXPECT_EQ(s.residentTenants, 2u);
+    EXPECT_EQ(s.residentBytes, 80u);
+    EXPECT_EQ(s.capacityBytes, 100u);
+    EXPECT_DOUBLE_EQ(s.hitRate(), 3.0 / 5.0);
+}
+
+TEST(KeyCache, LruEvictionOrderIsExact)
+{
+    BootstrappingKeyCache c(120);
+    c.touch(1, 40);
+    c.touch(2, 40);
+    c.touch(3, 40); // full: 1 (LRU), 2, 3 (MRU)
+    ASSERT_EQ(c.lruOrder(), (std::vector<uint64_t>{1, 2, 3}));
+
+    // Touching 1 refreshes it: 2 becomes the LRU victim.
+    EXPECT_TRUE(c.touch(1, 40));
+    ASSERT_EQ(c.lruOrder(), (std::vector<uint64_t>{2, 3, 1}));
+
+    EXPECT_FALSE(c.touch(4, 40)); // evicts exactly tenant 2
+    EXPECT_FALSE(c.contains(2));
+    EXPECT_TRUE(c.contains(3));
+    EXPECT_TRUE(c.contains(1));
+    ASSERT_EQ(c.lruOrder(), (std::vector<uint64_t>{3, 1, 4}));
+
+    const KeyCacheStats s = c.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.bytesEvicted, 40u);
+    EXPECT_EQ(s.residentBytes, 120u);
+}
+
+TEST(KeyCache, LargeEntryEvictsAsManyVictimsAsNeeded)
+{
+    BootstrappingKeyCache c(150);
+    c.touch(1, 30);
+    c.touch(2, 30);
+    c.touch(3, 30);
+    // A 100-byte load only fits after evicting BOTH 1 and 2 (LRU
+    // first), not just one victim: 90 + 100 > 150 and 60 + 100 > 150.
+    EXPECT_FALSE(c.touch(4, 100));
+    EXPECT_EQ(c.lruOrder(), (std::vector<uint64_t>{3, 4}));
+    const KeyCacheStats s = c.stats();
+    EXPECT_EQ(s.evictions, 2u);
+    EXPECT_EQ(s.bytesEvicted, 60u);
+    EXPECT_EQ(s.residentBytes, 130u); // 30 (tenant 3) + 100
+}
+
+TEST(KeyCache, RejectsEntriesBeyondCapacity)
+{
+    BootstrappingKeyCache c(64);
+    EXPECT_THROW(c.touch(1, 65), UserError);
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(KeyCache, ResidentBytesNeverExceedCapacity)
+{
+    BootstrappingKeyCache c(97);
+    std::mt19937_64 rng(42);
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t tenant = 1 + rng() % 37;
+        const size_t bytes = 1 + (tenant * 7) % 50; // stable per tenant
+        c.touch(tenant, bytes);
+        const KeyCacheStats s = c.stats();
+        ASSERT_LE(s.residentBytes, 97u) << "step " << i;
+        ASSERT_EQ(s.bytesLoaded - s.bytesEvicted, s.residentBytes)
+            << "step " << i;
+        ASSERT_EQ(s.hits + s.misses, static_cast<uint64_t>(i + 1));
+    }
+}
+
+TEST(KeyCache, ZipfTenantsYieldHighHitRate)
+{
+    // The serving-scale claim: with Zipf-distributed tenant
+    // popularity and a cache holding a fraction of the tenant
+    // population, the hit rate stays high because the head of the
+    // distribution stays resident. Mirrors the cluster bench's
+    // tenant draw.
+    constexpr size_t kTenants = 200;
+    constexpr size_t kDraws = 4000;
+    constexpr double kAlpha = 1.4;
+    std::vector<double> cdf(kTenants);
+    double sum = 0;
+    for (size_t t = 0; t < kTenants; ++t) {
+        sum += 1.0 / std::pow(static_cast<double>(t + 1), kAlpha);
+        cdf[t] = sum;
+    }
+    // Cache holds 25% of the population's key bytes.
+    BootstrappingKeyCache c(kTenants / 4 * 10);
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> u(0.0, sum);
+    for (size_t i = 0; i < kDraws; ++i) {
+        const double x = u(rng);
+        const size_t tenant =
+            static_cast<size_t>(std::lower_bound(cdf.begin(),
+                                                 cdf.end(), x)
+                                - cdf.begin())
+            + 1;
+        c.touch(tenant, 10);
+    }
+    const KeyCacheStats s = c.stats();
+    EXPECT_GT(s.hitRate(), 0.8)
+        << "hits " << s.hits << " misses " << s.misses;
+    EXPECT_GT(s.evictions, 0u); // the bound actually bit
+}
+
+} // namespace
+} // namespace heap::serve

@@ -165,6 +165,42 @@ TEST(BatchPlanner, SlackCapsTheBatchMonotonically)
 // LatencyReservoir                                                 //
 // ---------------------------------------------------------------- //
 
+TEST(LatencyReservoir, CachedSortInvalidatesOnRecord)
+{
+    // Regression for the snapshot-sort fix: percentile() sorts once
+    // and caches; a record() between reads must invalidate the cache,
+    // and repeated reads must not perturb the reservoir.
+    LatencyReservoir r(1024);
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<double> u(0.1, 50.0);
+    std::vector<double> samples;
+    for (int step = 0; step < 200; ++step) {
+        const double v = u(rng);
+        r.record(v);
+        samples.push_back(v);
+        if (step % 7 != 0) {
+            continue;
+        }
+        std::vector<double> sorted = samples;
+        std::sort(sorted.begin(), sorted.end());
+        for (const double p : {50.0, 95.0, 99.0}) {
+            // Freshly computed oracle with the reservoir's own
+            // interpolation rule.
+            const double rank =
+                p / 100.0 * static_cast<double>(sorted.size() - 1);
+            const size_t lo = static_cast<size_t>(rank);
+            const size_t hi = std::min(lo + 1, sorted.size() - 1);
+            const double want =
+                sorted[lo]
+                + (sorted[hi] - sorted[lo]) * (rank - double(lo));
+            EXPECT_DOUBLE_EQ(r.percentile(p), want)
+                << "step " << step << " p" << p;
+            // A second read off the cached sort is identical.
+            EXPECT_DOUBLE_EQ(r.percentile(p), want);
+        }
+    }
+}
+
 TEST(LatencyReservoir, PercentilesAndDecimation)
 {
     LatencyReservoir r(16);

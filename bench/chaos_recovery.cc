@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Availability under injected faults: a 3-pod ServiceCluster serving
+ * an open-loop paced stream while a seeded ChaosSpec::scripted()
+ * schedule wedges one pod, crashes another mid-run, and injects
+ * per-request fault bursts. Measures what the cluster failure domain
+ * promises:
+ *
+ *  - availability: completed / accepted logical requests. Failover
+ *    re-computes crashed work on surviving replicas, so accepted
+ *    requests complete even though a pod died with queued work.
+ *  - failover accounting: retryable failures observed, flights
+ *    completed after >1 attempt, retry budgets exhausted. Accepted =
+ *    completed + failed must balance exactly.
+ *  - breaker transitions: opens (crash + wedge detection) and
+ *    re-closes (probe success after recovery).
+ *  - recovery latency: wall time from the crash event to recover(),
+ *    and from recover() to the breaker re-admitting the pod (probe
+ *    cadence, driven by post-run submissions).
+ *
+ * The driver is strictly open-loop (paced by sleep, never blocking
+ * on an outstanding ticket): chaos events advance on submission
+ * indices, so a driver that blocked on a request held by a wedged
+ * pod before the unwedge index would deadlock the schedule.
+ *
+ * Results merge into BENCH_serve.json as a "chaos" object (after
+ * serve_throughput and cluster_throughput). `--smoke` shrinks the
+ * request volume for CI.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "boot/distributed.h"
+#include "ckks/evaluator.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "serve/cluster.h"
+
+namespace {
+
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v)) {
+        return "null";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+constexpr size_t kPods = 3;
+constexpr uint64_t kSeed = 42;
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace heap;
+
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        }
+    }
+    const size_t tenants = smoke ? 4 : 8;
+    const size_t requests = smoke ? 48 : 160;
+
+    bench::banner(
+        "Chaos recovery: availability under pod faults (functional "
+        "library)",
+        smoke ? "Smoke sizing (--smoke): reduced request volume."
+              : "Seeded fault schedule (wedge + crash + fail bursts) "
+                "against a 3-pod cluster under open-loop load.");
+
+    ckks::CkksParams p;
+    p.n = 64;
+    p.limbBits = 30;
+    p.levels = 2;
+    p.auxLimbs = 1;
+    p.scale = std::pow(2.0, 30);
+    p.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    p.secretHamming = 16;
+    ckks::Context ctx(p, kSeed);
+    ckks::Evaluator ev(ctx);
+
+    const auto brGadget =
+        rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6};
+    boot::DistributedBootstrapper dist0(ctx, 2, brGadget);
+    std::vector<std::unique_ptr<boot::DistributedBootstrapper>>
+        replicas;
+    std::vector<boot::DistributedBootstrapper*> pods{&dist0};
+    for (size_t i = 1; i < kPods; ++i) {
+        replicas.push_back(
+            std::make_unique<boot::DistributedBootstrapper>(dist0, 2));
+        pods.push_back(replicas.back().get());
+    }
+
+    std::vector<ckks::Ciphertext> pool;
+    for (size_t r = 0; r < 8; ++r) {
+        std::vector<ckks::Complex> z;
+        for (size_t i = 0; i < 16; ++i) {
+            z.emplace_back(
+                0.6 * std::cos(0.3 * static_cast<double>(i + r)),
+                0.3 * std::sin(0.2 * static_cast<double>(i) - 0.1 * r));
+        }
+        auto ct = ctx.encrypt(std::span<const ckks::Complex>(z));
+        ev.dropToLevel(ct, 1);
+        pool.push_back(std::move(ct));
+    }
+
+    // Pace at ~0.8x the measured single-stream rate so queues stay
+    // bounded with one pod down and rejections stay rare.
+    double capacityRps = 0;
+    {
+        Timer cal;
+        (void)dist0.bootstrap(pool[0]);
+        (void)dist0.bootstrap(pool[1]);
+        capacityRps = 2e3 / cal.millis();
+    }
+
+    serve::TenantRegistry reg;
+    for (size_t t = 1; t <= tenants; ++t) {
+        reg.registerTenant(serve::TenantSpec{
+            .id = t,
+            .name = "tenant-" + std::to_string(t),
+            .maxInFlight = 32,
+        });
+    }
+
+    const serve::ChaosSpec spec = serve::ChaosSpec::scripted(
+        kSeed, kPods, /*horizon=*/requests, /*failBursts=*/2);
+    uint64_t crashPod = 0, crashAt = 0, recoverAt = 0;
+    for (const auto& e : spec.events) {
+        if (e.kind == serve::ChaosEvent::Kind::Crash) {
+            crashPod = e.pod;
+            crashAt = e.atSubmit;
+        } else if (e.kind == serve::ChaosEvent::Kind::Recover) {
+            recoverAt = e.atSubmit;
+        }
+    }
+
+    serve::ClusterConfig ccfg;
+    ccfg.pod.workers = 2;
+    ccfg.pod.maxQueuedRequests = 24;
+    ccfg.pod.maxBatchItems = 48;
+    ccfg.failover.maxAttempts = 4;
+    // Short-horizon breaker: the run is a few hundred routing
+    // decisions, so detection windows must be tens, not hundreds.
+    ccfg.breaker.window = 8;
+    ccfg.breaker.minSamples = 2;
+    ccfg.breaker.probeAfterSkips = 4;
+    ccfg.breaker.wedgeDecisions = 24;
+    ccfg.chaos = spec;
+    serve::ServiceCluster cluster(pods, reg, ccfg);
+
+    std::mt19937_64 rng(kSeed);
+    std::exponential_distribution<double> exp1(1.0);
+    std::vector<std::shared_ptr<serve::BootstrapTicket>> tickets;
+    tickets.reserve(requests);
+    uint64_t accepted = 0, rejected = 0;
+    double crashMs = -1, recoverMs = -1;
+    Timer window;
+    for (size_t i = 0; i < requests; ++i) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            exp1(rng) / (0.8 * std::max(capacityRps, 1e-3))));
+        // Submission index i+1 is where the chaos engine applies
+        // events scheduled at that index (crash/recover timestamps).
+        if (i + 1 == crashAt) {
+            crashMs = window.millis();
+        }
+        if (i + 1 == recoverAt) {
+            recoverMs = window.millis();
+        }
+        const uint64_t tid = 1 + (i % tenants);
+        try {
+            tickets.push_back(
+                cluster.submit(tid, pool[i % pool.size()]));
+            ++accepted;
+        } catch (const UserError&) {
+            ++rejected; // counted by the cluster, nothing queued
+        }
+    }
+    cluster.drain();
+
+    serve::LatencyReservoir lat;
+    uint64_t completedWaits = 0, failedWaits = 0;
+
+    // Drive the breaker of the crashed pod back to Closed: each
+    // sequential round trip is one routing decision, so the open
+    // breaker skips, probes, and re-closes within a bounded number
+    // of submissions. All pods are live again — waiting is safe now.
+    // (Tickets settle here and are NOT re-waited below: a second
+    // wait() on a ticket is a UserError.)
+    double recloseMs = -1;
+    for (int i = 0; i < 100; ++i) {
+        if (cluster.breakerStats(crashPod).state
+            == serve::BreakerState::Closed) {
+            recloseMs = window.millis();
+            break;
+        }
+        try {
+            auto t = cluster.submit(1, pool[i % pool.size()]);
+            ++accepted;
+            try {
+                (void)t->wait();
+                lat.record(t->report().totalMs);
+                ++completedWaits;
+            } catch (const std::exception&) {
+                ++failedWaits;
+            }
+        } catch (const UserError&) {
+            ++rejected;
+        }
+    }
+    const double totalMs = window.millis();
+
+    for (auto& t : tickets) {
+        try {
+            (void)t->wait();
+            lat.record(t->report().totalMs);
+            ++completedWaits;
+        } catch (const std::exception&) {
+            ++failedWaits;
+        }
+    }
+    const bench::LatencySummary ls = bench::summarizeLatency(lat);
+
+    const serve::ClusterMetrics m = cluster.metrics();
+    cluster.shutdown();
+
+    const uint64_t settled = m.requestsCompleted + m.requestsFailed;
+    const double availability =
+        settled > 0 ? static_cast<double>(m.requestsCompleted)
+                          / static_cast<double>(settled)
+                    : 0.0;
+    const double goodputRps =
+        totalMs > 0
+            ? 1e3 * static_cast<double>(m.requestsCompleted) / totalMs
+            : 0.0;
+    const double outageMs =
+        crashMs >= 0 && recoverMs >= 0 ? recoverMs - crashMs : -1;
+    const double breakerRecloseMs =
+        recloseMs >= 0 && recoverMs >= 0 ? recloseMs - recoverMs : -1;
+
+    HEAP_CHECK(settled == accepted,
+               "failover conservation broken: accepted "
+                   << accepted << " != settled " << settled);
+    HEAP_CHECK(completedWaits == m.requestsCompleted
+                   && failedWaits == m.requestsFailed,
+               "ticket outcomes disagree with cluster counters");
+
+    Table t({"metric", "value"});
+    t.addRow({"pods", Table::num(static_cast<double>(kPods), 0)});
+    t.addRow({"accepted requests",
+              Table::num(static_cast<double>(accepted), 0)});
+    t.addRow({"rejected requests",
+              Table::num(static_cast<double>(rejected), 0)});
+    t.addRow({"availability", Table::num(availability, 4)});
+    t.addRow({"goodput (req/s)", Table::num(goodputRps, 2)});
+    t.addRow({"latency", bench::latencyCell(ls)});
+    t.addRow({"failovers (retryable failures)",
+              Table::num(static_cast<double>(m.failovers), 0)});
+    t.addRow({"failover succeeded / exhausted",
+              Table::num(static_cast<double>(m.failoverSucceeded), 0)
+                  + " / "
+                  + Table::num(
+                      static_cast<double>(m.failoverExhausted), 0)});
+    t.addRow({"breaker opens / closes",
+              Table::num(static_cast<double>(m.breakerOpens), 0)
+                  + " / "
+                  + Table::num(
+                      static_cast<double>(m.breakerCloses), 0)});
+    t.addRow({"chaos crashes / wedges / injected",
+              Table::num(static_cast<double>(m.chaos.crashes), 0) + " / "
+                  + Table::num(static_cast<double>(m.chaos.wedges), 0)
+                  + " / "
+                  + Table::num(
+                      static_cast<double>(m.chaos.injectedFailures),
+                      0)});
+    t.addRow({"outage (crash->recover, ms)", Table::num(outageMs, 1)});
+    t.addRow({"breaker re-close after recover (ms)",
+              Table::num(breakerRecloseMs, 1)});
+    t.print();
+
+    // Merge into serve_throughput/cluster_throughput's JSON: strip
+    // the closing brace and append a "chaos" member.
+    std::string head;
+    if (FILE* in = std::fopen("BENCH_serve.json", "rb")) {
+        char buf[4096];
+        size_t got = 0;
+        while ((got = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+            head.append(buf, got);
+        }
+        std::fclose(in);
+        while (!head.empty()
+               && (std::isspace(
+                       static_cast<unsigned char>(head.back()))
+                   || head.back() == '}')) {
+            const bool brace = head.back() == '}';
+            head.pop_back();
+            if (brace) {
+                break;
+            }
+        }
+        head += ",\n";
+    }
+    if (head.empty()) {
+        head = "{\n"; // standalone fallback: serve bench not run
+    }
+
+    FILE* f = std::fopen("BENCH_serve.json", "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "%s"
+        "  \"chaos\": {\n"
+        "    \"pods\": %zu,\n"
+        "    \"smoke\": %s,\n"
+        "    \"seed\": %llu,\n"
+        "    \"accepted\": %llu,\n"
+        "    \"rejected\": %llu,\n"
+        "    \"completed\": %llu,\n"
+        "    \"failed\": %llu,\n"
+        "    \"availability\": %s,\n"
+        "    \"goodput_rps\": %s,\n"
+        "    \"latency_ms\": {\"p50\": %s, \"p95\": %s, "
+        "\"p99\": %s, \"mean\": %s},\n"
+        "    \"failovers\": %llu,\n"
+        "    \"failover_succeeded\": %llu,\n"
+        "    \"failover_exhausted\": %llu,\n"
+        "    \"breaker_opens\": %llu,\n"
+        "    \"breaker_closes\": %llu,\n"
+        "    \"injected\": {\"crashes\": %llu, \"recoveries\": %llu, "
+        "\"wedges\": %llu, \"unwedges\": %llu, "
+        "\"fail_requests\": %llu},\n"
+        "    \"outage_ms\": %s,\n"
+        "    \"breaker_reclose_ms\": %s\n"
+        "  }\n"
+        "}\n",
+        head.c_str(), kPods, smoke ? "true" : "false",
+        static_cast<unsigned long long>(kSeed),
+        static_cast<unsigned long long>(accepted),
+        static_cast<unsigned long long>(rejected),
+        static_cast<unsigned long long>(m.requestsCompleted),
+        static_cast<unsigned long long>(m.requestsFailed),
+        jsonNum(availability).c_str(), jsonNum(goodputRps).c_str(),
+        jsonNum(ls.p50Ms).c_str(), jsonNum(ls.p95Ms).c_str(),
+        jsonNum(ls.p99Ms).c_str(), jsonNum(ls.meanMs).c_str(),
+        static_cast<unsigned long long>(m.failovers),
+        static_cast<unsigned long long>(m.failoverSucceeded),
+        static_cast<unsigned long long>(m.failoverExhausted),
+        static_cast<unsigned long long>(m.breakerOpens),
+        static_cast<unsigned long long>(m.breakerCloses),
+        static_cast<unsigned long long>(m.chaos.crashes),
+        static_cast<unsigned long long>(m.chaos.recoveries),
+        static_cast<unsigned long long>(m.chaos.wedges),
+        static_cast<unsigned long long>(m.chaos.unwedges),
+        static_cast<unsigned long long>(m.chaos.injectedFailures),
+        jsonNum(outageMs >= 0 ? outageMs
+                              : std::numeric_limits<double>::quiet_NaN())
+            .c_str(),
+        jsonNum(breakerRecloseMs >= 0
+                    ? breakerRecloseMs
+                    : std::numeric_limits<double>::quiet_NaN())
+            .c_str());
+    std::fclose(f);
+    std::printf("\nmerged chaos results into BENCH_serve.json\n");
+    return 0;
+}

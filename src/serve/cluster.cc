@@ -1,6 +1,7 @@
 #include "serve/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
@@ -19,17 +20,29 @@ mix64(uint64_t x)
     return x ^ (x >> 31);
 }
 
+/** A pod with this much modeled outstanding work counts as holding a
+ *  backlog for wedge detection (floating-point refunds may leave
+ *  dust, so exact zero is the wrong test). */
+constexpr double kBacklogEpsMs = 1e-9;
+
 } // namespace
 
 ServiceCluster::ServiceCluster(
     std::vector<boot::DistributedBootstrapper*> pods,
     TenantRegistry& registry, ClusterConfig cfg)
-    : pods_(std::move(pods)), registry_(&registry), cfg_(cfg)
+    : pods_(std::move(pods)),
+      registry_(&registry),
+      cfg_(cfg),
+      epoch_(std::chrono::steady_clock::now())
 {
     HEAP_CHECK(!pods_.empty(), "cluster with no pods");
     for (const auto* p : pods_) {
         HEAP_CHECK(p != nullptr, "null pod bootstrapper");
     }
+    HEAP_CHECK(cfg_.failover.maxAttempts >= 1,
+               "failover needs at least one attempt");
+    HEAP_CHECK(cfg_.failover.backoffMs >= 0,
+               "negative failover backoff");
     itemsPerRequest_ = pods_[0]->context().basis()->n();
     for (const auto* p : pods_) {
         HEAP_CHECK(p->context().basis()->n() == itemsPerRequest_,
@@ -53,18 +66,32 @@ ServiceCluster::ServiceCluster(
             : static_cast<double>(itemsPerRequest_) * 0.01;
     services_.reserve(pods_.size());
     caches_.reserve(pods_.size());
+    breakers_.reserve(pods_.size());
     for (auto* p : pods_) {
         services_.push_back(
             std::make_unique<BootstrapService>(*p, cfg_.pod));
         caches_.push_back(std::make_unique<BootstrappingKeyCache>(
             cfg_.keyCacheBytes));
+        breakers_.emplace_back(cfg_.breaker);
     }
     podLoadMs_.assign(pods_.size(), 0.0);
+    if (cfg_.chaos) {
+        chaos_ = std::make_unique<ChaosEngine>(*cfg_.chaos);
+    }
+    failoverThread_ = std::thread([this] { failoverLoop(); });
 }
 
 ServiceCluster::~ServiceCluster()
 {
     shutdown();
+}
+
+double
+ServiceCluster::nowMs() const
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
 }
 
 size_t
@@ -73,28 +100,367 @@ ServiceCluster::preferredPod(uint64_t tenantId) const
     return static_cast<size_t>(mix64(tenantId) % services_.size());
 }
 
-std::vector<size_t>
-ServiceCluster::candidateOrder(uint64_t tenantId) const
+BreakerStats
+ServiceCluster::breakerStats(size_t i) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return breakers_.at(i).stats();
+}
+
+std::vector<ServiceCluster::Candidate>
+ServiceCluster::routeCandidates(uint64_t tenantId, bool gateHealth)
 {
     const size_t preferred = preferredPod(tenantId);
-    std::vector<size_t> order;
-    order.reserve(services_.size());
-    order.push_back(preferred);
-    std::vector<size_t> rest;
-    for (size_t i = 0; i < services_.size(); ++i) {
-        if (i != preferred) {
-            rest.push_back(i);
+    std::vector<Candidate> cands;
+    cands.reserve(services_.size());
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        if (gateHealth) {
+            for (size_t i = 0; i < services_.size(); ++i) {
+                breakers_[i].noteDecision(podLoadMs_[i]
+                                          > kBacklogEpsMs);
+            }
+            for (size_t i = 0; i < services_.size(); ++i) {
+                const CircuitBreaker::Gate g = breakers_[i].gate();
+                if (g.admit) {
+                    cands.push_back(
+                        Candidate{i, g.probe, podLoadMs_[i]});
+                }
+            }
+        } else {
+            // Failover re-dispatch: breaker state is driven ONLY by
+            // client routing decisions and attempt outcomes, both
+            // deterministic in count — the failover thread's sweeps
+            // are timing-dependent and must not tick the skip or
+            // staleness counters. Retries consider every pod (the
+            // dispatch loop skips crashed/full ones) so an all-open
+            // moment cannot strand a flight.
+            for (size_t i = 0; i < services_.size(); ++i) {
+                cands.push_back(
+                    Candidate{i, false, podLoadMs_[i]});
+            }
         }
+    }
+    // Sort OUTSIDE the lock, over the load snapshot taken under it:
+    // probes first (carrying the probe is how an open breaker ever
+    // observes recovery), then the tenant's preferred pod, then the
+    // rest by ascending modeled load.
+    std::stable_sort(cands.begin(), cands.end(),
+                     [&](const Candidate& a, const Candidate& b) {
+                         if (a.probe != b.probe) {
+                             return a.probe;
+                         }
+                         const bool ap = a.pod == preferred;
+                         const bool bp = b.pod == preferred;
+                         if (ap != bp) {
+                             return ap;
+                         }
+                         return a.loadMs < b.loadMs;
+                     });
+    return cands;
+}
+
+ServiceCluster::Dispatch
+ServiceCluster::tryDispatch(const std::shared_ptr<Flight>& flight,
+                            bool isRetry)
+{
+    std::vector<Candidate> cands =
+        routeCandidates(flight->tenantId, /*gateHealth=*/!isRetry);
+    if (cands.empty()) {
+        return Dispatch::NoHealthy;
+    }
+    if (isRetry && flight->lastPod >= 0 && cands.size() > 1) {
+        // "The next healthy candidate": the pod that just failed the
+        // request goes last, not first — it stays eligible only as
+        // the final fallback.
+        std::stable_partition(
+            cands.begin(), cands.end(), [&](const Candidate& c) {
+                return static_cast<int>(c.pod) != flight->lastPod;
+            });
+    }
+    const size_t preferred = preferredPod(flight->tenantId);
+    const double costMs = requestCostMs_;
+    for (size_t c = 0; c < cands.size(); ++c) {
+        const size_t podIdx = cands[c].pod;
+        const bool probe = cands[c].probe;
+        BootstrapService& svc = *services_[podIdx];
+        if (svc.crashed()) {
+            if (!isRetry) {
+                // Observing a crash at a routing decision IS a health
+                // outcome: it opens the breaker without waiting for
+                // live requests to fail, and resolves a probe as
+                // failed (the pod has not recovered), keeping the
+                // probe cadence. Retry sweeps skip silently (see
+                // routeCandidates).
+                std::lock_guard<std::mutex> lock(m_);
+                breakers_[podIdx].onOutcome(/*ok=*/false, probe);
+            }
+            continue;
+        }
+        if (svc.liveRequests() >= cfg_.pod.maxQueuedRequests) {
+            // Full is not unhealthy: release the probe (if any) so
+            // the next routing decision re-probes, and move on.
+            if (probe) {
+                std::lock_guard<std::mutex> lock(m_);
+                breakers_[podIdx].cancelProbe();
+            }
+            continue;
+        }
+        // The attempt's pod ticket is created HERE so the completion
+        // hook can capture it: the pod fulfils it before invoking the
+        // hook, which is what lets onAttemptDone() extract the result
+        // of a settled attempt without racing the pod's workers.
+        auto attempt = std::make_shared<BootstrapTicket>();
+        SubmitOptions opts = flight->baseOpts;
+        if (std::isfinite(flight->deadlineAbsMs)) {
+            // Re-base the deadline on the remaining cluster budget so
+            // a failed-over attempt keeps an honest EDF position.
+            opts.deadlineMs =
+                std::max(0.0, flight->deadlineAbsMs - nowMs());
+        }
+        opts.onDone = [this, flight, attempt, podIdx,
+                       probe](const RequestReport& rep, bool ok) {
+            onAttemptDone(flight, attempt, podIdx, probe, rep, ok);
+        };
+        {
+            // Charge the modeled load and count the attempt before
+            // the pod can complete it: the hook's refund then always
+            // balances, and its attempts read is never stale.
+            std::lock_guard<std::mutex> lock(m_);
+            podLoadMs_[podIdx] += costMs;
+            ++flight->attempts;
+        }
+        try {
+            svc.submit(flight->input, std::move(opts), attempt);
+        } catch (const UserError&) {
+            // Lost the admission race (the pod filled or crashed
+            // between the probe above and submit): refund and try the
+            // next candidate. No hook was installed, so this is the
+            // only accounting path for the attempt.
+            std::lock_guard<std::mutex> lock(m_);
+            podLoadMs_[podIdx] -= costMs;
+            --flight->attempts;
+            if (probe) {
+                breakers_[podIdx].cancelProbe();
+            }
+            continue;
+        }
+        // The attempt is on exactly one pod: account the key touch
+        // (a failover lands cache-cold on the new pod — a real,
+        // counted key-traffic event) and the routing outcome.
+        caches_[podIdx]->touch(flight->tenantId, flight->keyBytes);
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            if (!isRetry) {
+                if (podIdx == preferred) {
+                    ++routedPreferred_;
+                } else {
+                    ++spilled_;
+                }
+            }
+            // Probe admissions further down the candidate list were
+            // never carried: revert them so the next routing decision
+            // probes again.
+            for (size_t r = c + 1; r < cands.size(); ++r) {
+                if (cands[r].probe) {
+                    breakers_[cands[r].pod].cancelProbe();
+                }
+            }
+        }
+        return Dispatch::Placed;
+    }
+    return Dispatch::NoRoom;
+}
+
+void
+ServiceCluster::onAttemptDone(
+    const std::shared_ptr<Flight>& flight,
+    const std::shared_ptr<BootstrapTicket>& attempt, size_t podIdx,
+    bool probe, const RequestReport& rep, bool ok)
+{
+    // May run under the pod's lock (failure path): cluster lock,
+    // registry, and ticket locks only — never back into a pod.
+    uint32_t attempts = 0;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        podLoadMs_[podIdx] -= requestCostMs_;
+        breakers_[podIdx].onOutcome(ok, probe);
+        attempts = flight->attempts;
+    }
+    if (ok) {
+        settleSuccess(flight, attempt, podIdx, rep);
+        return;
+    }
+    std::exception_ptr err = attempt->error();
+    bool retryable = false;
+    if (err) {
+        try {
+            std::rethrow_exception(err);
+        } catch (const PodError&) {
+            retryable = true;
+        } catch (...) {
+            // UserError / InternalError / anything else would fail
+            // identically on every replica: terminal.
+        }
+    } else {
+        err = std::make_exception_ptr(
+            PodError("pod attempt failed without a recorded error"));
+        retryable = true;
+    }
+    bool deadlineOk = true;
+    if (cfg_.failover.respectDeadline
+        && std::isfinite(flight->deadlineAbsMs)) {
+        deadlineOk =
+            nowMs() + requestCostMs_ <= flight->deadlineAbsMs;
+    }
+    if (retryable && attempts < cfg_.failover.maxAttempts
+        && deadlineOk) {
+        flight->lastPod = static_cast<int>(podIdx);
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            ++failovers_;
+        }
+        {
+            // Never re-dispatch from here — this hook may hold the
+            // failing pod's lock, and submitting to another pod nests
+            // pod locks (deadlock). The failover thread re-dispatches.
+            std::lock_guard<std::mutex> lock(retryM_);
+            retryQ_.push_back(Retry{flight, err,
+                                    nowMs() + cfg_.failover.backoffMs});
+        }
+        retryCv_.notify_all();
+        return;
+    }
+    settleFailure(flight, err, static_cast<int>(podIdx), rep,
+                  /*exhausted=*/retryable);
+}
+
+void
+ServiceCluster::settleSuccess(
+    const std::shared_ptr<Flight>& flight,
+    const std::shared_ptr<BootstrapTicket>& attempt, size_t podIdx,
+    const RequestReport& rep)
+{
+    // The pod fulfilled the attempt ticket before invoking the hook,
+    // so this wait() returns immediately with the result.
+    ckks::Ciphertext out = attempt->wait();
+    RequestReport r = rep;
+    r.servedPod = static_cast<int>(podIdx);
+    r.totalMs = nowMs() - flight->submitMs;
+    if (std::isfinite(flight->deadlineAbsMs)) {
+        r.deadlineMissed = nowMs() > flight->deadlineAbsMs;
     }
     {
         std::lock_guard<std::mutex> lock(m_);
-        std::stable_sort(rest.begin(), rest.end(),
-                         [&](size_t a, size_t b) {
-                             return podLoadMs_[a] < podLoadMs_[b];
-                         });
+        r.attempts = flight->attempts;
+        ++requestsCompleted_;
+        if (flight->attempts > 1) {
+            ++failoverSucceeded_;
+        }
+        HEAP_ASSERT(liveFlights_ >= 1, "settle without a live flight");
+        --liveFlights_;
     }
-    order.insert(order.end(), rest.begin(), rest.end());
-    return order;
+    // Exactly one registry completion per logical request, at the
+    // terminal outcome — attempts in between were invisible to the
+    // tenant accounting (admit/refund conservation).
+    registry_->onComplete(flight->tenantId, itemsPerRequest_, true);
+    flight->clientTicket->fulfil(std::move(out), r);
+    if (flight->userDone) {
+        flight->userDone(r, true);
+    }
+    settleCv_.notify_all();
+}
+
+void
+ServiceCluster::settleFailure(const std::shared_ptr<Flight>& flight,
+                              std::exception_ptr err, int podIdx,
+                              const RequestReport& rep, bool exhausted)
+{
+    RequestReport r = rep;
+    r.servedPod = podIdx;
+    r.totalMs = nowMs() - flight->submitMs;
+    if (std::isfinite(flight->deadlineAbsMs)) {
+        r.deadlineMissed = nowMs() > flight->deadlineAbsMs;
+    }
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        r.attempts = flight->attempts;
+        ++requestsFailed_;
+        if (exhausted) {
+            ++failoverExhausted_;
+        }
+        HEAP_ASSERT(liveFlights_ >= 1, "settle without a live flight");
+        --liveFlights_;
+    }
+    registry_->onComplete(flight->tenantId, itemsPerRequest_, false);
+    flight->clientTicket->fail(std::move(err), r);
+    if (flight->userDone) {
+        flight->userDone(r, false);
+    }
+    settleCv_.notify_all();
+}
+
+void
+ServiceCluster::failoverLoop()
+{
+    std::unique_lock<std::mutex> lock(retryM_);
+    for (;;) {
+        retryCv_.wait(lock,
+                      [&] { return stopRetry_ || !retryQ_.empty(); });
+        if (retryQ_.empty()) {
+            if (stopRetry_) {
+                return;
+            }
+            continue;
+        }
+        const bool stopping = stopRetry_;
+        Retry r = retryQ_.front();
+        const double now = nowMs();
+        if (!stopping && r.notBeforeMs > now) {
+            // Backoff gate: sleep until it opens (or new work /
+            // shutdown wakes us).
+            retryCv_.wait_for(lock,
+                              std::chrono::duration<double, std::milli>(
+                                  r.notBeforeMs - now));
+            continue;
+        }
+        retryQ_.pop_front();
+        lock.unlock();
+        if (stopping) {
+            // Pods are shut down: nothing can carry the retry.
+            RequestReport rep;
+            rep.id = r.flight->seq;
+            settleFailure(r.flight, r.lastError, -1, rep,
+                          /*exhausted=*/true);
+        } else if (tryDispatch(r.flight, /*isRetry=*/true)
+                   != Dispatch::Placed) {
+            bool abandon = false;
+            if (cfg_.failover.respectDeadline
+                && std::isfinite(r.flight->deadlineAbsMs)) {
+                abandon = nowMs() + requestCostMs_
+                          > r.flight->deadlineAbsMs;
+            }
+            if (abandon) {
+                RequestReport rep;
+                rep.id = r.flight->seq;
+                settleFailure(r.flight, r.lastError, -1, rep,
+                              /*exhausted=*/true);
+            } else {
+                // No pod can take it right now (full, crashed, or
+                // breaker-open). Room opens as pods drain or chaos
+                // recovers them: re-enqueue with a small pacing
+                // delay instead of spinning.
+                lock.lock();
+                retryQ_.push_back(
+                    Retry{r.flight, r.lastError,
+                          nowMs()
+                              + std::max(cfg_.failover.backoffMs,
+                                         0.2)});
+                continue;
+            }
+        }
+        lock.lock();
+    }
 }
 
 std::shared_ptr<BootstrapTicket>
@@ -114,6 +480,68 @@ ServiceCluster::submit(uint64_t tenantId, const ckks::Ciphertext& in,
                "tenant " << tenantId << " key footprint (" << keyBytes
                          << " B) exceeds the pod key cache ("
                          << cfg_.keyCacheBytes << " B)");
+
+    // The chaos schedule advances on the submission counter — BEFORE
+    // routing, so "crash pod 0 before the 12th submit" is observed by
+    // the 12th submit's routing decision.
+    uint64_t seq = 0;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        seq = ++submitSeq_;
+    }
+    if (chaos_) {
+        chaos_->advance(seq, services_);
+    }
+
+    const int effPriority = opts.priority + spec.priority;
+    if (cfg_.shedding.enabled) {
+        double minLoadMs = std::numeric_limits<double>::infinity();
+        double totalLoadMs = 0;
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            for (const double l : podLoadMs_) {
+                minLoadMs = std::min(minLoadMs, l);
+                totalLoadMs += l;
+            }
+        }
+        // Sheds run BEFORE tryAdmit: a shed request was never
+        // admitted, so there is nothing to refund.
+        if (cfg_.shedding.brownoutLoadMs > 0
+            && totalLoadMs >= cfg_.shedding.brownoutLoadMs
+            && effPriority < cfg_.shedding.brownoutMinPriority) {
+            {
+                std::lock_guard<std::mutex> lock(m_);
+                ++rejectedShedBrownout_;
+            }
+            registry_->onShed(tenantId);
+            HEAP_FATAL("brownout: cluster modeled load "
+                       << totalLoadMs << " ms >= "
+                       << cfg_.shedding.brownoutLoadMs
+                       << " ms and priority " << effPriority
+                       << " is below the floor "
+                       << cfg_.shedding.brownoutMinPriority
+                       << ": request shed");
+        }
+        if (opts.deadlineMs) {
+            const double modeledMs =
+                cfg_.shedding.slackFactor
+                * (minLoadMs + requestCostMs_);
+            if (*opts.deadlineMs < modeledMs) {
+                {
+                    std::lock_guard<std::mutex> lock(m_);
+                    ++rejectedShedDeadline_;
+                }
+                registry_->onShed(tenantId);
+                HEAP_FATAL("deadline shed: "
+                           << *opts.deadlineMs
+                           << " ms deadline is under the modeled "
+                           << modeledMs
+                           << " ms completion (negative slack): "
+                           << "request shed");
+            }
+        }
+    }
+
     const auto adm = registry_->tryAdmit(tenantId, items);
     if (!adm) {
         {
@@ -125,83 +553,81 @@ ServiceCluster::submit(uint64_t tenantId, const ckks::Ciphertext& in,
                              << "request rejected");
     }
     opts.tenantId = tenantId;
-    opts.priority += spec.priority;
+    opts.priority = effPriority;
     opts.fairRank = adm->fairRank;
 
-    const auto userDone = std::move(opts.onDone);
-    const size_t preferred = preferredPod(tenantId);
-    const double costMs = requestCostMs_;
-    for (const size_t podIdx : candidateOrder(tenantId)) {
-        if (services_[podIdx]->liveRequests()
-            >= cfg_.pod.maxQueuedRequests) {
-            continue; // full; the next candidate may have room
-        }
-        // Tenant + load bookkeeping settles when the ticket does.
-        // Runs on a pod worker thread, possibly under the pod's lock:
-        // it must only touch the registry and the cluster counters
-        // (see SubmitOptions::onDone).
-        opts.onDone = [this, tenantId, items, costMs, podIdx,
-                       userDone](const RequestReport& rep, bool ok) {
-            registry_->onComplete(tenantId, items, ok);
-            {
-                std::lock_guard<std::mutex> lock(m_);
-                podLoadMs_[podIdx] -= costMs;
-            }
-            if (userDone) {
-                userDone(rep, ok);
-            }
-        };
-        {
-            // Charge the modeled load before the pod can complete the
-            // request: the hook's refund then always balances.
-            std::lock_guard<std::mutex> lock(m_);
-            podLoadMs_[podIdx] += costMs;
-        }
-        std::shared_ptr<BootstrapTicket> ticket;
-        try {
-            ticket = services_[podIdx]->submit(in, opts);
-        } catch (const UserError&) {
-            // Lost the admission race (the pod filled between the
-            // liveRequests() probe and submit): refund and try the
-            // next candidate.
-            std::lock_guard<std::mutex> lock(m_);
-            podLoadMs_[podIdx] -= costMs;
-            continue;
-        }
-        // The request is on exactly one pod: account the key touch
-        // and the routing outcome (keyBytes fits by the check above).
-        caches_[podIdx]->touch(tenantId, keyBytes);
-        std::lock_guard<std::mutex> lock(m_);
-        ++submitted_;
-        if (podIdx == preferred) {
-            ++routedPreferred_;
-        } else {
-            ++spilled_;
-        }
-        return ticket;
+    auto flight = std::make_shared<Flight>();
+    flight->seq = seq;
+    flight->tenantId = tenantId;
+    flight->input = in;
+    flight->clientTicket = std::make_shared<BootstrapTicket>();
+    flight->userDone = std::move(opts.onDone);
+    opts.onDone = nullptr;
+    flight->baseOpts = std::move(opts);
+    flight->keyBytes = keyBytes;
+    flight->submitMs = nowMs();
+    if (flight->baseOpts.deadlineMs) {
+        flight->deadlineAbsMs =
+            flight->submitMs + *flight->baseOpts.deadlineMs;
     }
-    registry_->cancelAdmit(tenantId, items);
+
     {
         std::lock_guard<std::mutex> lock(m_);
-        ++rejectedCapacity_;
+        ++liveFlights_;
     }
-    HEAP_FATAL("cluster at capacity (every pod full): tenant "
-               << tenantId << " request rejected");
+    const Dispatch d = tryDispatch(flight, /*isRetry=*/false);
+    if (d != Dispatch::Placed) {
+        // Total rejection of the initial dispatch: the ONLY place the
+        // admission is cancelled rather than completed.
+        registry_->cancelAdmit(tenantId, items);
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            --liveFlights_;
+            if (d == Dispatch::NoHealthy) {
+                ++rejectedUnhealthy_;
+            } else {
+                ++rejectedCapacity_;
+            }
+        }
+        settleCv_.notify_all();
+        if (d == Dispatch::NoHealthy) {
+            HEAP_FATAL("no healthy pod (every breaker open): tenant "
+                       << tenantId << " request rejected");
+        }
+        HEAP_FATAL("cluster at capacity (every pod full): tenant "
+                   << tenantId << " request rejected");
+    }
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        ++submitted_;
+    }
+    return flight->clientTicket;
 }
 
 void
 ServiceCluster::drain()
 {
-    for (auto& svc : services_) {
-        svc->drain();
-    }
+    std::unique_lock<std::mutex> lock(m_);
+    settleCv_.wait(lock, [&] { return liveFlights_ == 0; });
 }
 
 void
 ServiceCluster::shutdown()
 {
+    // Pods first: every accepted attempt settles during the pod
+    // shutdowns, so every completion hook fires and every failover
+    // decision is enqueued BEFORE the failover thread is told to
+    // stop — no retry can arrive after the thread exits.
     for (auto& svc : services_) {
         svc->shutdown();
+    }
+    {
+        std::lock_guard<std::mutex> lock(retryM_);
+        stopRetry_ = true;
+    }
+    retryCv_.notify_all();
+    if (failoverThread_.joinable()) {
+        failoverThread_.join();
     }
 }
 
@@ -214,9 +640,27 @@ ServiceCluster::metrics() const
         m.submitted = submitted_;
         m.rejectedQuota = rejectedQuota_;
         m.rejectedCapacity = rejectedCapacity_;
+        m.rejectedUnhealthy = rejectedUnhealthy_;
+        m.rejectedShedDeadline = rejectedShedDeadline_;
+        m.rejectedShedBrownout = rejectedShedBrownout_;
         m.routedPreferred = routedPreferred_;
         m.spilled = spilled_;
+        m.requestsCompleted = requestsCompleted_;
+        m.requestsFailed = requestsFailed_;
+        m.liveFlights = liveFlights_;
+        m.failovers = failovers_;
+        m.failoverSucceeded = failoverSucceeded_;
+        m.failoverExhausted = failoverExhausted_;
         m.podModeledLoadMs = podLoadMs_;
+        m.breakers.reserve(breakers_.size());
+        for (const CircuitBreaker& b : breakers_) {
+            m.breakers.push_back(b.stats());
+            m.breakerOpens += m.breakers.back().opens;
+            m.breakerCloses += m.breakers.back().closes;
+        }
+    }
+    if (chaos_) {
+        m.chaos = chaos_->stats();
     }
     m.pods.reserve(services_.size());
     for (const auto& svc : services_) {

@@ -2,7 +2,8 @@
  * @file
  * ServiceCluster — sharded multi-tenant serving across multiple
  * BootstrapService pods (the ROADMAP's "millions of users"
- * milestone).
+ * milestone), with a cluster-level failure domain: per-pod circuit
+ * breakers, request failover, and deadline-aware load shedding.
  *
  * Each pod is one BootstrapService over its own
  * DistributedBootstrapper (the paper's 8-FPGA group). The cluster
@@ -14,36 +15,103 @@
  * pod is full, the request is rejected (cluster-level backpressure —
  * bounded memory, never OOM).
  *
- * Tenancy: admission consults the TenantRegistry's per-tenant quota
- * and stamps each request with the registry's weighted-fair virtual
- * tag, its tenant's base priority, and a completion hook that settles
- * the tenant and load accounting; the pod's ItemQueue then serves
- * contending tenants in weight proportion (see tenant.h).
+ * Health: every pod carries a CircuitBreaker (serve/health.h) fed by
+ * per-attempt outcomes and a modeled-load staleness detector, and
+ * routing consults it — open or wedged pods are routed around, and a
+ * deterministic probe admission re-tests an open pod after a fixed
+ * number of skipped routing decisions. Probe candidates are tried
+ * FIRST: the probe is one request by construction, and carrying it is
+ * how an open breaker ever observes a recovery.
  *
- * Determinism: routing never changes what is computed, only where —
- * every pod carries byte-identical key material in the functional
- * build (same context seed), so a cluster-served bootstrap is
- * byte-identical to the single-pod path. tests/cluster_test.cc pins
- * this for seeds {7, 21, 42}.
+ * Failover: the client's ticket belongs to the cluster, not to any
+ * pod. Each dispatch attempt gets its own pod-level ticket; when an
+ * attempt fails with a retryable PodError (injected fault, crash),
+ * the cluster re-submits the SAME ciphertext to the next healthy
+ * candidate — on a dedicated failover thread, never from the pod's
+ * completion hook (the hook may run under the pod lock) — until the
+ * FailoverPolicy's attempt or deadline budget runs out. Accounting is
+ * exact: one TenantRegistry admission per logical request however
+ * many attempts it takes, completion settled exactly once at the
+ * terminal outcome, per-attempt modeled-load charges refunded by the
+ * same hook that observed the attempt. A failed-over request touches
+ * the new pod's key cache (a real, counted cache-cold event — the
+ * BTS/ARK key traffic the paper's §5 sizing is about).
+ *
+ * Shedding (opt-in): a request whose deadline cannot be met even by
+ * the least-loaded healthy pod under the modeled cost is rejected at
+ * admission (deadline shed), and under sustained modeled overload
+ * requests below a priority floor are rejected (brownout) — both
+ * BEFORE the registry admission, so sheds never need refunds, and
+ * both with distinct rejection counters.
+ *
+ * Chaos (opt-in): a deterministic ChaosSpec (serve/chaos.h) fires
+ * pod-level faults — injected failures, wedges, crash/recover — as
+ * the cluster's submission counter advances, which is what the
+ * availability tests and bench/chaos_recovery drive.
+ *
+ * Determinism: routing and failover never change what is computed,
+ * only where — every pod carries byte-identical key material in the
+ * functional build (same context seed), so a cluster-served bootstrap
+ * is byte-identical to the single-pod path even when the serving pod
+ * crashed mid-request and the result came from a failover re-compute.
+ * tests/cluster_test.cc and tests/failover_identity_test.cc pin this
+ * for seeds {7, 21, 42}.
  *
  * Thread-safe: submit() may be called from many client threads. The
- * cluster's own mutex guards only its counters and modeled-load
- * table, and is never held across a pod or registry call, so it
+ * cluster's own mutex guards its counters, modeled-load table, and
+ * breakers, and is never held across a pod or registry call, so it
  * cannot deadlock against the service locks or completion hooks.
+ * Lock order: pod lock -> cluster lock -> registry/ticket locks,
+ * never the reverse.
  */
 
 #ifndef HEAP_SERVE_CLUSTER_H
 #define HEAP_SERVE_CLUSTER_H
 
+#include <condition_variable>
+#include <deque>
 #include <limits>
 #include <memory>
+#include <optional>
+#include <thread>
 #include <vector>
 
+#include "serve/chaos.h"
+#include "serve/health.h"
 #include "serve/keycache.h"
 #include "serve/service.h"
 #include "serve/tenant.h"
 
 namespace heap::serve {
+
+/** Retry budget for failed-over requests. */
+struct FailoverPolicy {
+    /** Total dispatch attempts per logical request (>= 1). 1 disables
+     *  failover: the first retryable failure is terminal. */
+    uint32_t maxAttempts = 3;
+    /** Delay before a failed-over request is re-dispatched. 0 retries
+     *  immediately (the deterministic default for tests). */
+    double backoffMs = 0.0;
+    /** Abandon retries once the modeled remaining deadline budget is
+     *  below one modeled request cost (the retry could only miss). */
+    bool respectDeadline = true;
+};
+
+/** Deadline-aware admission control (opt-in; off by default). */
+struct SheddingPolicy {
+    bool enabled = false;
+    /** Deadline shed: reject when the request's deadline is shorter
+     *  than slackFactor * (least healthy pod's modeled outstanding
+     *  load + one modeled request cost) — i.e. its modeled slack is
+     *  negative. Requests without a deadline are never deadline-shed. */
+    double slackFactor = 1.0;
+    /** Brownout: once the cluster's total modeled outstanding load
+     *  reaches this many modeled milliseconds, requests whose
+     *  effective priority (tenant base + submission) is below
+     *  brownoutMinPriority are rejected. 0 disables the brownout. */
+    double brownoutLoadMs = 0.0;
+    int brownoutMinPriority = 0;
+};
 
 /** Cluster construction knobs. */
 struct ClusterConfig {
@@ -63,6 +131,13 @@ struct ClusterConfig {
      *  sizing, the spill policy's modeled load, and the autoscaling
      *  oracle. Also installed as pod.costModel when that is null. */
     const hw::BootstrapModel* costModel = nullptr;
+    /** Per-pod circuit-breaker tuning (applied to every pod). */
+    BreakerConfig breaker;
+    FailoverPolicy failover;
+    SheddingPolicy shedding;
+    /** Optional deterministic fault schedule, applied to the pods as
+     *  the cluster's submission counter advances. */
+    std::optional<ChaosSpec> chaos;
 };
 
 /** Cluster-wide metrics snapshot (metrics()). */
@@ -70,11 +145,32 @@ struct ClusterMetrics {
     // Cluster-level admission.
     uint64_t submitted = 0;        ///< accepted by some pod
     uint64_t rejectedQuota = 0;    ///< tenant quota at admission
-    uint64_t rejectedCapacity = 0; ///< every pod full
+    uint64_t rejectedCapacity = 0; ///< every candidate pod full
+    uint64_t rejectedUnhealthy = 0; ///< every breaker refused routing
+    uint64_t rejectedShedDeadline = 0; ///< negative modeled slack
+    uint64_t rejectedShedBrownout = 0; ///< below the brownout floor
     // Routing.
     uint64_t routedPreferred = 0; ///< landed on the consistent pod
     uint64_t spilled = 0;         ///< diverted by a full preferred pod
-    // Pod roll-up.
+    // Logical requests (cluster flights; a flight may span several
+    // pod attempts under failover).
+    uint64_t requestsCompleted = 0;
+    uint64_t requestsFailed = 0; ///< terminally failed flights
+    size_t liveFlights = 0;      ///< accepted, not yet settled
+    // Failover.
+    uint64_t failovers = 0;         ///< re-dispatches enqueued
+    uint64_t failoverSucceeded = 0; ///< flights completed after > 1 attempt
+    uint64_t failoverExhausted = 0; ///< retry budget ran out
+    // Health.
+    std::vector<BreakerStats> breakers; ///< one per pod
+    uint64_t breakerOpens = 0;  ///< sum of per-pod opens
+    uint64_t breakerCloses = 0; ///< sum of per-pod closes
+    // Chaos (zero when no schedule was configured).
+    ChaosStats chaos;
+    // Pod roll-up. completed/failed count POD-LEVEL attempts (a
+    // failed-over flight contributes a failure on the crashed pod and
+    // a completion on the pod that served it); requestsCompleted /
+    // requestsFailed above count logical flights.
     uint64_t completed = 0;
     uint64_t failed = 0;
     std::vector<ServiceMetrics> pods;
@@ -101,7 +197,7 @@ class ServiceCluster {
     ServiceCluster(std::vector<boot::DistributedBootstrapper*> pods,
                    TenantRegistry& registry, ClusterConfig cfg = {});
 
-    /** Drains and joins every pod. */
+    /** Drains and joins every pod and the failover thread. */
     ~ServiceCluster();
 
     ServiceCluster(const ServiceCluster&) = delete;
@@ -109,11 +205,14 @@ class ServiceCluster {
 
     /**
      * Submits one bootstrap for `tenantId` (registered, nonzero).
-     * Throws UserError when the tenant is over quota or every pod is
-     * at capacity; both rejections are counted (cluster and tenant
-     * level) and nothing is queued. opts.priority is added to the
-     * tenant's base priority; opts.fairRank and opts.tenantId are
-     * overwritten by the cluster.
+     * Throws UserError when the tenant is over quota, when the
+     * shedding policy rejects the request, or when no healthy pod has
+     * room; every rejection is counted (cluster and tenant level) and
+     * nothing is queued. opts.priority is added to the tenant's base
+     * priority; opts.fairRank and opts.tenantId are overwritten by
+     * the cluster. The returned ticket is CLUSTER-owned: it settles
+     * with the terminal outcome after failover, not with any single
+     * pod attempt, and its report carries servedPod / attempts.
      */
     std::shared_ptr<BootstrapTicket> submit(uint64_t tenantId,
                                             const ckks::Ciphertext& in,
@@ -133,10 +232,19 @@ class ServiceCluster {
     }
     TenantRegistry& registry() { return *registry_; }
 
-    /** Blocks until every accepted request on every pod completed. */
+    /** One pod's breaker accounting (under the cluster lock). */
+    BreakerStats breakerStats(size_t i) const;
+
+    /**
+     * Blocks until every accepted flight settled (including pending
+     * failover re-dispatches). Requires eventual pod availability: a
+     * cluster whose every pod stays crashed or wedged forever cannot
+     * finish a drain.
+     */
     void drain();
 
-    /** Stops intake on every pod, drains, joins workers. Idempotent. */
+    /** Stops intake on every pod, settles every accepted flight
+     *  (failing unplaceable retries), joins workers. Idempotent. */
     void shutdown();
 
     ClusterMetrics metrics() const;
@@ -145,9 +253,81 @@ class ServiceCluster {
     size_t itemsPerRequest() const { return itemsPerRequest_; }
 
   private:
-    /** Pods to try, in order: preferred first, then the rest by
-     *  ascending modeled outstanding load. */
-    std::vector<size_t> candidateOrder(uint64_t tenantId) const;
+    /** One logical client request, alive across failover attempts. */
+    struct Flight {
+        uint64_t seq = 0; ///< cluster submission index (1-based)
+        uint64_t tenantId = 0;
+        ckks::Ciphertext input; ///< retained for re-submission
+        /** Stamped options (priority/fairRank/tenantId), no hook. */
+        SubmitOptions baseOpts;
+        std::shared_ptr<BootstrapTicket> clientTicket;
+        std::function<void(const RequestReport&, bool)> userDone;
+        size_t keyBytes = 0;
+        /** Dispatch attempts so far (guarded by the cluster mutex). */
+        uint32_t attempts = 0;
+        /** Pod of the last failed attempt; a retry tries every OTHER
+         *  pod first ("the next healthy candidate"). Written by the
+         *  completion hook before the retry is enqueued, read by the
+         *  failover thread after it is dequeued (the retry queue's
+         *  mutex orders the two). */
+        int lastPod = -1;
+        double submitMs = 0;
+        double deadlineAbsMs = std::numeric_limits<double>::infinity();
+    };
+
+    /** A failed attempt awaiting re-dispatch. */
+    struct Retry {
+        std::shared_ptr<Flight> flight;
+        std::exception_ptr lastError;
+        double notBeforeMs = 0; ///< backoff gate (cluster clock)
+    };
+
+    /** Routing candidate admitted by the breaker layer. */
+    struct Candidate {
+        size_t pod = 0;
+        bool probe = false;
+        double loadMs = 0; ///< modeled-load snapshot at gate time
+    };
+
+    enum class Dispatch {
+        Placed,    ///< accepted by a pod
+        NoRoom,    ///< healthy candidates existed, all full
+        NoHealthy, ///< every breaker refused routing
+    };
+
+    /**
+     * One routing decision: with `gateHealth`, ticks every breaker's
+     * staleness detector, gates each pod, and returns the admitted
+     * candidates in try order — probes first, then the preferred pod,
+     * then the rest by ascending modeled load. Without it (failover
+     * re-dispatch), lists every pod without touching breaker state.
+     * The load snapshot is taken under the cluster lock; the sort
+     * runs outside it.
+     */
+    std::vector<Candidate> routeCandidates(uint64_t tenantId,
+                                           bool gateHealth);
+
+    /** Tries to place one attempt of `flight` on some candidate pod.
+     *  `isRetry` selects failover vs initial-routing accounting. */
+    Dispatch tryDispatch(const std::shared_ptr<Flight>& flight,
+                         bool isRetry);
+
+    /** Per-attempt completion hook body (may run under a pod lock). */
+    void onAttemptDone(const std::shared_ptr<Flight>& flight,
+                       const std::shared_ptr<BootstrapTicket>& attempt,
+                       size_t podIdx, bool probe,
+                       const RequestReport& rep, bool ok);
+
+    /** Terminal settle paths; settle exactly once per flight. */
+    void settleSuccess(const std::shared_ptr<Flight>& flight,
+                       const std::shared_ptr<BootstrapTicket>& attempt,
+                       size_t podIdx, const RequestReport& rep);
+    void settleFailure(const std::shared_ptr<Flight>& flight,
+                       std::exception_ptr err, int podIdx,
+                       const RequestReport& rep, bool exhausted);
+
+    void failoverLoop();
+    double nowMs() const;
 
     std::vector<boot::DistributedBootstrapper*> pods_;
     TenantRegistry* registry_;
@@ -157,11 +337,31 @@ class ServiceCluster {
     double requestCostMs_ = 0; ///< modeled per-request work
     std::vector<std::unique_ptr<BootstrapService>> services_;
     std::vector<std::unique_ptr<BootstrappingKeyCache>> caches_;
+    std::unique_ptr<ChaosEngine> chaos_;
+    std::chrono::steady_clock::time_point epoch_;
 
-    mutable std::mutex m_; ///< counters + load table only
+    mutable std::mutex m_; ///< counters + load table + breakers
+    std::condition_variable settleCv_; ///< liveFlights_ drops
     std::vector<double> podLoadMs_; ///< modeled outstanding work
+    std::vector<CircuitBreaker> breakers_;
+    uint64_t submitSeq_ = 0; ///< submission counter (drives chaos)
+    size_t liveFlights_ = 0;
     uint64_t submitted_ = 0, rejectedQuota_ = 0, rejectedCapacity_ = 0;
+    uint64_t rejectedUnhealthy_ = 0;
+    uint64_t rejectedShedDeadline_ = 0, rejectedShedBrownout_ = 0;
     uint64_t routedPreferred_ = 0, spilled_ = 0;
+    uint64_t requestsCompleted_ = 0, requestsFailed_ = 0;
+    uint64_t failovers_ = 0, failoverSucceeded_ = 0,
+             failoverExhausted_ = 0;
+
+    // Failover machinery (its own lock: the completion hooks enqueue
+    // while possibly holding a pod lock, and must never wait on the
+    // dispatch work the failover thread does).
+    std::mutex retryM_;
+    std::condition_variable retryCv_;
+    std::deque<Retry> retryQ_;
+    bool stopRetry_ = false;
+    std::thread failoverThread_;
 };
 
 } // namespace heap::serve

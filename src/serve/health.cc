@@ -1,0 +1,190 @@
+#include "serve/health.h"
+
+#include "common/check.h"
+
+namespace heap::serve {
+
+const char*
+breakerStateName(BreakerState s)
+{
+    switch (s) {
+    case BreakerState::Closed:
+        return "closed";
+    case BreakerState::Open:
+        return "open";
+    case BreakerState::HalfOpen:
+        return "half-open";
+    }
+    return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig cfg) : cfg_(cfg)
+{
+    HEAP_CHECK(cfg.window >= 1, "breaker window must be >= 1");
+    HEAP_CHECK(cfg.minSamples >= 1 && cfg.minSamples <= cfg.window,
+               "breaker minSamples must be in [1, window]");
+    HEAP_CHECK(cfg.failureThreshold > 0.0 && cfg.failureThreshold <= 1.0,
+               "breaker failureThreshold must be in (0, 1]");
+    ring_.assign(cfg.window, 0);
+}
+
+BreakerState
+CircuitBreaker::state() const
+{
+    return wedged_ ? BreakerState::Open : state_;
+}
+
+void
+CircuitBreaker::openLocked()
+{
+    state_ = BreakerState::Open;
+    probeInFlight_ = false;
+    skips_ = 0;
+    windowCount_ = 0;
+    windowFailures_ = 0;
+    ringNext_ = 0;
+    ++opens_;
+}
+
+CircuitBreaker::Gate
+CircuitBreaker::gate()
+{
+    if (wedged_) {
+        // Wedged pods are never probed: a paused/stuck pod would
+        // accept the probe and sit on it. Progress (any completion)
+        // clears the wedge instead.
+        ++skippedRouting_;
+        return Gate{false, false};
+    }
+    switch (state_) {
+    case BreakerState::Closed:
+        return Gate{true, false};
+    case BreakerState::Open:
+        if (++skips_ > cfg_.probeAfterSkips) {
+            state_ = BreakerState::HalfOpen;
+            probeInFlight_ = true;
+            skips_ = 0;
+            ++probes_;
+            return Gate{true, true};
+        }
+        ++skippedRouting_;
+        return Gate{false, false};
+    case BreakerState::HalfOpen:
+        if (!probeInFlight_) {
+            // The previous probe was cancelled before dispatch; admit
+            // a replacement.
+            probeInFlight_ = true;
+            ++probes_;
+            return Gate{true, true};
+        }
+        ++skippedRouting_;
+        return Gate{false, false};
+    }
+    return Gate{false, false};
+}
+
+void
+CircuitBreaker::cancelProbe()
+{
+    HEAP_ASSERT(state_ == BreakerState::HalfOpen && probeInFlight_,
+                "cancelProbe without an admitted probe");
+    probeInFlight_ = false;
+    state_ = BreakerState::Open;
+    // Refill the skip budget: the very next routing decision may
+    // probe again (the cancellation was the router's fault, not the
+    // pod's).
+    skips_ = cfg_.probeAfterSkips;
+}
+
+void
+CircuitBreaker::onOutcome(bool ok, bool probe)
+{
+    if (ok) {
+        ++successes_;
+    } else {
+        ++failures_;
+    }
+    // Any completion is progress: the pod is not wedged.
+    staleDecisions_ = 0;
+    if (wedged_) {
+        wedged_ = false;
+        ++closes_;
+    }
+    if (probe) {
+        probeInFlight_ = false;
+        if (state_ != BreakerState::HalfOpen) {
+            // The breaker already moved on (e.g. wedge cleared it);
+            // the probe outcome still counted in the totals above.
+            return;
+        }
+        if (ok) {
+            state_ = BreakerState::Closed;
+            windowCount_ = 0;
+            windowFailures_ = 0;
+            ringNext_ = 0;
+            skips_ = 0;
+            ++closes_;
+        } else {
+            openLocked();
+        }
+        return;
+    }
+    if (state_ != BreakerState::Closed) {
+        // Straggler outcome from before the breaker opened: totals
+        // only, the probe decides the state.
+        return;
+    }
+    // Rolling window update.
+    const uint8_t bit = ok ? 0 : 1;
+    if (windowCount_ == ring_.size()) {
+        windowFailures_ -= ring_[ringNext_];
+    } else {
+        ++windowCount_;
+    }
+    ring_[ringNext_] = bit;
+    windowFailures_ += bit;
+    ringNext_ = (ringNext_ + 1) % ring_.size();
+    if (windowCount_ >= cfg_.minSamples
+        && static_cast<double>(windowFailures_)
+               >= cfg_.failureThreshold
+                      * static_cast<double>(windowCount_)) {
+        openLocked();
+    }
+}
+
+void
+CircuitBreaker::noteDecision(bool backlog)
+{
+    if (cfg_.wedgeDecisions == 0) {
+        return;
+    }
+    if (!backlog) {
+        staleDecisions_ = 0;
+        return;
+    }
+    if (++staleDecisions_ >= cfg_.wedgeDecisions && !wedged_) {
+        wedged_ = true;
+        ++wedgeOpens_;
+        ++opens_;
+    }
+}
+
+BreakerStats
+CircuitBreaker::stats() const
+{
+    BreakerStats s;
+    s.state = state();
+    s.wedged = wedged_;
+    s.successes = successes_;
+    s.failures = failures_;
+    s.windowCount = windowCount_;
+    s.windowFailures = windowFailures_;
+    s.opens = opens_;
+    s.wedgeOpens = wedgeOpens_;
+    s.probes = probes_;
+    s.closes = closes_;
+    s.skippedRouting = skippedRouting_;
+    return s;
+}
+
+} // namespace heap::serve

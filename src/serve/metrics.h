@@ -148,6 +148,11 @@ struct ServiceMetrics {
     uint64_t retransmits = 0;
     uint64_t reclaimedBatches = 0;
 
+    // Fault injection (chaos harness): requests failed by an
+    // injected front-stage fault, and crash() transitions survived.
+    uint64_t injectedFailures = 0;
+    uint64_t crashes = 0;
+
     // Noise-budget health of the ciphertexts the service returned,
     // so clients see budget state without decrypting: the smallest
     // remaining budget (bits until predicted decryption failure) and

@@ -16,13 +16,27 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 
 #include "ckks/context.h"
+#include "common/check.h"
 
 namespace heap::serve {
 
 /** Final per-request accounting; forward-declared for the hook. */
 struct RequestReport;
+
+/**
+ * Retryable pod-level failure: an injected chaos fault or a pod
+ * crash, as opposed to a UserError (which would fail identically on
+ * every replica). The cluster's failover layer re-submits requests
+ * that fail with a PodError to the next healthy pod; one reaching a
+ * client means every candidate was exhausted.
+ */
+class PodError : public std::runtime_error {
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Per-request scheduling knobs. */
 struct SubmitOptions {
@@ -62,6 +76,13 @@ struct RequestReport {
     /** Completion sequence number (service-wide, 1-based): request k
      *  finished k-th. */
     uint64_t completionSeq = 0;
+    /** Pod index that produced the result, for cluster-served
+     *  requests; -1 when the request was served by a bare
+     *  BootstrapService (no cluster in front of it). */
+    int servedPod = -1;
+    /** Dispatch attempts the request took: 1 = no failover; > 1 means
+     *  a pod failed it retryably and the cluster re-submitted. */
+    uint32_t attempts = 1;
     /** Remaining noise budget (bits to predicted decryption failure)
      *  of the returned ciphertext; infinity when untracked. */
     double budgetBits = 0;
@@ -77,7 +98,10 @@ struct RequestReport {
 class BootstrapTicket {
   public:
     /** Blocks until the request completes; returns the refreshed
-     *  ciphertext or rethrows the failure. May be called once. */
+     *  ciphertext or rethrows the failure. The result may be
+     *  consumed once: a second wait() on a fulfilled ticket throws a
+     *  UserError instead of dereferencing the moved-out result (a
+     *  failed ticket rethrows its error on every call). */
     ckks::Ciphertext
     wait()
     {
@@ -86,6 +110,9 @@ class BootstrapTicket {
         if (error_) {
             std::rethrow_exception(error_);
         }
+        HEAP_CHECK(result_.has_value(),
+                   "BootstrapTicket::wait() called twice: the result "
+                   "was already consumed by an earlier wait()");
         ckks::Ciphertext out = std::move(*result_);
         result_.reset();
         return out;
@@ -107,8 +134,19 @@ class BootstrapTicket {
         return report_;
     }
 
+    /** The failure, once ready(); nullptr on success (or before
+     *  completion). Lets the cluster classify a failed attempt
+     *  without consuming it via wait(). */
+    std::exception_ptr
+    error() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return error_;
+    }
+
   private:
     friend class BootstrapService;
+    friend class ServiceCluster;
 
     void
     fulfil(ckks::Ciphertext&& out, const RequestReport& report)

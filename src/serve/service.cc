@@ -57,7 +57,8 @@ BootstrapService::nowMs() const
 }
 
 std::shared_ptr<BootstrapTicket>
-BootstrapService::submit(const ckks::Ciphertext& in, SubmitOptions opts)
+BootstrapService::submit(const ckks::Ciphertext& in, SubmitOptions opts,
+                         std::shared_ptr<BootstrapTicket> ticket)
 {
     HEAP_CHECK(in.level() == 1,
                "bootstrap expects a level-1 (single limb) ciphertext");
@@ -65,13 +66,19 @@ BootstrapService::submit(const ckks::Ciphertext& in, SubmitOptions opts)
         HEAP_CHECK(*opts.deadlineMs >= 0,
                    "negative deadline " << *opts.deadlineMs);
     }
-    auto ticket = std::make_shared<BootstrapTicket>();
+    if (ticket == nullptr) {
+        ticket = std::make_shared<BootstrapTicket>();
+    }
     {
         std::lock_guard<std::mutex> lock(m_);
         if (stopping_) {
             ++rejected_;
             HEAP_FATAL("bootstrap service is shutting down: "
                        "request rejected");
+        }
+        if (crashed_) {
+            ++rejected_;
+            HEAP_FATAL("bootstrap pod crashed: request rejected");
         }
         if (live_.size() >= cfg_.maxQueuedRequests) {
             // Backpressure: bounded queueing, reject-with-error.
@@ -112,6 +119,49 @@ BootstrapService::resume()
     {
         std::lock_guard<std::mutex> lock(m_);
         paused_ = false;
+    }
+    workCv_.notify_all();
+}
+
+void
+BootstrapService::crash()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        if (!crashed_) {
+            crashed_ = true;
+            ++crashes_;
+        }
+        // Flush synchronously: when crash() returns, every request
+        // without dispatched compute HAS failed and its hooks have
+        // run. Deferring to the worker would make the fault window
+        // scheduler-dependent — a crash/recover pair applied a few
+        // microseconds apart (chaos events on adjacent submission
+        // indices) could fail nothing at all. Requests with batches
+        // in flight still settle through the worker when the batch
+        // returns. Hooks fire under the pod lock here, same as the
+        // ordinary failure path (lock order: pod -> cluster).
+        crashFlushLocked();
+    }
+    workCv_.notify_all();
+}
+
+void
+BootstrapService::recover()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        crashed_ = false;
+    }
+    workCv_.notify_all();
+}
+
+void
+BootstrapService::injectFailures(uint64_t n)
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        injectRemaining_ += n;
     }
     workCv_.notify_all();
 }
@@ -164,8 +214,10 @@ BootstrapService::pickLaneLocked() const
 bool
 BootstrapService::canFrontLocked() const
 {
-    // Front entry is gated on the rotate pool's request bound.
-    return !paused_ && !intake_.empty()
+    // Front entry is gated on the rotate pool's request bound. A
+    // crashed pod does no front compute: the crash flush fails the
+    // intake directly.
+    return !paused_ && !crashed_ && !intake_.empty()
            && queue_.pendingRequests() < rotateCap_;
 }
 
@@ -175,8 +227,17 @@ BootstrapService::canDispatchLocked() const
     // Dispatch entry is gated on room in the finish queue plus a free
     // lane; the gate (not a blocking push) is what makes a full
     // finish queue unable to wedge the worker pool.
-    return !paused_ && !queue_.empty() && finishQ_.hasRoom()
+    return !paused_ && !crashed_ && !queue_.empty()
+           && finishQ_.hasRoom()
            && pickLaneLocked() != laneBusy_.size();
+}
+
+bool
+BootstrapService::crashWorkLocked() const
+{
+    return crashed_
+           && (!intake_.empty() || !queue_.empty()
+               || !finishQ_.empty());
 }
 
 bool
@@ -185,7 +246,8 @@ BootstrapService::haveRunnableWorkLocked() const
     // The finish stage is never gated (not even by pause(): in-flight
     // work always completes, exactly like the pre-pipeline inline
     // finish) — that is the pipeline's forward-progress guarantee.
-    return !finishQ_.empty() || canFrontLocked() || canDispatchLocked();
+    return crashWorkLocked() || !finishQ_.empty() || canFrontLocked()
+           || canDispatchLocked();
 }
 
 bool
@@ -197,6 +259,49 @@ BootstrapService::idleLocked() const
     // would let workers exit (or drain() hang) with work still queued.
     return intake_.empty() && queue_.empty() && finishQ_.empty()
            && inFlight_ == 0;
+}
+
+void
+BootstrapService::crashFlushLocked()
+{
+    auto podDown = [] {
+        return std::make_exception_ptr(
+            PodError("bootstrap pod crashed: request lost"));
+    };
+    double readyMs = 0;
+    // Intake: nothing computed yet, fail directly.
+    while (!intake_.empty()) {
+        const uint64_t id = intake_.pop(&readyMs);
+        failRequestLocked(live_.at(id).get(), podDown());
+    }
+    // Rotate pool: pull every undispatched item and settle it as
+    // failed. Requests whose whole tail was still queued reach zero
+    // remaining here; requests with batches in flight settle when
+    // runBatch returns (their batchError is set now, so they fail
+    // through the ordinary finish path). Never touching a request
+    // with outstanding dispatched items is what makes the flush safe
+    // against the workers computing those batches right now.
+    if (!queue_.empty()) {
+        PlannedBatch all = queue_.formBatch(queue_.pendingItems());
+        board_.dequeued(Stage::Rotate, all.items.size());
+        const double now = nowMs();
+        for (const WorkItem& w : all.items) {
+            Request* p = live_.at(w.requestId).get();
+            if (!p->batchError) {
+                p->batchError = podDown();
+            }
+            --p->remaining;
+            if (p->remaining == 0) {
+                finishQ_.push(p, now);
+            }
+        }
+    }
+    // Finish queue: every item settled; fail without repacking.
+    while (!finishQ_.empty()) {
+        Request* p = finishQ_.pop(&readyMs);
+        failRequestLocked(p,
+                          p->batchError ? p->batchError : podDown());
+    }
 }
 
 std::exception_ptr
@@ -419,6 +524,13 @@ BootstrapService::workerLoop()
             board_.backpressured(Stage::Rotate);
         }
 
+        // A crashed pod fails its backlog instead of computing it.
+        if (crashWorkLocked()) {
+            crashFlushLocked();
+            workCv_.notify_all();
+            continue;
+        }
+
         // Stage precedence front > dispatch > finish keeps the
         // pre-pipeline scheduling order on a single worker: every
         // admitted request is ranked by the ItemQueue before batches
@@ -429,6 +541,17 @@ BootstrapService::workerLoop()
             double readyMs = 0;
             const uint64_t id = intake_.pop(&readyMs);
             Request* p = live_.at(id).get();
+            if (injectRemaining_ > 0) {
+                // Chaos fault: this request fails before any compute,
+                // with the retryable error the cluster fails over on.
+                --injectRemaining_;
+                ++injectedFailures_;
+                failRequestLocked(
+                    p, std::make_exception_ptr(PodError(
+                           "injected pod fault: request failed")));
+                workCv_.notify_all();
+                continue;
+            }
             ++inFlight_;
             const double startMs = nowMs();
             board_.taskStarted(Stage::Front, startMs, readyMs);
@@ -439,6 +562,11 @@ BootstrapService::workerLoop()
             board_.taskFinished(Stage::Front, startMs, nowMs());
             if (err) {
                 failRequestLocked(p, std::move(err));
+            } else if (crashed_) {
+                // Crashed while the front phase ran: the work is lost.
+                failRequestLocked(
+                    p, std::make_exception_ptr(PodError(
+                           "bootstrap pod crashed: request lost")));
             } else {
                 p->rotateReadyMs = nowMs();
                 queue_.addRequest(p->id, p->opts.priority,
@@ -540,6 +668,8 @@ BootstrapService::metrics() const
         m.p99Ms = latency_.percentile(99);
         m.meanMs = latency_.mean();
     }
+    m.injectedFailures = injectedFailures_;
+    m.crashes = crashes_;
     m.wireBytesOut = wireOut_;
     m.wireBytesIn = wireIn_;
     m.retransmits = retransmits_;

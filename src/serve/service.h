@@ -110,20 +110,57 @@ class BootstrapService {
     /**
      * Submits one bootstrap request. Throws UserError immediately
      * when the input is not level-1, when the service is shutting
-     * down, or when admission control is at capacity (backpressure —
-     * the rejection is counted, nothing is queued). Otherwise returns
-     * the ticket the caller blocks on for the refreshed ciphertext.
+     * down or crashed, or when admission control is at capacity
+     * (backpressure — the rejection is counted, nothing is queued).
+     * Otherwise returns the ticket the caller blocks on for the
+     * refreshed ciphertext.
+     *
+     * `ticket`, when non-null, is fulfilled instead of a fresh one —
+     * the cluster layer creates the ticket first so its completion
+     * hook can capture it (per-attempt result extraction for
+     * failover) without racing the pod's workers.
      */
-    std::shared_ptr<BootstrapTicket> submit(const ckks::Ciphertext& in,
-                                            SubmitOptions opts = {});
+    std::shared_ptr<BootstrapTicket>
+    submit(const ckks::Ciphertext& in, SubmitOptions opts = {},
+           std::shared_ptr<BootstrapTicket> ticket = nullptr);
 
     /**
      * Stops forming batches and front phases (intake still accepts up
      * to capacity). For tests and maintenance windows; resume() picks
-     * the backlog up again.
+     * the backlog up again. Also the chaos harness's "wedge" fault:
+     * a paused pod holds accepted requests without failing them.
      */
     void pause();
     void resume();
+
+    /**
+     * Crash the pod (chaos harness): every live request — queued,
+     * rotating, or awaiting repack — fails with a retryable PodError,
+     * and submit() rejects until recover(). In-flight batch compute
+     * finishes (workers are never interrupted mid-kernel) but its
+     * requests still fail: crash semantics are "in-flight work is
+     * lost", and the cluster's failover recomputes it elsewhere,
+     * byte-identically, because every replica is identically keyed.
+     */
+    void crash();
+
+    /** Leave the crashed state: intake accepts again. */
+    void recover();
+
+    /** Whether the pod is currently crashed (cheap routing probe). */
+    bool
+    crashed() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return crashed_;
+    }
+
+    /**
+     * Chaos harness: fail the next `n` requests that reach the front
+     * stage with a retryable PodError (counted in metrics). Injected
+     * failures stack; they survive pause/resume.
+     */
+    void injectFailures(uint64_t n);
 
     /** Blocks until every accepted request has completed. Must not be
      *  called while paused. */
@@ -209,6 +246,11 @@ class BootstrapService {
     bool canDispatchLocked() const;
     bool haveRunnableWorkLocked() const;
     bool idleLocked() const;
+    /** Crashed with flushable queued work pending. */
+    bool crashWorkLocked() const;
+    /** Crash drain: fails everything queued (intake, rotate pool,
+     *  finish queue) with a PodError. Called with the lock held. */
+    void crashFlushLocked();
 
     boot::DistributedBootstrapper* dist_;
     ServiceConfig cfg_;
@@ -229,8 +271,10 @@ class BootstrapService {
     std::vector<uint8_t> laneBusy_;
     std::vector<double> laneLoadMs_; ///< cumulative modeled work
     bool paused_ = false;
+    bool crashed_ = false;
     bool stopping_ = false;
     bool joined_ = false;
+    uint64_t injectRemaining_ = 0; ///< front-stage failures pending
     size_t inFlight_ = 0; ///< front phases + batches being computed
     uint64_t nextId_ = 1;
     std::atomic<uint64_t> seq_{1}; ///< framing sequence numbers
@@ -243,6 +287,7 @@ class BootstrapService {
     uint64_t batches_ = 0, occupancySum_ = 0, itemsSum_ = 0;
     uint64_t wireOut_ = 0, wireIn_ = 0, retransmits_ = 0,
              reclaimed_ = 0;
+    uint64_t injectedFailures_ = 0, crashes_ = 0;
     LatencyReservoir latency_;
     double minReturnedBudgetBits_ =
         std::numeric_limits<double>::infinity();

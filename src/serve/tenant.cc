@@ -145,6 +145,13 @@ TenantRegistry::onComplete(uint64_t id, size_t items, bool ok)
     }
 }
 
+void
+TenantRegistry::onShed(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    ++at(id).rejectedShed;
+}
+
 TenantStats
 TenantRegistry::statsLocked(const State& s) const
 {
@@ -157,6 +164,7 @@ TenantRegistry::statsLocked(const State& s) const
     out.failed = s.failed;
     out.rejectedQuota = s.rejectedQuota;
     out.rejectedCapacity = s.rejectedCapacity;
+    out.rejectedShed = s.rejectedShed;
     out.inFlight = s.inFlight;
     out.servedItems = s.servedItems;
     out.virtualService = s.virtualService;

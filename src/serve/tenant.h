@@ -67,6 +67,7 @@ struct TenantStats {
     uint64_t failed = 0;
     uint64_t rejectedQuota = 0;    ///< refused by maxInFlight
     uint64_t rejectedCapacity = 0; ///< refused by pod admission
+    uint64_t rejectedShed = 0;     ///< refused by load shedding
     size_t inFlight = 0;
     uint64_t servedItems = 0; ///< blind-rotate items completed
     double virtualService = 0; ///< the WFQ counter (servedItems-equiv / weight)
@@ -118,6 +119,11 @@ class TenantRegistry {
     /** Completion bookkeeping for an admitted request. */
     void onComplete(uint64_t id, size_t items, bool ok);
 
+    /** Counts a load-shed rejection (deadline slack or brownout).
+     *  Sheds happen BEFORE tryAdmit, so there is nothing to refund —
+     *  this only records the outcome against the tenant. */
+    void onShed(uint64_t id);
+
     TenantStats stats(uint64_t id) const;
     std::vector<TenantStats> allStats() const;
 
@@ -136,6 +142,7 @@ class TenantRegistry {
         TenantSpec spec;
         uint64_t submitted = 0, completed = 0, failed = 0;
         uint64_t rejectedQuota = 0, rejectedCapacity = 0;
+        uint64_t rejectedShed = 0;
         size_t inFlight = 0;
         uint64_t servedItems = 0;
         double virtualService = 0;

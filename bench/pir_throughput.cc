@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Encrypted-lookup (PIR) serving throughput on the cluster: the
+ * second tenant class under load, answering two questions —
+ *
+ *  - "lookup": a closed-loop pure-PIR phase through a 2-pod
+ *    ServiceCluster. Every answer is decode-verified against the
+ *    plaintext database (exactness under load, not just in unit
+ *    tests); reports answers/s, latency percentiles, and the
+ *    noise-budget floor of the returned answers.
+ *
+ *  - "mixed": bootstrap and lookup tenants drive the SAME cluster
+ *    concurrently (two tenants per class, weights 1:2 within each
+ *    class). Reports per-class completion counts and latency
+ *    percentiles, and within-class weighted fairness ratios from the
+ *    shared registry's served-items accounting.
+ *
+ * The hw::PirModel prices the same shape on the paper's datapath
+ * (fold ms, query/response bytes, pod QPS) so the functional numbers
+ * sit next to the modeled accelerator ones.
+ *
+ * Results go to BENCH_pir.json (validated by CI). `--smoke` shrinks
+ * the database and request volume for CI.
+ */
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "boot/distributed.h"
+#include "ckks/evaluator.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "hw/pir_model.h"
+#include "math/primes.h"
+#include "serve/cluster.h"
+
+namespace {
+
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v)) {
+        return "null";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+latencyJson(const heap::bench::LatencySummary& s)
+{
+    return "{\"p50\": " + jsonNum(s.p50Ms) + ", \"p95\": "
+           + jsonNum(s.p95Ms) + ", \"p99\": " + jsonNum(s.p99Ms)
+           + ", \"mean\": " + jsonNum(s.meanMs) + "}";
+}
+
+struct Sizes {
+    std::vector<size_t> dims;
+    size_t entries;
+    size_t lookupRequests; ///< pure-PIR phase completions
+    size_t mixedBoots;     ///< mixed phase bootstrap completions
+    size_t mixedLookups;   ///< mixed phase lookup completions
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace heap;
+
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        }
+    }
+    const Sizes sz = smoke ? Sizes{{8, 8}, 64, 48, 4, 32}
+                           : Sizes{{16, 16}, 256, 384, 12, 160};
+
+    bench::banner(
+        "Encrypted-lookup (PIR) serving throughput "
+        "(functional library)",
+        smoke ? "Smoke sizing (--smoke): reduced database/requests."
+              : "Closed-loop PIR through a 2-pod cluster, then a "
+                "mixed bootstrap+lookup tenant phase.");
+
+    // ---- The shared encrypted-lookup database ---------------------
+    const size_t ringN = 64;
+    pir::PirParams pp;
+    pp.basis = std::make_shared<math::RnsBasis>(
+        ringN, math::generateNttPrimes(30, ringN, 2));
+    pp.limbs = 2;
+    pp.dims = sz.dims;
+    pp.entries = sz.entries;
+    pp.payloadCoeffs = 8;
+    pp.scaleBits = 35;
+    pp.payloadBits = 16;
+    pp.gadget = rlwe::GadgetParams{.baseBits = 5, .digitsPerLimb = 6};
+    pp.validate();
+
+    Rng rng(42);
+    const auto sk = rlwe::SecretKey::sampleTernary(pp.basis, rng);
+    const auto db = pir::randomDatabase(pp, 42);
+    const pir::PirServer server(pp, db);
+    const pir::PirClient client(pp, sk);
+
+    // Precomputed query pool (client-side packing is not the serving
+    // cost under measurement).
+    std::vector<size_t> indices;
+    std::vector<std::shared_ptr<const pir::PirQuery>> queries;
+    for (size_t i = 0; i < 32; ++i) {
+        const size_t idx = (i * 37 + 11) % pp.entries;
+        indices.push_back(idx);
+        queries.push_back(std::make_shared<const pir::PirQuery>(
+            client.makeQuery(idx, rng)));
+    }
+
+    // ---- Bootstrap pods (identically keyed replicas) --------------
+    ckks::CkksParams cp;
+    cp.n = 64;
+    cp.limbBits = 30;
+    cp.levels = 2;
+    cp.auxLimbs = 1;
+    cp.scale = std::pow(2.0, 30);
+    cp.gadget = rlwe::GadgetParams{.baseBits = 9, .digitsPerLimb = 4};
+    cp.secretHamming = 16;
+    ckks::Context ctx(cp, 42);
+    ckks::Evaluator ev(ctx);
+    const auto brGadget =
+        rlwe::GadgetParams{.baseBits = 6, .digitsPerLimb = 6};
+    boot::DistributedBootstrapper dist0(ctx, 1, brGadget);
+    boot::DistributedBootstrapper dist1(dist0, 1);
+    std::vector<boot::DistributedBootstrapper*> pods{&dist0, &dist1};
+
+    std::vector<ckks::Ciphertext> bootPool;
+    for (size_t r = 0; r < 4; ++r) {
+        std::vector<ckks::Complex> z;
+        for (size_t i = 0; i < 16; ++i) {
+            z.emplace_back(
+                0.6 * std::cos(0.3 * static_cast<double>(i + r)),
+                0.3 * std::sin(0.2 * static_cast<double>(i)
+                               - 0.1 * static_cast<double>(r)));
+        }
+        auto ct = ctx.encrypt(std::span<const ckks::Complex>(z));
+        ev.dropToLevel(ct, 1);
+        bootPool.push_back(std::move(ct));
+    }
+
+    const hw::FpgaConfig hwCfg;
+    const hw::HeapParams hp;
+    const hw::PirModel pirModel(hwCfg, hp);
+    hw::PirShape shape;
+    shape.ringN = 8192;
+    shape.limbs = pp.limbs;
+    shape.digitsPerLimb = pp.gadget.digitsPerLimb;
+    shape.dims = pp.dims;
+    const hw::PirBreakdown modeled = pirModel.answer(shape);
+    const double modeledQps = pirModel.podThroughputQps(shape);
+
+    // ---- Phase "lookup": closed-loop pure PIR ---------------------
+    double answersPerSec = 0;
+    double budgetFloorBits =
+        std::numeric_limits<double>::infinity();
+    uint64_t exactLookups = 0, lookupErrors = 0;
+    bench::LatencySummary lookupLat;
+    {
+        serve::TenantRegistry reg;
+        reg.registerTenant(
+            serve::TenantSpec{.id = 1, .name = "lookup"});
+        serve::ClusterConfig ccfg;
+        ccfg.pirServer = &server;
+        ccfg.pirPod.workers = 2;
+        serve::ServiceCluster cluster(pods, reg, ccfg);
+
+        serve::LatencyReservoir lat;
+        std::deque<std::pair<size_t,
+                             std::shared_ptr<serve::PirTicket>>>
+            live;
+        const auto settle = [&](size_t poolIdx,
+                                std::shared_ptr<serve::PirTicket> t) {
+            const rlwe::Ciphertext ans = t->wait();
+            lat.record(t->report().totalMs);
+            budgetFloorBits =
+                std::min(budgetFloorBits, t->report().budgetBits);
+            if (client.decode(ans) == db[indices[poolIdx]]) {
+                ++exactLookups;
+            } else {
+                ++lookupErrors;
+            }
+        };
+        Timer window;
+        for (size_t i = 0; i < sz.lookupRequests; ++i) {
+            const size_t poolIdx = i % queries.size();
+            live.emplace_back(poolIdx,
+                              cluster.submitPir(1, queries[poolIdx]));
+            while (live.size() >= 16) {
+                settle(live.front().first,
+                       std::move(live.front().second));
+                live.pop_front();
+            }
+        }
+        while (!live.empty()) {
+            settle(live.front().first, std::move(live.front().second));
+            live.pop_front();
+        }
+        cluster.drain();
+        const double ms = window.millis();
+        answersPerSec =
+            ms > 0
+                ? 1e3 * static_cast<double>(sz.lookupRequests) / ms
+                : 0.0;
+        lookupLat = bench::summarizeLatency(lat);
+        cluster.shutdown();
+    }
+
+    // ---- Phase "mixed": both tenant classes, one cluster ----------
+    // Two tenants per class, weights 1:2 within each class; every
+    // driver keeps a saturating closed loop until its class hits its
+    // completion target.
+    uint64_t mixedBootsDone = 0, mixedLookupsDone = 0;
+    bench::LatencySummary bootLat, pirLat;
+    double fairnessBoot = std::numeric_limits<double>::quiet_NaN();
+    double fairnessPir = std::numeric_limits<double>::quiet_NaN();
+    double fairnessGlobal = std::numeric_limits<double>::quiet_NaN();
+    {
+        serve::TenantRegistry reg;
+        const std::vector<uint64_t> bootIds{11, 12};
+        const std::vector<uint64_t> pirIds{21, 22};
+        const std::vector<double> weights{1.0, 2.0};
+        for (size_t i = 0; i < 2; ++i) {
+            reg.registerTenant(serve::TenantSpec{
+                .id = bootIds[i],
+                .name = "boot-" + std::to_string(i),
+                .weight = weights[i]});
+            reg.registerTenant(serve::TenantSpec{
+                .id = pirIds[i],
+                .name = "lookup-" + std::to_string(i),
+                .weight = weights[i]});
+        }
+        serve::ClusterConfig ccfg;
+        ccfg.pod.workers = 2;
+        ccfg.pirServer = &server;
+        ccfg.pirPod.workers = 2;
+        ccfg.pirModel = &pirModel;
+        serve::ServiceCluster cluster(pods, reg, ccfg);
+
+        serve::LatencyReservoir bootRes, pirRes;
+        std::mutex latM;
+        std::atomic<uint64_t> bootsDone{0}, lookupsDone{0};
+        std::vector<std::thread> drivers;
+        for (size_t i = 0; i < 2; ++i) {
+            drivers.emplace_back([&, i] {
+                const uint64_t tid = bootIds[i];
+                std::deque<std::shared_ptr<serve::BootstrapTicket>>
+                    live;
+                size_t slot = i;
+                while (bootsDone.load() < sz.mixedBoots) {
+                    if (live.size() < 2) {
+                        try {
+                            live.push_back(cluster.submit(
+                                tid,
+                                bootPool[slot++ % bootPool.size()]));
+                        } catch (const UserError&) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(2));
+                        }
+                        continue;
+                    }
+                    auto t = std::move(live.front());
+                    live.pop_front();
+                    (void)t->wait();
+                    bootsDone.fetch_add(1);
+                    std::lock_guard<std::mutex> lock(latM);
+                    bootRes.record(t->report().totalMs);
+                }
+                for (auto& t : live) {
+                    (void)t->wait();
+                }
+            });
+            drivers.emplace_back([&, i] {
+                const uint64_t tid = pirIds[i];
+                std::deque<std::shared_ptr<serve::PirTicket>> live;
+                size_t slot = i;
+                while (lookupsDone.load() < sz.mixedLookups) {
+                    if (live.size() < 4) {
+                        try {
+                            live.push_back(cluster.submitPir(
+                                tid,
+                                queries[slot++ % queries.size()]));
+                        } catch (const UserError&) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(1));
+                        }
+                        continue;
+                    }
+                    auto t = std::move(live.front());
+                    live.pop_front();
+                    (void)t->wait();
+                    lookupsDone.fetch_add(1);
+                    std::lock_guard<std::mutex> lock(latM);
+                    pirRes.record(t->report().totalMs);
+                }
+                for (auto& t : live) {
+                    (void)t->wait();
+                }
+            });
+        }
+        for (auto& t : drivers) {
+            t.join();
+        }
+        cluster.drain();
+        mixedBootsDone = bootsDone.load();
+        mixedLookupsDone = lookupsDone.load();
+        bootLat = bench::summarizeLatency(bootRes);
+        pirLat = bench::summarizeLatency(pirRes);
+
+        // Within-class weighted fairness: served items per weight,
+        // max over min, per class (items are class-specific units, so
+        // cross-class shares are not comparable).
+        const auto shareOf = [&](uint64_t id, double w) {
+            return static_cast<double>(reg.stats(id).servedItems) / w;
+        };
+        const auto classRatio = [&](const std::vector<uint64_t>& ids) {
+            double lo = std::numeric_limits<double>::infinity();
+            double hi = 0;
+            for (size_t i = 0; i < ids.size(); ++i) {
+                const double s = shareOf(ids[i], weights[i]);
+                lo = std::min(lo, s);
+                hi = std::max(hi, s);
+            }
+            return lo > 0
+                       ? hi / lo
+                       : std::numeric_limits<double>::quiet_NaN();
+        };
+        fairnessBoot = classRatio(bootIds);
+        fairnessPir = classRatio(pirIds);
+        fairnessGlobal = cluster.metrics().fairnessRatio;
+        cluster.shutdown();
+    }
+
+    Table t({"metric", "value"});
+    t.addRow({"entries", Table::num(
+                  static_cast<double>(pp.entries), 0)});
+    std::string dimsStr;
+    for (size_t i = 0; i < pp.dims.size(); ++i) {
+        dimsStr += (i ? "x" : "")
+                   + Table::num(static_cast<double>(pp.dims[i]), 0);
+    }
+    t.addRow({"dimensions", dimsStr});
+    t.addRow({"query RGSW bits", Table::num(
+                  static_cast<double>(pp.queryBitCount()), 0)});
+    t.addRow({"answers/s (pure lookup)", Table::num(answersPerSec, 1)});
+    t.addRow({"lookup latency", bench::latencyCell(lookupLat)});
+    t.addRow({"exact / errors",
+              Table::num(static_cast<double>(exactLookups), 0) + " / "
+                  + Table::num(static_cast<double>(lookupErrors), 0)});
+    t.addRow({"noise-budget floor (bits)",
+              Table::num(budgetFloorBits, 2)});
+    t.addRow({"mixed bootstrap latency", bench::latencyCell(bootLat)});
+    t.addRow({"mixed lookup latency", bench::latencyCell(pirLat)});
+    t.addRow({"fairness (boot / pir)",
+              Table::num(fairnessBoot, 2) + " / "
+                  + Table::num(fairnessPir, 2)});
+    t.addRow({"modeled fold (ms, n=8192)",
+              Table::num(modeled.foldMs, 3)});
+    t.addRow({"modeled pod QPS", Table::num(modeledQps, 1)});
+    t.print();
+
+    std::string dimsJson = "[";
+    for (size_t i = 0; i < pp.dims.size(); ++i) {
+        dimsJson += std::to_string(pp.dims[i]);
+        if (i + 1 < pp.dims.size()) {
+            dimsJson += ", ";
+        }
+    }
+    dimsJson += "]";
+
+    FILE* f = std::fopen("BENCH_pir.json", "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write BENCH_pir.json\n");
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"pir\": {\n"
+        "    \"smoke\": %s,\n"
+        "    \"entries\": %zu,\n"
+        "    \"dimensions\": %s,\n"
+        "    \"first_dim_groups\": %zu,\n"
+        "    \"query_rgsw_bits\": %zu,\n"
+        "    \"payload_coeffs\": %zu,\n"
+        "    \"noise_budget_floor_bits\": %s,\n"
+        "    \"lookup\": {\"requests\": %zu, \"answers_per_s\": %s, "
+        "\"exact\": %llu, \"errors\": %llu, \"latency_ms\": %s},\n"
+        "    \"mixed\": {\"bootstrap_completed\": %llu, "
+        "\"pir_completed\": %llu, "
+        "\"bootstrap_latency_ms\": %s, \"pir_latency_ms\": %s, "
+        "\"fairness_ratio_bootstrap\": %s, "
+        "\"fairness_ratio_pir\": %s, "
+        "\"fairness_ratio\": %s},\n"
+        "    \"model\": {\"shape_ring_n\": %zu, \"fold_ms\": %s, "
+        "\"query_bytes\": %s, \"response_bytes\": %s, "
+        "\"pod_qps\": %s, \"pods_needed_at_4x\": %zu}\n"
+        "  }\n"
+        "}\n",
+        smoke ? "true" : "false", pp.entries, dimsJson.c_str(),
+        pp.firstDimGroups(), pp.queryBitCount(), pp.payloadCoeffs,
+        jsonNum(budgetFloorBits).c_str(), sz.lookupRequests,
+        jsonNum(answersPerSec).c_str(),
+        static_cast<unsigned long long>(exactLookups),
+        static_cast<unsigned long long>(lookupErrors),
+        latencyJson(lookupLat).c_str(),
+        static_cast<unsigned long long>(mixedBootsDone),
+        static_cast<unsigned long long>(mixedLookupsDone),
+        latencyJson(bootLat).c_str(), latencyJson(pirLat).c_str(),
+        jsonNum(fairnessBoot).c_str(), jsonNum(fairnessPir).c_str(),
+        jsonNum(fairnessGlobal).c_str(), shape.ringN,
+        jsonNum(modeled.foldMs).c_str(),
+        jsonNum(modeled.queryBytes).c_str(),
+        jsonNum(modeled.responseBytes).c_str(),
+        jsonNum(modeledQps).c_str(),
+        pirModel.podsNeeded(4.0 * modeledQps, shape));
+    std::fclose(f);
+    std::printf("\nwrote BENCH_pir.json\n");
+    return 0;
+}

@@ -1,0 +1,129 @@
+#include "hw/pir_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace heap::hw {
+
+PirModel::PirModel(const FpgaConfig& cfg, const HeapParams& p)
+    : cfg_(cfg), params_(p), ops_(cfg, p)
+{
+}
+
+double
+PirModel::rlweBytes(const PirShape& s) const
+{
+    return 2.0 * static_cast<double>(s.limbs)
+           * static_cast<double>(params_.limbBits)
+           * static_cast<double>(s.ringN) / 8.0;
+}
+
+double
+PirModel::externalProductMs(const PirShape& s) const
+{
+    HEAP_CHECK(s.ringN >= 2 && s.limbs >= 1 && s.digitsPerLimb >= 1,
+               "bad PIR shape");
+    const double rows = 2.0 * static_cast<double>(s.limbs)
+                        * static_cast<double>(s.digitsPerLimb);
+    // Compute: one forward NTT per digit polynomial per active limb,
+    // one MAC pass per row against both row polynomials, and the two
+    // inverse-free accumulations stay in Eval — the rotate/decompose/
+    // NTT/MAC stages overlap like BlindRotate's (Section IV-E).
+    const double cycles =
+        rows
+        * (ops_.nttCyclesPerLimb(s.ringN)
+           + 2.0 * ops_.pointwiseCyclesPerLimb(s.ringN))
+        * static_cast<double>(s.limbs) / kPipelineOverlap;
+    const double computeMs = ops_.cyclesToMs(cycles);
+    // Memory: the RGSW row material streams from HBM once per
+    // product (2 halves x rows x one RLWE row each).
+    const double memMs =
+        ops_.memSeconds(2.0 * rows * rlweBytes(s)) * 1e3;
+    return std::max(computeMs, memMs);
+}
+
+double
+PirModel::cmuxMs(const PirShape& s) const
+{
+    const double addCycles =
+        2.0 * static_cast<double>(s.limbs)
+        * ops_.pointwiseCyclesPerLimb(s.ringN);
+    return externalProductMs(s) + ops_.cyclesToMs(addCycles);
+}
+
+double
+PirModel::dimensionFoldMs(const PirShape& s, size_t k) const
+{
+    HEAP_CHECK(k < s.dims.size(), "PIR dimension index out of range");
+    size_t tableIn = s.totalCells();
+    for (size_t i = 0; i < k; ++i) {
+        tableIn /= s.dims[i];
+    }
+    const size_t tableOut = tableIn / s.dims[k];
+    return static_cast<double>(tableIn - tableOut) * cmuxMs(s);
+}
+
+double
+PirModel::answerMs(const PirShape& s) const
+{
+    HEAP_CHECK(!s.dims.empty(), "PIR shape needs dimensions");
+    double total = 0;
+    for (size_t k = 0; k < s.dims.size(); ++k) {
+        total += dimensionFoldMs(s, k);
+    }
+    return total;
+}
+
+double
+PirModel::queryBytes(const PirShape& s) const
+{
+    const double rows = 2.0 * static_cast<double>(s.limbs)
+                        * static_cast<double>(s.digitsPerLimb);
+    // Each RGSW bit = 2 gadget halves of `rows / 2` RLWE rows each,
+    // i.e. `rows` RLWE ciphertexts total.
+    return static_cast<double>(s.queryBits()) * rows * rlweBytes(s);
+}
+
+double
+PirModel::responseBytes(const PirShape& s) const
+{
+    return rlweBytes(s);
+}
+
+PirBreakdown
+PirModel::answer(const PirShape& s) const
+{
+    PirBreakdown b;
+    b.queryBytes = queryBytes(s);
+    b.responseBytes = responseBytes(s);
+    b.queryCommMs = b.queryBytes / cfg_.cmacBps * 1e3;
+    b.foldMs = answerMs(s);
+    b.responseCommMs = b.responseBytes / cfg_.cmacBps * 1e3;
+    b.totalMs = b.queryCommMs + b.foldMs + b.responseCommMs;
+    return b;
+}
+
+double
+PirModel::podThroughputQps(const PirShape& s) const
+{
+    // Steady state: queries are uploaded once and reusable per the
+    // protocol, so the sustained rate pays the fold plus the answer
+    // download.
+    const double perAnswerMs =
+        answerMs(s) + responseBytes(s) / cfg_.cmacBps * 1e3;
+    return 1e3 / perAnswerMs;
+}
+
+size_t
+PirModel::podsNeeded(double offeredQps, const PirShape& s) const
+{
+    HEAP_CHECK(offeredQps >= 0, "negative offered load");
+    const double perPod = podThroughputQps(s);
+    const size_t pods =
+        static_cast<size_t>(std::ceil(offeredQps / perPod));
+    return std::max<size_t>(1, pods);
+}
+
+} // namespace heap::hw

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "serve/pir_service.h"
 #include "serve/service.h"
 
 namespace heap::serve {
@@ -66,7 +67,8 @@ ChaosEngine::ChaosEngine(ChaosSpec spec)
 void
 ChaosEngine::advance(
     uint64_t submitIdx,
-    const std::vector<std::unique_ptr<BootstrapService>>& pods)
+    const std::vector<std::unique_ptr<BootstrapService>>& pods,
+    const std::vector<std::unique_ptr<PirService>>& pirPods)
 {
     std::lock_guard<std::mutex> lock(m_);
     while (cursor_ < events_.size()
@@ -76,25 +78,43 @@ ChaosEngine::advance(
                    "chaos event targets pod " << e.pod << " of "
                                               << pods.size());
         BootstrapService& svc = *pods[e.pod];
+        PirService* pir = e.pod < pirPods.size()
+                              ? pirPods[e.pod].get()
+                              : nullptr;
         switch (e.kind) {
         case ChaosEvent::Kind::FailRequests:
             svc.injectFailures(e.count);
+            if (pir != nullptr) {
+                pir->injectFailures(e.count);
+            }
             st_.injectedFailures += e.count;
             break;
         case ChaosEvent::Kind::Wedge:
             svc.pause();
+            if (pir != nullptr) {
+                pir->pause();
+            }
             ++st_.wedges;
             break;
         case ChaosEvent::Kind::Unwedge:
             svc.resume();
+            if (pir != nullptr) {
+                pir->resume();
+            }
             ++st_.unwedges;
             break;
         case ChaosEvent::Kind::Crash:
             svc.crash();
+            if (pir != nullptr) {
+                pir->crash();
+            }
             ++st_.crashes;
             break;
         case ChaosEvent::Kind::Recover:
             svc.recover();
+            if (pir != nullptr) {
+                pir->recover();
+            }
             ++st_.recoveries;
             break;
         }

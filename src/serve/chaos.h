@@ -37,6 +37,7 @@
 namespace heap::serve {
 
 class BootstrapService;
+class PirService;
 
 /** One scheduled pod-level fault. */
 struct ChaosEvent {
@@ -94,10 +95,20 @@ class ChaosEngine {
      * Applies every not-yet-applied event with atSubmit <= submitIdx
      * to `pods` (validating pod indices). Called by the cluster just
      * before dispatching its submitIdx-th submission.
+     *
+     * Faults are POD-level: when the pod also serves the encrypted
+     * lookup tenant class (`pirPods[e.pod]` non-null), the same
+     * event applies to its colocated PirService — a crash takes both
+     * services down, a wedge pauses both, a FailRequests burst fails
+     * the next `count` requests of each. `pirPods` may be empty
+     * (bootstrap-only clusters) or hold nulls for pods without a PIR
+     * tenant.
      */
     void advance(uint64_t submitIdx,
                  const std::vector<std::unique_ptr<BootstrapService>>&
-                     pods);
+                     pods,
+                 const std::vector<std::unique_ptr<PirService>>&
+                     pirPods = {});
 
     /** True once every event has been applied. */
     bool done() const;

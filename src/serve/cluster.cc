@@ -64,12 +64,37 @@ ServiceCluster::ServiceCluster(
             ? cfg_.costModel->blindRotateBatchMs(itemsPerRequest_)
                   + cfg_.costModel->batchCommMs(itemsPerRequest_)
             : static_cast<double>(itemsPerRequest_) * 0.01;
+    if (cfg_.pirServer != nullptr) {
+        const pir::PirParams& pp = cfg_.pirServer->params();
+        pirItemsPerRequest_ = pp.firstDimGroups();
+        if (cfg_.pirModel != nullptr) {
+            hw::PirShape shape;
+            shape.ringN = pp.basis->n();
+            shape.limbs = pp.limbs;
+            shape.digitsPerLimb = pp.gadget.digitsPerLimb;
+            shape.dims = pp.dims;
+            const hw::PirBreakdown b = cfg_.pirModel->answer(shape);
+            pirRequestCostMs_ = b.foldMs + b.responseCommMs;
+        } else {
+            // Any positive constant works: lookup load is then
+            // proportional to outstanding first-dim groups.
+            pirRequestCostMs_ =
+                static_cast<double>(pirItemsPerRequest_) * 0.01;
+        }
+    }
     services_.reserve(pods_.size());
     caches_.reserve(pods_.size());
     breakers_.reserve(pods_.size());
+    if (cfg_.pirServer != nullptr) {
+        pirServices_.reserve(pods_.size());
+    }
     for (auto* p : pods_) {
         services_.push_back(
             std::make_unique<BootstrapService>(*p, cfg_.pod));
+        if (cfg_.pirServer != nullptr) {
+            pirServices_.push_back(std::make_unique<PirService>(
+                *cfg_.pirServer, cfg_.pirPod));
+        }
         caches_.push_back(std::make_unique<BootstrappingKeyCache>(
             cfg_.keyCacheBytes));
         breakers_.emplace_back(cfg_.breaker);
@@ -179,12 +204,21 @@ ServiceCluster::tryDispatch(const std::shared_ptr<Flight>& flight,
             });
     }
     const size_t preferred = preferredPod(flight->tenantId);
-    const double costMs = requestCostMs_;
+    const bool isPir = flight->kind == FlightKind::Pir;
+    const double costMs = flight->costMs;
     for (size_t c = 0; c < cands.size(); ++c) {
         const size_t podIdx = cands[c].pod;
         const bool probe = cands[c].probe;
         BootstrapService& svc = *services_[podIdx];
-        if (svc.crashed()) {
+        PirService* pirSvc =
+            isPir ? pirServices_[podIdx].get() : nullptr;
+        const bool podCrashed =
+            isPir ? pirSvc->crashed() : svc.crashed();
+        const bool podFull =
+            isPir ? pirSvc->liveRequests()
+                        >= cfg_.pirPod.maxQueuedRequests
+                  : svc.liveRequests() >= cfg_.pod.maxQueuedRequests;
+        if (podCrashed) {
             if (!isRetry) {
                 // Observing a crash at a routing decision IS a health
                 // outcome: it opens the breaker without waiting for
@@ -197,7 +231,7 @@ ServiceCluster::tryDispatch(const std::shared_ptr<Flight>& flight,
             }
             continue;
         }
-        if (svc.liveRequests() >= cfg_.pod.maxQueuedRequests) {
+        if (podFull) {
             // Full is not unhealthy: release the probe (if any) so
             // the next routing decision re-probes, and move on.
             if (probe) {
@@ -210,7 +244,8 @@ ServiceCluster::tryDispatch(const std::shared_ptr<Flight>& flight,
         // hook can capture it: the pod fulfils it before invoking the
         // hook, which is what lets onAttemptDone() extract the result
         // of a settled attempt without racing the pod's workers.
-        auto attempt = std::make_shared<BootstrapTicket>();
+        std::shared_ptr<BootstrapTicket> attempt;
+        std::shared_ptr<PirTicket> pirAttempt;
         SubmitOptions opts = flight->baseOpts;
         if (std::isfinite(flight->deadlineAbsMs)) {
             // Re-base the deadline on the remaining cluster budget so
@@ -218,9 +253,15 @@ ServiceCluster::tryDispatch(const std::shared_ptr<Flight>& flight,
             opts.deadlineMs =
                 std::max(0.0, flight->deadlineAbsMs - nowMs());
         }
-        opts.onDone = [this, flight, attempt, podIdx,
+        if (isPir) {
+            pirAttempt = std::make_shared<PirTicket>();
+        } else {
+            attempt = std::make_shared<BootstrapTicket>();
+        }
+        opts.onDone = [this, flight, attempt, pirAttempt, podIdx,
                        probe](const RequestReport& rep, bool ok) {
-            onAttemptDone(flight, attempt, podIdx, probe, rep, ok);
+            onAttemptDone(flight, attempt, pirAttempt, podIdx, probe,
+                          rep, ok);
         };
         {
             // Charge the modeled load and count the attempt before
@@ -231,7 +272,12 @@ ServiceCluster::tryDispatch(const std::shared_ptr<Flight>& flight,
             ++flight->attempts;
         }
         try {
-            svc.submit(flight->input, std::move(opts), attempt);
+            if (isPir) {
+                pirSvc->submit(flight->query, std::move(opts),
+                               pirAttempt);
+            } else {
+                svc.submit(flight->input, std::move(opts), attempt);
+            }
         } catch (const UserError&) {
             // Lost the admission race (the pod filled or crashed
             // between the probe above and submit): refund and try the
@@ -275,7 +321,8 @@ ServiceCluster::tryDispatch(const std::shared_ptr<Flight>& flight,
 void
 ServiceCluster::onAttemptDone(
     const std::shared_ptr<Flight>& flight,
-    const std::shared_ptr<BootstrapTicket>& attempt, size_t podIdx,
+    const std::shared_ptr<BootstrapTicket>& attempt,
+    const std::shared_ptr<PirTicket>& pirAttempt, size_t podIdx,
     bool probe, const RequestReport& rep, bool ok)
 {
     // May run under the pod's lock (failure path): cluster lock,
@@ -283,15 +330,17 @@ ServiceCluster::onAttemptDone(
     uint32_t attempts = 0;
     {
         std::lock_guard<std::mutex> lock(m_);
-        podLoadMs_[podIdx] -= requestCostMs_;
+        podLoadMs_[podIdx] -= flight->costMs;
         breakers_[podIdx].onOutcome(ok, probe);
         attempts = flight->attempts;
     }
     if (ok) {
-        settleSuccess(flight, attempt, podIdx, rep);
+        settleSuccess(flight, attempt, pirAttempt, podIdx, rep);
         return;
     }
-    std::exception_ptr err = attempt->error();
+    std::exception_ptr err = pirAttempt != nullptr
+                                 ? pirAttempt->error()
+                                 : attempt->error();
     bool retryable = false;
     if (err) {
         try {
@@ -310,8 +359,8 @@ ServiceCluster::onAttemptDone(
     bool deadlineOk = true;
     if (cfg_.failover.respectDeadline
         && std::isfinite(flight->deadlineAbsMs)) {
-        deadlineOk =
-            nowMs() + requestCostMs_ <= flight->deadlineAbsMs;
+        deadlineOk = nowMs() + flight->costMs
+                     <= flight->deadlineAbsMs;
     }
     if (retryable && attempts < cfg_.failover.maxAttempts
         && deadlineOk) {
@@ -338,12 +387,10 @@ ServiceCluster::onAttemptDone(
 void
 ServiceCluster::settleSuccess(
     const std::shared_ptr<Flight>& flight,
-    const std::shared_ptr<BootstrapTicket>& attempt, size_t podIdx,
+    const std::shared_ptr<BootstrapTicket>& attempt,
+    const std::shared_ptr<PirTicket>& pirAttempt, size_t podIdx,
     const RequestReport& rep)
 {
-    // The pod fulfilled the attempt ticket before invoking the hook,
-    // so this wait() returns immediately with the result.
-    ckks::Ciphertext out = attempt->wait();
     RequestReport r = rep;
     r.servedPod = static_cast<int>(podIdx);
     r.totalMs = nowMs() - flight->submitMs;
@@ -354,6 +401,9 @@ ServiceCluster::settleSuccess(
         std::lock_guard<std::mutex> lock(m_);
         r.attempts = flight->attempts;
         ++requestsCompleted_;
+        if (flight->kind == FlightKind::Pir) {
+            ++pirCompleted_;
+        }
         if (flight->attempts > 1) {
             ++failoverSucceeded_;
         }
@@ -363,8 +413,14 @@ ServiceCluster::settleSuccess(
     // Exactly one registry completion per logical request, at the
     // terminal outcome — attempts in between were invisible to the
     // tenant accounting (admit/refund conservation).
-    registry_->onComplete(flight->tenantId, itemsPerRequest_, true);
-    flight->clientTicket->fulfil(std::move(out), r);
+    registry_->onComplete(flight->tenantId, flight->items, true);
+    // The pod fulfilled the attempt ticket before invoking the hook,
+    // so these wait()s return immediately with the result.
+    if (flight->kind == FlightKind::Pir) {
+        flight->pirClientTicket->fulfil(pirAttempt->wait(), r);
+    } else {
+        flight->clientTicket->fulfil(attempt->wait(), r);
+    }
     if (flight->userDone) {
         flight->userDone(r, true);
     }
@@ -386,14 +442,21 @@ ServiceCluster::settleFailure(const std::shared_ptr<Flight>& flight,
         std::lock_guard<std::mutex> lock(m_);
         r.attempts = flight->attempts;
         ++requestsFailed_;
+        if (flight->kind == FlightKind::Pir) {
+            ++pirFailed_;
+        }
         if (exhausted) {
             ++failoverExhausted_;
         }
         HEAP_ASSERT(liveFlights_ >= 1, "settle without a live flight");
         --liveFlights_;
     }
-    registry_->onComplete(flight->tenantId, itemsPerRequest_, false);
-    flight->clientTicket->fail(std::move(err), r);
+    registry_->onComplete(flight->tenantId, flight->items, false);
+    if (flight->kind == FlightKind::Pir) {
+        flight->pirClientTicket->fail(std::move(err), r);
+    } else {
+        flight->clientTicket->fail(std::move(err), r);
+    }
     if (flight->userDone) {
         flight->userDone(r, false);
     }
@@ -414,61 +477,102 @@ ServiceCluster::failoverLoop()
             continue;
         }
         const bool stopping = stopRetry_;
-        Retry r = retryQ_.front();
         const double now = nowMs();
-        if (!stopping && r.notBeforeMs > now) {
-            // Backoff gate: sleep until it opens (or new work /
-            // shutdown wakes us).
+        // Sweep: drain EVERY due retry at once instead of popping one
+        // per wakeup — under a pod crash the queue holds that pod's
+        // whole backlog, and a per-retry wakeup/dispatch round trip
+        // each would serialize the recovery. Not-yet-due retries stay
+        // queued; the earliest backoff gate bounds the next sleep.
+        std::vector<Retry> sweep;
+        double nextDueMs = std::numeric_limits<double>::infinity();
+        {
+            std::deque<Retry> notDue;
+            while (!retryQ_.empty()) {
+                Retry r = std::move(retryQ_.front());
+                retryQ_.pop_front();
+                if (!stopping && r.notBeforeMs > now) {
+                    nextDueMs = std::min(nextDueMs, r.notBeforeMs);
+                    notDue.push_back(std::move(r));
+                } else {
+                    sweep.push_back(std::move(r));
+                }
+            }
+            retryQ_ = std::move(notDue);
+        }
+        if (sweep.empty()) {
+            // Backoff gate: sleep until the earliest opens (or new
+            // work / shutdown wakes us).
             retryCv_.wait_for(lock,
                               std::chrono::duration<double, std::milli>(
-                                  r.notBeforeMs - now));
+                                  nextDueMs - now));
             continue;
         }
-        retryQ_.pop_front();
+        // Group the sweep per last-failed pod (stable, so enqueue
+        // order is preserved within a group): a crashed pod's whole
+        // backlog re-dispatches as one contiguous batch, and each
+        // group's "failed pod goes last" candidate order stays
+        // coherent across its members. Per-retry admission and
+        // refund accounting is untouched — tryDispatch charges and
+        // refunds exactly as the one-at-a-time loop did.
+        std::stable_sort(sweep.begin(), sweep.end(),
+                         [](const Retry& a, const Retry& b) {
+                             return a.flight->lastPod
+                                    < b.flight->lastPod;
+                         });
+        {
+            std::lock_guard<std::mutex> cl(m_);
+            ++failoverSweeps_;
+            maxRetryBatch_ = std::max(maxRetryBatch_, sweep.size());
+        }
         lock.unlock();
-        if (stopping) {
-            // Pods are shut down: nothing can carry the retry.
-            RequestReport rep;
-            rep.id = r.flight->seq;
-            settleFailure(r.flight, r.lastError, -1, rep,
-                          /*exhausted=*/true);
-        } else if (tryDispatch(r.flight, /*isRetry=*/true)
-                   != Dispatch::Placed) {
-            bool abandon = false;
-            if (cfg_.failover.respectDeadline
-                && std::isfinite(r.flight->deadlineAbsMs)) {
-                abandon = nowMs() + requestCostMs_
-                          > r.flight->deadlineAbsMs;
-            }
-            if (abandon) {
+        std::vector<Retry> requeue;
+        for (Retry& r : sweep) {
+            if (stopping) {
+                // Pods are shut down: nothing can carry the retry.
                 RequestReport rep;
                 rep.id = r.flight->seq;
                 settleFailure(r.flight, r.lastError, -1, rep,
                               /*exhausted=*/true);
-            } else {
-                // No pod can take it right now (full, crashed, or
-                // breaker-open). Room opens as pods drain or chaos
-                // recovers them: re-enqueue with a small pacing
-                // delay instead of spinning.
-                lock.lock();
-                retryQ_.push_back(
-                    Retry{r.flight, r.lastError,
-                          nowMs()
-                              + std::max(cfg_.failover.backoffMs,
-                                         0.2)});
                 continue;
+            }
+            if (tryDispatch(r.flight, /*isRetry=*/true)
+                != Dispatch::Placed) {
+                bool abandon = false;
+                if (cfg_.failover.respectDeadline
+                    && std::isfinite(r.flight->deadlineAbsMs)) {
+                    abandon = nowMs() + r.flight->costMs
+                              > r.flight->deadlineAbsMs;
+                }
+                if (abandon) {
+                    RequestReport rep;
+                    rep.id = r.flight->seq;
+                    settleFailure(r.flight, r.lastError, -1, rep,
+                                  /*exhausted=*/true);
+                } else {
+                    // No pod can take it right now (full, crashed,
+                    // or breaker-open). Room opens as pods drain or
+                    // chaos recovers them: re-enqueue with a small
+                    // pacing delay instead of spinning.
+                    r.notBeforeMs =
+                        nowMs()
+                        + std::max(cfg_.failover.backoffMs, 0.2);
+                    requeue.push_back(std::move(r));
+                }
             }
         }
         lock.lock();
+        for (Retry& r : requeue) {
+            retryQ_.push_back(std::move(r));
+        }
     }
 }
 
-std::shared_ptr<BootstrapTicket>
-ServiceCluster::submit(uint64_t tenantId, const ckks::Ciphertext& in,
-                       SubmitOptions opts)
+void
+ServiceCluster::submitFlight(const std::shared_ptr<Flight>& flight,
+                             SubmitOptions opts)
 {
+    const uint64_t tenantId = flight->tenantId;
     HEAP_CHECK(tenantId != 0, "tenant id 0 is reserved");
-    const size_t items = itemsPerRequest_;
     const TenantSpec& spec = registry_->spec(tenantId);
     // Key-cache charge: the tenant's declared footprint, else the
     // cluster default (cost model's key-read bytes when available).
@@ -480,18 +584,22 @@ ServiceCluster::submit(uint64_t tenantId, const ckks::Ciphertext& in,
                "tenant " << tenantId << " key footprint (" << keyBytes
                          << " B) exceeds the pod key cache ("
                          << cfg_.keyCacheBytes << " B)");
+    flight->keyBytes = keyBytes;
 
     // The chaos schedule advances on the submission counter — BEFORE
     // routing, so "crash pod 0 before the 12th submit" is observed by
-    // the 12th submit's routing decision.
+    // the 12th submit's routing decision. Both tenant classes drive
+    // the same counter: a mixed workload's fault interleaving is
+    // still a pure function of the submission order.
     uint64_t seq = 0;
     {
         std::lock_guard<std::mutex> lock(m_);
         seq = ++submitSeq_;
     }
     if (chaos_) {
-        chaos_->advance(seq, services_);
+        chaos_->advance(seq, services_, pirServices_);
     }
+    flight->seq = seq;
 
     const int effPriority = opts.priority + spec.priority;
     if (cfg_.shedding.enabled) {
@@ -525,7 +633,7 @@ ServiceCluster::submit(uint64_t tenantId, const ckks::Ciphertext& in,
         if (opts.deadlineMs) {
             const double modeledMs =
                 cfg_.shedding.slackFactor
-                * (minLoadMs + requestCostMs_);
+                * (minLoadMs + flight->costMs);
             if (*opts.deadlineMs < modeledMs) {
                 {
                     std::lock_guard<std::mutex> lock(m_);
@@ -542,7 +650,7 @@ ServiceCluster::submit(uint64_t tenantId, const ckks::Ciphertext& in,
         }
     }
 
-    const auto adm = registry_->tryAdmit(tenantId, items);
+    const auto adm = registry_->tryAdmit(tenantId, flight->items);
     if (!adm) {
         {
             std::lock_guard<std::mutex> lock(m_);
@@ -556,15 +664,9 @@ ServiceCluster::submit(uint64_t tenantId, const ckks::Ciphertext& in,
     opts.priority = effPriority;
     opts.fairRank = adm->fairRank;
 
-    auto flight = std::make_shared<Flight>();
-    flight->seq = seq;
-    flight->tenantId = tenantId;
-    flight->input = in;
-    flight->clientTicket = std::make_shared<BootstrapTicket>();
     flight->userDone = std::move(opts.onDone);
     opts.onDone = nullptr;
     flight->baseOpts = std::move(opts);
-    flight->keyBytes = keyBytes;
     flight->submitMs = nowMs();
     if (flight->baseOpts.deadlineMs) {
         flight->deadlineAbsMs =
@@ -579,7 +681,7 @@ ServiceCluster::submit(uint64_t tenantId, const ckks::Ciphertext& in,
     if (d != Dispatch::Placed) {
         // Total rejection of the initial dispatch: the ONLY place the
         // admission is cancelled rather than completed.
-        registry_->cancelAdmit(tenantId, items);
+        registry_->cancelAdmit(tenantId, flight->items);
         {
             std::lock_guard<std::mutex> lock(m_);
             --liveFlights_;
@@ -600,8 +702,48 @@ ServiceCluster::submit(uint64_t tenantId, const ckks::Ciphertext& in,
     {
         std::lock_guard<std::mutex> lock(m_);
         ++submitted_;
+        if (flight->kind == FlightKind::Pir) {
+            ++pirSubmitted_;
+        }
     }
+}
+
+std::shared_ptr<BootstrapTicket>
+ServiceCluster::submit(uint64_t tenantId, const ckks::Ciphertext& in,
+                       SubmitOptions opts)
+{
+    auto flight = std::make_shared<Flight>();
+    flight->tenantId = tenantId;
+    flight->kind = FlightKind::Bootstrap;
+    flight->input = in;
+    flight->clientTicket = std::make_shared<BootstrapTicket>();
+    flight->costMs = requestCostMs_;
+    flight->items = itemsPerRequest_;
+    submitFlight(flight, std::move(opts));
     return flight->clientTicket;
+}
+
+std::shared_ptr<PirTicket>
+ServiceCluster::submitPir(uint64_t tenantId,
+                          std::shared_ptr<const pir::PirQuery> query,
+                          SubmitOptions opts)
+{
+    HEAP_CHECK(cfg_.pirServer != nullptr,
+               "cluster has no encrypted-lookup tenant class "
+               "(ClusterConfig::pirServer is null)");
+    HEAP_CHECK(query != nullptr, "null PIR query");
+    // Shape-check at the cluster door: a malformed query is a
+    // UserError here, never a retryable pod fault.
+    cfg_.pirServer->validateQuery(*query);
+    auto flight = std::make_shared<Flight>();
+    flight->tenantId = tenantId;
+    flight->kind = FlightKind::Pir;
+    flight->query = std::move(query);
+    flight->pirClientTicket = std::make_shared<PirTicket>();
+    flight->costMs = pirRequestCostMs_;
+    flight->items = pirItemsPerRequest_;
+    submitFlight(flight, std::move(opts));
+    return flight->pirClientTicket;
 }
 
 void
@@ -619,6 +761,9 @@ ServiceCluster::shutdown()
     // decision is enqueued BEFORE the failover thread is told to
     // stop — no retry can arrive after the thread exits.
     for (auto& svc : services_) {
+        svc->shutdown();
+    }
+    for (auto& svc : pirServices_) {
         svc->shutdown();
     }
     {
@@ -651,6 +796,11 @@ ServiceCluster::metrics() const
         m.failovers = failovers_;
         m.failoverSucceeded = failoverSucceeded_;
         m.failoverExhausted = failoverExhausted_;
+        m.failoverSweeps = failoverSweeps_;
+        m.maxRetryBatch = maxRetryBatch_;
+        m.pirSubmitted = pirSubmitted_;
+        m.pirCompleted = pirCompleted_;
+        m.pirFailed = pirFailed_;
         m.podModeledLoadMs = podLoadMs_;
         m.breakers.reserve(breakers_.size());
         for (const CircuitBreaker& b : breakers_) {
@@ -667,6 +817,12 @@ ServiceCluster::metrics() const
         m.pods.push_back(svc->metrics());
         m.completed += m.pods.back().completed;
         m.failed += m.pods.back().failed;
+    }
+    m.pirPods.reserve(pirServices_.size());
+    for (const auto& svc : pirServices_) {
+        m.pirPods.push_back(svc->metrics());
+        m.completed += m.pirPods.back().completed;
+        m.failed += m.pirPods.back().failed;
     }
     m.podKeyCaches.reserve(caches_.size());
     for (const auto& c : caches_) {

@@ -47,7 +47,17 @@
  * Chaos (opt-in): a deterministic ChaosSpec (serve/chaos.h) fires
  * pod-level faults — injected failures, wedges, crash/recover — as
  * the cluster's submission counter advances, which is what the
- * availability tests and bench/chaos_recovery drive.
+ * availability tests and bench/chaos_recovery drive. Faults are
+ * pod-level: they hit both tenant classes of the targeted pod.
+ *
+ * Second tenant class (opt-in): with ClusterConfig::pirServer set,
+ * every pod also carries a PirService over the shared encrypted-
+ * lookup database, and submitPir() serves lookup flights through the
+ * SAME routing, breakers, key caches (per-tenant query-key
+ * footprints), shedding, fair queueing, and failover as bootstrap
+ * flights — two tenant classes, one failure domain. Lookup answers
+ * are byte-identical across worker counts and failover recomputes
+ * because the fold is pure arithmetic on the query.
  *
  * Determinism: routing and failover never change what is computed,
  * only where — every pod carries byte-identical key material in the
@@ -76,9 +86,11 @@
 #include <thread>
 #include <vector>
 
+#include "hw/pir_model.h"
 #include "serve/chaos.h"
 #include "serve/health.h"
 #include "serve/keycache.h"
+#include "serve/pir_service.h"
 #include "serve/service.h"
 #include "serve/tenant.h"
 
@@ -138,6 +150,21 @@ struct ClusterConfig {
     /** Optional deterministic fault schedule, applied to the pods as
      *  the cluster's submission counter advances. */
     std::optional<ChaosSpec> chaos;
+    /**
+     * Optional second tenant class: the shared encrypted-lookup
+     * database (borrowed, must outlive the cluster). When set, every
+     * pod carries a colocated PirService over this server next to its
+     * BootstrapService, and submitPir() routes lookup flights through
+     * the same breakers, key caches, failover, and fair queueing as
+     * bootstrap flights. Null = bootstrap-only cluster.
+     */
+    const pir::PirServer* pirServer = nullptr;
+    /** Per-pod PIR service configuration (pirServer set). */
+    PirServiceConfig pirPod;
+    /** Optional PIR cost model: modeled per-lookup load for the spill
+     *  policy, shedding, and failover deadline math of PIR flights.
+     *  Without it lookup load is proportional to first-dim groups. */
+    const hw::PirModel* pirModel = nullptr;
 };
 
 /** Cluster-wide metrics snapshot (metrics()). */
@@ -161,6 +188,18 @@ struct ClusterMetrics {
     uint64_t failovers = 0;         ///< re-dispatches enqueued
     uint64_t failoverSucceeded = 0; ///< flights completed after > 1 attempt
     uint64_t failoverExhausted = 0; ///< retry budget ran out
+    /** Re-dispatch sweeps the failover thread ran: each sweep drains
+     *  every due retry at once, grouped per last-failed pod, instead
+     *  of popping one retry per wakeup. */
+    uint64_t failoverSweeps = 0;
+    size_t maxRetryBatch = 0; ///< largest single-sweep retry batch
+    // Encrypted-lookup tenant class (all zero / empty when no
+    // pirServer is configured). Logical PIR flights, also included
+    // in submitted / requestsCompleted / requestsFailed above.
+    uint64_t pirSubmitted = 0;
+    uint64_t pirCompleted = 0;
+    uint64_t pirFailed = 0;
+    std::vector<ServiceMetrics> pirPods; ///< per-pod PirService
     // Health.
     std::vector<BreakerStats> breakers; ///< one per pod
     uint64_t breakerOpens = 0;  ///< sum of per-pod opens
@@ -218,7 +257,28 @@ class ServiceCluster {
                                             const ckks::Ciphertext& in,
                                             SubmitOptions opts = {});
 
+    /**
+     * Submits one encrypted lookup for `tenantId` against the shared
+     * PIR database (requires ClusterConfig::pirServer). The same
+     * admission pipeline as submit(): shedding, tenant quota and fair
+     * rank, breaker-gated routing to the tenant's preferred pod, key
+     * cache touch (the tenant's query-key footprint), and failover on
+     * retryable pod faults — the answer is byte-identical wherever it
+     * is recomputed, because the fold is pure arithmetic on the query.
+     * The query is shared, not copied, across attempts.
+     */
+    std::shared_ptr<PirTicket>
+    submitPir(uint64_t tenantId,
+              std::shared_ptr<const pir::PirQuery> query,
+              SubmitOptions opts = {});
+
     size_t podCount() const { return services_.size(); }
+
+    /** Whether the encrypted-lookup tenant class is configured. */
+    bool hasPir() const { return cfg_.pirServer != nullptr; }
+
+    /** Pod i's colocated PIR service (requires hasPir()). */
+    PirService& pirPod(size_t i) { return *pirServices_.at(i); }
 
     /** Consistent routing target for a tenant (stable across runs:
      *  a fixed 64-bit mix of the id, mod the pod count). */
@@ -253,16 +313,28 @@ class ServiceCluster {
     size_t itemsPerRequest() const { return itemsPerRequest_; }
 
   private:
+    /** Which tenant class a flight belongs to. */
+    enum class FlightKind { Bootstrap, Pir };
+
     /** One logical client request, alive across failover attempts. */
     struct Flight {
         uint64_t seq = 0; ///< cluster submission index (1-based)
         uint64_t tenantId = 0;
-        ckks::Ciphertext input; ///< retained for re-submission
+        FlightKind kind = FlightKind::Bootstrap;
+        ckks::Ciphertext input; ///< bootstrap: retained for re-submission
+        /** PIR: the shared encrypted query (re-submitted as-is). */
+        std::shared_ptr<const pir::PirQuery> query;
         /** Stamped options (priority/fairRank/tenantId), no hook. */
         SubmitOptions baseOpts;
-        std::shared_ptr<BootstrapTicket> clientTicket;
+        std::shared_ptr<BootstrapTicket> clientTicket; ///< bootstrap
+        std::shared_ptr<PirTicket> pirClientTicket;    ///< pir
         std::function<void(const RequestReport&, bool)> userDone;
         size_t keyBytes = 0;
+        /** Modeled per-attempt cost (class-specific load unit). */
+        double costMs = 0;
+        /** Registry admission units: the ring dimension for
+         *  bootstrap flights, firstDimGroups() for PIR flights. */
+        size_t items = 0;
         /** Dispatch attempts so far (guarded by the cluster mutex). */
         uint32_t attempts = 0;
         /** Pod of the last failed attempt; a retry tries every OTHER
@@ -312,19 +384,32 @@ class ServiceCluster {
     Dispatch tryDispatch(const std::shared_ptr<Flight>& flight,
                          bool isRetry);
 
-    /** Per-attempt completion hook body (may run under a pod lock). */
+    /**
+     * Per-attempt completion hook body (may run under a pod lock).
+     * Exactly one of `attempt` / `pirAttempt` is non-null, matching
+     * the flight's kind.
+     */
     void onAttemptDone(const std::shared_ptr<Flight>& flight,
                        const std::shared_ptr<BootstrapTicket>& attempt,
+                       const std::shared_ptr<PirTicket>& pirAttempt,
                        size_t podIdx, bool probe,
                        const RequestReport& rep, bool ok);
 
     /** Terminal settle paths; settle exactly once per flight. */
     void settleSuccess(const std::shared_ptr<Flight>& flight,
                        const std::shared_ptr<BootstrapTicket>& attempt,
+                       const std::shared_ptr<PirTicket>& pirAttempt,
                        size_t podIdx, const RequestReport& rep);
     void settleFailure(const std::shared_ptr<Flight>& flight,
                        std::exception_ptr err, int podIdx,
                        const RequestReport& rep, bool exhausted);
+
+    /** Common admission body of submit()/submitPir(): chaos advance,
+     *  shedding, registry admission, option stamping, initial
+     *  dispatch, rejection accounting. The flight arrives with its
+     *  kind, payload, client ticket, costMs, and items set. */
+    void submitFlight(const std::shared_ptr<Flight>& flight,
+                      SubmitOptions opts);
 
     void failoverLoop();
     double nowMs() const;
@@ -335,7 +420,12 @@ class ServiceCluster {
     size_t itemsPerRequest_ = 0;
     size_t tenantKeyBytesDefault_ = 0;
     double requestCostMs_ = 0; ///< modeled per-request work
+    double pirRequestCostMs_ = 0; ///< modeled per-lookup work
+    size_t pirItemsPerRequest_ = 0; ///< first-dim groups per lookup
     std::vector<std::unique_ptr<BootstrapService>> services_;
+    /** One colocated PIR pod per bootstrap pod; empty without a
+     *  configured pirServer. */
+    std::vector<std::unique_ptr<PirService>> pirServices_;
     std::vector<std::unique_ptr<BootstrappingKeyCache>> caches_;
     std::unique_ptr<ChaosEngine> chaos_;
     std::chrono::steady_clock::time_point epoch_;
@@ -353,6 +443,9 @@ class ServiceCluster {
     uint64_t requestsCompleted_ = 0, requestsFailed_ = 0;
     uint64_t failovers_ = 0, failoverSucceeded_ = 0,
              failoverExhausted_ = 0;
+    uint64_t failoverSweeps_ = 0;
+    size_t maxRetryBatch_ = 0;
+    uint64_t pirSubmitted_ = 0, pirCompleted_ = 0, pirFailed_ = 0;
 
     // Failover machinery (its own lock: the completion hooks enqueue
     // while possibly holding a pod lock, and must never wait on the

@@ -1,5 +1,7 @@
 #include "serve/health.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace heap::serve {
@@ -25,6 +27,9 @@ CircuitBreaker::CircuitBreaker(BreakerConfig cfg) : cfg_(cfg)
                "breaker minSamples must be in [1, window]");
     HEAP_CHECK(cfg.failureThreshold > 0.0 && cfg.failureThreshold <= 1.0,
                "breaker failureThreshold must be in (0, 1]");
+    HEAP_CHECK(cfg.halfOpenCanaryFraction >= 0.0
+                   && cfg.halfOpenCanaryFraction <= 1.0,
+               "breaker halfOpenCanaryFraction must be in [0, 1]");
     ring_.assign(cfg.window, 0);
 }
 
@@ -38,7 +43,9 @@ void
 CircuitBreaker::openLocked()
 {
     state_ = BreakerState::Open;
-    probeInFlight_ = false;
+    probesInFlight_ = 0;
+    halfOpenDecisions_ = 0;
+    probesAdmitted_ = 0;
     skips_ = 0;
     windowCount_ = 0;
     windowFailures_ = 0;
@@ -62,33 +69,65 @@ CircuitBreaker::gate()
     case BreakerState::Open:
         if (++skips_ > cfg_.probeAfterSkips) {
             state_ = BreakerState::HalfOpen;
-            probeInFlight_ = true;
+            halfOpenDecisions_ = 0;
+            probesAdmitted_ = 0;
+            probesInFlight_ = 0;
             skips_ = 0;
-            ++probes_;
-            return Gate{true, true};
+            // This decision is the episode's first HalfOpen decision:
+            // fall through to the canary admission below (which
+            // always admits it — ceil(1 * f) = 1 for any f > 0, and
+            // the legacy mode has no probe in flight yet).
+            return halfOpenGate();
         }
         ++skippedRouting_;
         return Gate{false, false};
     case BreakerState::HalfOpen:
-        if (!probeInFlight_) {
-            // The previous probe was cancelled before dispatch; admit
-            // a replacement.
-            probeInFlight_ = true;
-            ++probes_;
-            return Gate{true, true};
-        }
-        ++skippedRouting_;
-        return Gate{false, false};
+        return halfOpenGate();
     }
+    return Gate{false, false};
+}
+
+CircuitBreaker::Gate
+CircuitBreaker::halfOpenGate()
+{
+    ++halfOpenDecisions_;
+    const double f = cfg_.halfOpenCanaryFraction;
+    bool admit = false;
+    if (f <= 0.0) {
+        // Legacy: exactly one probe outstanding; a cancelled probe's
+        // replacement is admitted on the next decision.
+        admit = probesInFlight_ == 0;
+    } else {
+        // Deterministic stride: the k-th HalfOpen decision probes
+        // when ceil(k * f) exceeds the episode's admissions so far,
+        // i.e. an f-fraction of decisions carry a canary, starting
+        // with the first.
+        const auto due = static_cast<uint64_t>(
+            std::ceil(static_cast<double>(halfOpenDecisions_) * f));
+        admit = probesAdmitted_ < due;
+    }
+    if (admit) {
+        ++probesInFlight_;
+        ++probesAdmitted_;
+        ++probes_;
+        return Gate{true, true};
+    }
+    ++skippedRouting_;
     return Gate{false, false};
 }
 
 void
 CircuitBreaker::cancelProbe()
 {
-    HEAP_ASSERT(state_ == BreakerState::HalfOpen && probeInFlight_,
+    HEAP_ASSERT(state_ == BreakerState::HalfOpen
+                    && probesInFlight_ > 0,
                 "cancelProbe without an admitted probe");
-    probeInFlight_ = false;
+    --probesInFlight_;
+    if (probesInFlight_ > 0) {
+        // Fraction mode with other canaries still flying: they will
+        // resolve the episode.
+        return;
+    }
     state_ = BreakerState::Open;
     // Refill the skip budget: the very next routing decision may
     // probe again (the cancellation was the router's fault, not the
@@ -111,14 +150,22 @@ CircuitBreaker::onOutcome(bool ok, bool probe)
         ++closes_;
     }
     if (probe) {
-        probeInFlight_ = false;
+        if (probesInFlight_ > 0) {
+            --probesInFlight_;
+        }
         if (state_ != BreakerState::HalfOpen) {
-            // The breaker already moved on (e.g. wedge cleared it);
-            // the probe outcome still counted in the totals above.
+            // The breaker already moved on (wedge cleared it, another
+            // canary closed or reopened it); the outcome still
+            // counted in the totals above.
             return;
         }
         if (ok) {
+            // First canary success closes; stragglers from the same
+            // episode land in the branch above.
             state_ = BreakerState::Closed;
+            probesInFlight_ = 0;
+            halfOpenDecisions_ = 0;
+            probesAdmitted_ = 0;
             windowCount_ = 0;
             windowFailures_ = 0;
             ringNext_ = 0;
@@ -184,6 +231,7 @@ CircuitBreaker::stats() const
     s.probes = probes_;
     s.closes = closes_;
     s.skippedRouting = skippedRouting_;
+    s.probesInFlight = probesInFlight_;
     return s;
 }
 

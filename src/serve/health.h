@@ -25,7 +25,11 @@
  *    of wall time.
  *  - HalfOpen: one probe in flight, everything else routes around.
  *    Probe success closes the breaker (window cleared); probe failure
- *    reopens it and the skip count restarts.
+ *    reopens it and the skip count restarts. With a canary fraction
+ *    configured (halfOpenCanaryFraction > 0), HalfOpen instead admits
+ *    a deterministic small fraction of routing decisions as probes —
+ *    several canaries may fly at once; the first success closes, any
+ *    failure reopens.
  *
  * Wedge detection is orthogonal: a pod that *holds* modeled load but
  * produces no completion for `wedgeDecisions` consecutive routing
@@ -64,6 +68,18 @@ struct BreakerConfig {
     /** Open -> HalfOpen: skipped routing decisions before one probe
      *  request is admitted. */
     uint64_t probeAfterSkips = 8;
+    /**
+     * HalfOpen canary fraction. 0 (the default) keeps the legacy
+     * behaviour: exactly one probe in flight, everything else routed
+     * around until it resolves. A value f in (0, 1] admits a probe on
+     * a deterministic f-fraction of HalfOpen routing decisions — the
+     * k-th HalfOpen decision probes when ceil(k * f) exceeds the
+     * probes already admitted this episode — so several canaries may
+     * be in flight at once and a slow probe cannot stall recovery
+     * observation. Any canary failure reopens the breaker; the first
+     * canary success closes it.
+     */
+    double halfOpenCanaryFraction = 0.0;
     /** Wedge detection: routing decisions a pod may hold modeled load
      *  without completing anything before it is declared wedged.
      *  0 disables wedge detection. */
@@ -86,6 +102,9 @@ struct BreakerStats {
     uint64_t probes = 0;     ///< probe admissions (Open->HalfOpen)
     uint64_t closes = 0;     ///< recoveries (probe success or wedge cleared)
     uint64_t skippedRouting = 0; ///< decisions that routed around this pod
+    /** Probes currently in flight (HalfOpen; > 1 only with a canary
+     *  fraction configured). */
+    uint64_t probesInFlight = 0;
 };
 
 /**
@@ -116,9 +135,11 @@ class CircuitBreaker {
 
     /**
      * The probe admitted by gate() was never dispatched (the pod was
-     * full/crashed, or another candidate won the request): revert to
-     * Open with the skip budget refilled, so the next routing
-     * decision probes again.
+     * full/crashed, or another candidate won the request). When it
+     * was the only probe in flight, revert to Open with the skip
+     * budget refilled, so the next routing decision probes again;
+     * with other canaries still flying (fraction mode), stay HalfOpen
+     * and let them resolve the episode.
      */
     void cancelProbe();
 
@@ -143,11 +164,16 @@ class CircuitBreaker {
 
   private:
     void openLocked();
+    /** One HalfOpen routing decision: canary/legacy probe admission. */
+    Gate halfOpenGate();
 
     BreakerConfig cfg_;
     BreakerState state_ = BreakerState::Closed;
     bool wedged_ = false;
-    bool probeInFlight_ = false;
+    uint64_t probesInFlight_ = 0;
+    /** HalfOpen episode counters (canary stride admission). */
+    uint64_t halfOpenDecisions_ = 0;
+    uint64_t probesAdmitted_ = 0;
     uint64_t skips_ = 0;
     uint64_t staleDecisions_ = 0;
     // Rolling outcome ring (1 = failure).

@@ -92,17 +92,21 @@ struct RequestReport {
 };
 
 /**
- * Completion handle for one submitted bootstrap. Created by
- * BootstrapService::submit(); the service fulfils it exactly once.
+ * Completion handle for one submitted request, parameterized on the
+ * result the serving class returns: a refreshed ckks::Ciphertext for
+ * bootstrap requests (BootstrapTicket), a folded rlwe::Ciphertext
+ * answer for encrypted-lookup requests (PirTicket, serve/pir_service.h).
+ * Created by the service's submit(); the service fulfils it exactly
+ * once.
  */
-class BootstrapTicket {
+template <typename ResultT> class ResultTicket {
   public:
-    /** Blocks until the request completes; returns the refreshed
-     *  ciphertext or rethrows the failure. The result may be
-     *  consumed once: a second wait() on a fulfilled ticket throws a
-     *  UserError instead of dereferencing the moved-out result (a
-     *  failed ticket rethrows its error on every call). */
-    ckks::Ciphertext
+    /** Blocks until the request completes; returns the result or
+     *  rethrows the failure. The result may be consumed once: a
+     *  second wait() on a fulfilled ticket throws a UserError instead
+     *  of dereferencing the moved-out result (a failed ticket
+     *  rethrows its error on every call). */
+    ResultT
     wait()
     {
         std::unique_lock<std::mutex> lock(m_);
@@ -111,9 +115,9 @@ class BootstrapTicket {
             std::rethrow_exception(error_);
         }
         HEAP_CHECK(result_.has_value(),
-                   "BootstrapTicket::wait() called twice: the result "
+                   "ResultTicket::wait() called twice: the result "
                    "was already consumed by an earlier wait()");
-        ckks::Ciphertext out = std::move(*result_);
+        ResultT out = std::move(*result_);
         result_.reset();
         return out;
     }
@@ -146,10 +150,11 @@ class BootstrapTicket {
 
   private:
     friend class BootstrapService;
+    friend class PirService;
     friend class ServiceCluster;
 
     void
-    fulfil(ckks::Ciphertext&& out, const RequestReport& report)
+    fulfil(ResultT&& out, const RequestReport& report)
     {
         {
             std::lock_guard<std::mutex> lock(m_);
@@ -175,10 +180,16 @@ class BootstrapTicket {
     mutable std::mutex m_;
     std::condition_variable cv_;
     bool done_ = false;
-    std::optional<ckks::Ciphertext> result_;
+    std::optional<ResultT> result_;
     std::exception_ptr error_;
     RequestReport report_;
 };
+
+/** Bootstrap requests resolve to a refreshed CKKS ciphertext. */
+using BootstrapTicket = ResultTicket<ckks::Ciphertext>;
+
+/** Encrypted-lookup (PIR) requests resolve to one RLWE answer. */
+using PirTicket = ResultTicket<rlwe::Ciphertext>;
 
 } // namespace heap::serve
 

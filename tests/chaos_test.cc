@@ -218,6 +218,135 @@ TEST(Breaker, MinSamplesGuardsAgainstEarlyTrip)
 }
 
 // ---------------------------------------------------------------------
+// HalfOpen canary fraction (halfOpenCanaryFraction > 0).
+
+/** Trips the breaker and consumes the Open skip budget, so the next
+ *  gate() is the episode's FIRST HalfOpen decision. */
+void
+tripAndSkipToHalfOpen(CircuitBreaker& b)
+{
+    for (int i = 0; i < 4; ++i) {
+        b.onOutcome(false, false);
+    }
+    ASSERT_EQ(b.state(), BreakerState::Open);
+    for (uint64_t i = 0; i < b.config().probeAfterSkips; ++i) {
+        ASSERT_FALSE(b.gate().admit);
+    }
+}
+
+TEST(Breaker, CanaryFractionAdmitsDeterministicStride)
+{
+    BreakerConfig c = tightBreaker();
+    c.halfOpenCanaryFraction = 0.25;
+    CircuitBreaker b(c);
+    tripAndSkipToHalfOpen(b);
+    // Decision-by-decision: the k-th HalfOpen decision probes when
+    // ceil(k * 0.25) exceeds the admissions so far — decisions 1, 5,
+    // 9, 13 probe, everything between routes around.
+    for (int k = 1; k <= 13; ++k) {
+        const auto g = b.gate();
+        const bool shouldProbe = (k - 1) % 4 == 0;
+        EXPECT_EQ(g.admit, shouldProbe) << "decision " << k;
+        EXPECT_EQ(g.probe, shouldProbe) << "decision " << k;
+        EXPECT_EQ(b.state(), BreakerState::HalfOpen);
+    }
+    EXPECT_EQ(b.stats().probes, 4u);
+    EXPECT_EQ(b.stats().probesInFlight, 4u);
+
+    // The FIRST canary success closes the episode, with the other
+    // three still flying.
+    b.onOutcome(true, true);
+    EXPECT_EQ(b.state(), BreakerState::Closed);
+    EXPECT_EQ(b.stats().closes, 1u);
+    EXPECT_EQ(b.stats().probesInFlight, 0u);
+    // Stragglers from the closed episode only feed the totals.
+    b.onOutcome(true, true);
+    b.onOutcome(false, true);
+    EXPECT_EQ(b.state(), BreakerState::Closed);
+    EXPECT_EQ(b.stats().closes, 1u);
+    EXPECT_EQ(b.stats().opens, 1u);
+}
+
+TEST(Breaker, CanaryFailureReopensDespiteOthersInFlight)
+{
+    BreakerConfig c = tightBreaker();
+    c.halfOpenCanaryFraction = 0.5;
+    CircuitBreaker b(c);
+    tripAndSkipToHalfOpen(b);
+    // f = 0.5: decisions 1 and 3 probe, decision 2 routes around.
+    EXPECT_TRUE(b.gate().probe);
+    EXPECT_FALSE(b.gate().admit);
+    EXPECT_TRUE(b.gate().probe);
+    EXPECT_EQ(b.stats().probesInFlight, 2u);
+    // ANY canary failure reopens, immediately.
+    b.onOutcome(false, true);
+    EXPECT_EQ(b.state(), BreakerState::Open);
+    EXPECT_EQ(b.stats().opens, 2u);
+    EXPECT_EQ(b.stats().probesInFlight, 0u);
+    // The surviving canary's late success must not close the reopened
+    // breaker — the new episode gets its own probes.
+    b.onOutcome(true, true);
+    EXPECT_EQ(b.state(), BreakerState::Open);
+    EXPECT_EQ(b.stats().closes, 0u);
+    // And the reopened episode's cadence restarts from the top.
+    for (uint64_t i = 0; i < c.probeAfterSkips; ++i) {
+        EXPECT_FALSE(b.gate().admit);
+    }
+    EXPECT_TRUE(b.gate().probe);
+}
+
+TEST(Breaker, CanaryCancelRevertsOnlyWhenLastProbeCancelled)
+{
+    BreakerConfig c = tightBreaker();
+    c.halfOpenCanaryFraction = 1.0;
+    CircuitBreaker b(c);
+    tripAndSkipToHalfOpen(b);
+    // f = 1: every HalfOpen decision carries a canary.
+    EXPECT_TRUE(b.gate().probe);
+    EXPECT_TRUE(b.gate().probe);
+    EXPECT_TRUE(b.gate().probe);
+    EXPECT_EQ(b.stats().probesInFlight, 3u);
+    // Cancelling while other canaries fly stays HalfOpen: they will
+    // resolve the episode.
+    b.cancelProbe();
+    EXPECT_EQ(b.state(), BreakerState::HalfOpen);
+    b.cancelProbe();
+    EXPECT_EQ(b.state(), BreakerState::HalfOpen);
+    EXPECT_EQ(b.stats().probesInFlight, 1u);
+    // Cancelling the LAST probe reverts to Open with the skip budget
+    // refilled — the very next decision probes again.
+    b.cancelProbe();
+    EXPECT_EQ(b.state(), BreakerState::Open);
+    EXPECT_EQ(b.stats().probesInFlight, 0u);
+    EXPECT_TRUE(b.gate().probe);
+}
+
+TEST(Breaker, LegacyZeroFractionAdmitsOneProbeAtATime)
+{
+    CircuitBreaker b(tightBreaker()); // halfOpenCanaryFraction = 0
+    tripAndSkipToHalfOpen(b);
+    EXPECT_TRUE(b.gate().probe);
+    // Exactly one probe outstanding: every further HalfOpen decision
+    // routes around until it resolves.
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_FALSE(b.gate().admit) << "decision " << i;
+    }
+    EXPECT_EQ(b.stats().probes, 1u);
+    EXPECT_EQ(b.stats().probesInFlight, 1u);
+    b.onOutcome(true, true);
+    EXPECT_EQ(b.state(), BreakerState::Closed);
+}
+
+TEST(Breaker, CanaryFractionValidated)
+{
+    BreakerConfig c = tightBreaker();
+    c.halfOpenCanaryFraction = 1.5;
+    EXPECT_THROW(CircuitBreaker{c}, UserError);
+    c.halfOpenCanaryFraction = -0.1;
+    EXPECT_THROW(CircuitBreaker{c}, UserError);
+}
+
+// ---------------------------------------------------------------------
 // Chaos schedule determinism.
 
 TEST(Chaos, ScriptedScheduleIsSeedDeterministic)

@@ -12,6 +12,7 @@
 
 #include "hw/app_model.h"
 #include "hw/fab_model.h"
+#include "hw/pir_model.h"
 #include "hw/reference.h"
 
 namespace heap::hw {
@@ -232,6 +233,53 @@ TEST_F(HwFixture, FabStructuralModelNearPublished)
     EXPECT_GT(one.bootstrap(4096).blindRotateMs
                   / bm.bootstrap(4096).blindRotateMs,
               7.5);
+}
+
+TEST_F(HwFixture, PirModelScalesWithShapeAndFeedsAutoscaling)
+{
+    const PirModel pm(cfg, params);
+    PirShape s;
+    s.ringN = 8192;
+    s.limbs = 2;
+    s.digitsPerLimb = 2;
+    s.dims = {64, 64};
+
+    // Every cost term is positive and the timeline adds up.
+    EXPECT_GT(pm.externalProductMs(s), 0.0);
+    EXPECT_GT(pm.cmuxMs(s), pm.externalProductMs(s));
+    EXPECT_GT(pm.queryBytes(s), 0.0);
+    EXPECT_GT(pm.responseBytes(s), 0.0);
+    // The query (log T RGSW ciphertexts) dwarfs the one-RLWE answer.
+    EXPECT_GT(pm.queryBytes(s), pm.responseBytes(s));
+    const PirBreakdown b = pm.answer(s);
+    EXPECT_NEAR(b.totalMs, b.queryCommMs + b.foldMs + b.responseCommMs,
+                1e-9);
+    EXPECT_DOUBLE_EQ(b.foldMs, pm.answerMs(s));
+
+    // Dimension 0 folds the full table and must dominate the later,
+    // geometrically shrinking folds.
+    EXPECT_GT(pm.dimensionFoldMs(s, 0), pm.dimensionFoldMs(s, 1));
+
+    // More cells → more fold work; and the CMux count of a full fold
+    // is factorization-invariant (T - 1 trees collapse T cells to 1
+    // however the dimensions split), so a flat {4096} layout costs
+    // exactly what {64, 64} does — the multi-dim win is the QUERY
+    // volume vs the naive one-RLWE-per-cell packing, not the fold.
+    PirShape bigger = s;
+    bigger.dims = {128, 64};
+    EXPECT_GT(pm.answerMs(bigger), pm.answerMs(s));
+    PirShape flat = s;
+    flat.dims = {4096};
+    EXPECT_DOUBLE_EQ(pm.answerMs(flat), pm.answerMs(s));
+    EXPECT_DOUBLE_EQ(pm.queryBytes(flat), pm.queryBytes(s));
+
+    // Autoscaling oracle: throughput is the reciprocal cadence, and
+    // podsNeeded covers the offered rate with the smallest count.
+    const double qps = pm.podThroughputQps(s);
+    EXPECT_GT(qps, 0.0);
+    EXPECT_EQ(pm.podsNeeded(0.0, s), 1u);
+    EXPECT_EQ(pm.podsNeeded(qps * 0.99, s), 1u);
+    EXPECT_EQ(pm.podsNeeded(qps * 3.5, s), 4u);
 }
 
 TEST_F(HwFixture, ReferenceTablesAreComplete)

@@ -106,6 +106,60 @@ TEST(KeyCache, ResidentBytesNeverExceedCapacity)
     }
 }
 
+TEST(KeyCache, MixedTenantClassesShareOneResidencyBudget)
+{
+    // One pod's cache serves BOTH tenant classes: bootstrap tenants
+    // with ~MB bootstrapping-key sets and encrypted-lookup tenants
+    // with small PIR query-key footprints, interleaved. Eviction
+    // order and byte accounting must stay exact across the mix — a
+    // big bootstrap load evicts however many small lookup footprints
+    // the capacity demands, LRU first, regardless of class.
+    constexpr size_t kBootBytes = 60; // bootstrap-class footprint
+    constexpr size_t kPirBytes = 10;  // lookup-class footprint
+    BootstrappingKeyCache c(130);
+
+    c.touch(1, kBootBytes); // bootstrap tenant
+    c.touch(2, kPirBytes);  // lookup tenant
+    c.touch(3, kPirBytes);  // lookup tenant
+    c.touch(4, kPirBytes);  // lookup tenant
+    ASSERT_EQ(c.lruOrder(), (std::vector<uint64_t>{1, 2, 3, 4}));
+    EXPECT_EQ(c.stats().residentBytes, 90u);
+
+    // Interleaved traffic refreshes across classes: the bootstrap
+    // tenant moves to MRU, a lookup tenant becomes the victim.
+    EXPECT_TRUE(c.touch(1, kBootBytes));
+    EXPECT_TRUE(c.touch(3, kPirBytes));
+    ASSERT_EQ(c.lruOrder(), (std::vector<uint64_t>{2, 4, 1, 3}));
+
+    // A second bootstrap tenant needs 60 bytes: 40 free, so the two
+    // LRU lookup tenants (2, then 4) are evicted — exactly those two,
+    // in that order, and not the fresher bootstrap set.
+    EXPECT_FALSE(c.touch(5, kBootBytes));
+    EXPECT_FALSE(c.contains(2));
+    EXPECT_FALSE(c.contains(4));
+    ASSERT_EQ(c.lruOrder(), (std::vector<uint64_t>{1, 3, 5}));
+
+    KeyCacheStats s = c.stats();
+    EXPECT_EQ(s.evictions, 2u);
+    EXPECT_EQ(s.bytesEvicted, 2 * kPirBytes);
+    EXPECT_EQ(s.bytesLoaded, 2 * kBootBytes + 3 * kPirBytes);
+    EXPECT_EQ(s.residentBytes, 2 * kBootBytes + kPirBytes);
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.misses, 5u);
+
+    // The reverse direction: lookup footprints returning after a
+    // bootstrap-heavy phase evict the stale bootstrap set (tenant 1,
+    // now LRU) only when the byte budget actually requires it.
+    EXPECT_FALSE(c.touch(2, kPirBytes)); // 130 + 10 > 130: evicts 1
+    EXPECT_FALSE(c.contains(1));
+    ASSERT_EQ(c.lruOrder(), (std::vector<uint64_t>{3, 5, 2}));
+    s = c.stats();
+    EXPECT_EQ(s.evictions, 3u);
+    EXPECT_EQ(s.bytesEvicted, 2 * kPirBytes + kBootBytes);
+    EXPECT_EQ(s.residentBytes, kBootBytes + 2 * kPirBytes);
+    EXPECT_EQ(s.bytesLoaded - s.bytesEvicted, s.residentBytes);
+}
+
 TEST(KeyCache, ZipfTenantsYieldHighHitRate)
 {
     // The serving-scale claim: with Zipf-distributed tenant
